@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Trace the device-level access pattern each scheme produces.
+
+The paper's motivation (§2.3) is that caching workloads turn into
+"small, intensive, random updates" at the device — unless the cache's
+region design re-shapes them.  This example traces the conventional
+SSD under Block-Cache and shows how log-structured region writes look
+at the device: large, mostly-sequential bursts, exactly the pattern
+that keeps WA low.
+
+Run:  python examples/io_trace_analysis.py
+"""
+
+from repro.bench.schemes import SchemeScale, build_block_cache
+from repro.flash import IoEvent, IoTrace
+from repro.sim import SimClock
+from repro.units import KIB
+
+
+def main() -> None:
+    scale = SchemeScale(
+        zone_size=512 * KIB, region_size=32 * KIB, pages_per_block=32,
+        ram_bytes=64 * KIB,
+    )
+    stack = build_block_cache(
+        SimClock(), scale, media_bytes=32 * scale.zone_size,
+        cache_bytes=24 * scale.zone_size,
+    )
+    cache = stack.cache
+    device = stack.substrate["device"]
+
+    # Attach a trace by monkey-free composition: record around the store.
+    trace = IoTrace()
+    store = stack.substrate["store"]
+    original_write = store.write_region
+    original_read = store.read
+
+    def traced_write(region_id, payload):
+        latency = original_write(region_id, payload)
+        trace.record(IoEvent(0, "write", region_id * store.region_size,
+                             len(payload), latency))
+        return latency
+
+    def traced_read(region_id, offset, length):
+        data = original_read(region_id, offset, length)
+        trace.record(IoEvent(0, "read", region_id * store.region_size + offset,
+                             length, 0))
+        return data
+
+    store.write_region = traced_write
+    store.read = traced_read
+
+    # Drive a cache-like workload: small objects, heavy churn.
+    for i in range(40_000):
+        cache.set(f"obj:{i % 18000:08d}".encode(), b"d" * 1024)
+    for i in range(0, 18000, 5):
+        cache.get(f"obj:{i:08d}".encode())
+
+    by_op = trace.bytes_by_op()
+    writes = trace.by_op("write")
+    reads = trace.by_op("read")
+    print("What the device actually sees under a log-structured cache:\n")
+    print(f"  object writes issued by the app : 40000 × 1 KiB (random keys)")
+    print(f"  device write commands           : {len(writes)}")
+    print(f"  device write size               : {writes[0].length // 1024} KiB each"
+          if writes else "")
+    print(f"  bytes written / read            : {by_op.get('write', 0):,} / "
+          f"{by_op.get('read', 0):,}")
+    print(f"  write sequentiality             : "
+          f"{trace.sequential_fraction('write'):.1%} of writes contiguous")
+    print(f"  device-level WAF                : "
+          f"{device.stats.write_amplification:.3f}")
+    print()
+    print("40k random 1-KiB object writes became a few thousand large region")
+    print("writes — the region indirection is what makes flash caching viable,")
+    print("and matching regions to zones (the paper's Zone/Region-Cache) is")
+    print("what removes the remaining device-level WA entirely.")
+
+
+if __name__ == "__main__":
+    main()

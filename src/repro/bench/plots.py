@@ -1,0 +1,91 @@
+"""Terminal plotting: ASCII bar charts and line series.
+
+Dependency-free rendering so the CLI can show the *shape* of each figure
+(`python -m repro fig2 --plot`) next to the raw rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+BAR_CHAR = "█"
+HALF_CHAR = "▌"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return "(no data)"
+    peak = max(values)
+    label_width = max(len(str(label)) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        if peak <= 0:
+            filled = 0
+        else:
+            filled = value / peak * width
+        whole = int(filled)
+        bar = BAR_CHAR * whole + (HALF_CHAR if filled - whole >= 0.5 else "")
+        lines.append(
+            f"{str(label).ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_plot(
+    ys: Sequence[float],
+    title: str = "",
+    height: int = 10,
+    width: int = 64,
+) -> str:
+    """Down-sampled ASCII line plot of one series."""
+    if not ys:
+        return "(no data)"
+    # Down-sample to the plot width by bucket-averaging.
+    if len(ys) > width:
+        bucket = len(ys) / width
+        sampled = [
+            sum(ys[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(ys[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    else:
+        sampled = list(ys)
+    low, high = min(sampled), max(sampled)
+    span = high - low or 1.0
+    rows = [[" "] * len(sampled) for _ in range(height)]
+    for x, value in enumerate(sampled):
+        y = int((value - low) / span * (height - 1))
+        rows[height - 1 - y][x] = "*"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{high:.4g} ┐")
+    for row in rows:
+        lines.append("      │" + "".join(row))
+    lines.append(f"{low:.4g} ┴" + "─" * len(sampled))
+    return "\n".join(lines)
+
+
+def scheme_bars(
+    rows: List[Dict[str, object]],
+    value_key: str,
+    label_key: str = "scheme",
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Bar chart straight from experiment result rows."""
+    labels = [str(row[label_key]) for row in rows]
+    values = [float(row[value_key]) for row in rows]
+    return bar_chart(labels, values, title=title, unit=unit)

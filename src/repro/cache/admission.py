@@ -1,0 +1,53 @@
+"""Flash admission policies.
+
+Write-heavy cache workloads burn flash endurance; admission policies
+decide which sets reach the flash log at all.  ``AdmitAll`` matches the
+paper's configuration; ``ProbabilisticAdmission`` (CacheLib's "dynamic
+random admission") is provided for the ablation benches, since rejecting
+a fraction of sets directly reduces application-level write pressure.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.sim.rng import make_rng
+
+
+class AdmissionPolicy(abc.ABC):
+    """Decides whether a (key, value) is written to flash."""
+
+    @abc.abstractmethod
+    def admit(self, key: bytes, value: bytes) -> bool: ...
+
+
+class AdmitAll(AdmissionPolicy):
+    """Every set reaches flash (the paper's setup)."""
+
+    def admit(self, key: bytes, value: bytes) -> bool:
+        return True
+
+
+class ProbabilisticAdmission(AdmissionPolicy):
+    """Admit with fixed probability; deterministic given the seed."""
+
+    def __init__(self, probability: float, seed: int = 42) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self.probability = probability
+        self._rng = make_rng(seed, "admission")
+
+    def admit(self, key: bytes, value: bytes) -> bool:
+        return self._rng.random() < self.probability
+
+
+class SizeThresholdAdmission(AdmissionPolicy):
+    """Reject values larger than a threshold (protects region churn)."""
+
+    def __init__(self, max_value_bytes: int) -> None:
+        if max_value_bytes <= 0:
+            raise ValueError("max_value_bytes must be positive")
+        self.max_value_bytes = max_value_bytes
+
+    def admit(self, key: bytes, value: bytes) -> bool:
+        return len(value) <= self.max_value_bytes

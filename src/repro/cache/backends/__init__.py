@@ -1,0 +1,29 @@
+"""Region-store backends: one per scheme in the paper.
+
+All four expose the same :class:`RegionStore` contract to the cache
+engine; the differences — exactly the paper's design space — live
+underneath:
+
+============== ===========================================================
+Block-Cache    fixed offsets on a conventional SSD; the FTL hides GC
+File-Cache     one large file on the F2FS-like filesystem over ZNS
+Zone-Cache     region == zone on ZNS; eviction is a zone reset (zero WA)
+Region-Cache   flexible regions through the zone translation layer
+============== ===========================================================
+"""
+
+from repro.cache.backends.base import RegionStore, WafBreakdown, WafRaw
+from repro.cache.backends.block import BlockRegionStore
+from repro.cache.backends.file import FileRegionStore
+from repro.cache.backends.zone import ZoneRegionStore
+from repro.cache.backends.region import ZtlRegionStore
+
+__all__ = [
+    "RegionStore",
+    "WafBreakdown",
+    "WafRaw",
+    "BlockRegionStore",
+    "FileRegionStore",
+    "ZoneRegionStore",
+    "ZtlRegionStore",
+]

@@ -1,0 +1,375 @@
+"""The hybrid cache engine (CacheLib stand-in).
+
+``HybridCache`` composes the DRAM tier, the sharded index, the region
+manager and a scheme backend into the get/set/delete API the paper's
+workloads drive.  The data path mirrors CacheLib's log-structured
+engine:
+
+* **set** — the entry is packed into the open region's in-memory buffer;
+  when the buffer cannot fit the next entry it is flushed to the backend
+  and a fresh region is allocated, *evicting an entire sealed region*
+  (LRU by default) if the pool is exhausted.  Evicting a region tears
+  down one index entry per live item, charged at
+  ``cpu.evict_index_per_item_ns`` each — with zone-sized regions this is
+  the lock-contention stall of Figure 3(a).
+* **get** — DRAM first, then the open buffer (read-from-buffer), then a
+  ranged backend read; flash hits promote the region in the LRU.
+* **delete** — drops the index entry; space is reclaimed lazily when the
+  region is eventually evicted (log-structured semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.cache.admission import AdmissionPolicy, AdmitAll
+from repro.cache.backends.base import RegionStore, WafBreakdown
+from repro.cache.config import CacheConfig
+from repro.cache.index import ShardedIndex
+from repro.cache.item import EntryCodec, EntryLocation
+from repro.cache.ram_cache import RamCache
+from repro.cache.region import RegionBuffer, RegionMeta
+from repro.cache.region_manager import RegionManager
+from repro.cache.stats import CacheStats
+from repro.errors import CacheConfigError, ObjectTooLargeError
+from repro.sim.clock import SimClock
+
+
+class HybridCache:
+    """DRAM + log-structured flash cache over one scheme backend."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        store: RegionStore,
+        config: CacheConfig,
+        admission: Optional[AdmissionPolicy] = None,
+    ) -> None:
+        if config.region_size != store.region_size:
+            raise CacheConfigError(
+                f"config region_size {config.region_size} != backend region "
+                f"size {store.region_size}"
+            )
+        if config.num_regions > store.num_regions:
+            raise CacheConfigError(
+                f"config num_regions {config.num_regions} exceeds backend's "
+                f"{store.num_regions}"
+            )
+        self._clock = clock
+        self.store = store
+        self.config = config
+        self.admission = admission if admission is not None else AdmitAll()
+        self.ram = RamCache(config.ram_bytes)
+        self.index = ShardedIndex(config.index_shards)
+        # The reclaim window may not exceed an eighth of the region pool:
+        # wider windows randomize reuse order enough that zone-level
+        # garbage never concentrates and backend GC degenerates.
+        effective_window = max(1, min(config.reclaim_window, config.num_regions // 8))
+        self.regions = RegionManager(
+            config.num_regions, config.eviction_policy, effective_window
+        )
+        self.stats = CacheStats(started_at_ns=clock.now)
+        self._waf_window_start = store.waf_raw()
+        self._buffer: RegionBuffer = self._open_fresh_region()
+        self._open_keys: Set[bytes] = set()
+        # TTL bookkeeping for items whose set() carried an expiry; the
+        # authoritative copy also travels in the on-flash entry header.
+        self._expiry: dict = {}
+
+    # --- public API -----------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Look up a key across DRAM, the open buffer, and flash.
+
+        Expired items (TTL) read as misses and are purged on access.
+        """
+        start_ns = self._clock.now
+        self._clock.advance(self.config.cpu.get_ns)
+        if self._is_expired(key):
+            self._purge_expired(key)
+            self.stats.ram_lookups.record(False)
+            self._finish_lookup(start_ns, hit=False)
+            return None
+        value = self.ram.get(key)
+        if value is not None:
+            self.stats.ram_lookups.record(True)
+            self._finish_lookup(start_ns, hit=True)
+            return value
+        self.stats.ram_lookups.record(False)
+        location = self.index.get(key)
+        if location is None:
+            self._finish_lookup(start_ns, hit=False)
+            return None
+        value = self._read_entry(key, location)
+        if value is None:
+            self.stats.flash_lookups.record(False)
+            self._finish_lookup(start_ns, hit=False)
+            return None
+        self.stats.flash_lookups.record(True)
+        self.regions.touch(location.region_id)
+        if self.config.populate_ram_on_flash_hit:
+            self.ram.put(key, value)
+        self._finish_lookup(start_ns, hit=True)
+        return value
+
+    def set(self, key: bytes, value: bytes, ttl_seconds: Optional[float] = None) -> bool:
+        """Insert/replace an item; returns True if it reached flash.
+
+        ``ttl_seconds`` sets an expiry relative to the simulated clock;
+        expired items read as misses.
+        """
+        start_ns = self._clock.now
+        self._clock.advance(self.config.cpu.set_per_item_ns)
+        self.stats.sets += 1
+        entry_size = EntryCodec.entry_size(key, value)
+        if entry_size > self.config.region_size:
+            raise ObjectTooLargeError(
+                f"entry of {entry_size}B exceeds region size "
+                f"{self.config.region_size}"
+            )
+        expiry_ns = 0
+        if ttl_seconds is not None:
+            if ttl_seconds <= 0:
+                raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
+            expiry_ns = self._clock.now + int(ttl_seconds * 1e9)
+            self._expiry[key] = expiry_ns
+        else:
+            self._expiry.pop(key, None)
+        self.ram.put(key, value)
+        if not self.admission.admit(key, value):
+            self._drop_flash_copy(key)
+            self._finish_mutation(start_ns, self.stats.set_latency)
+            return False
+        if not self._buffer.fits(entry_size):
+            self._seal_and_rotate()
+        self._clock.advance(
+            self.config.cpu.buffer_copy_ns_per_kib * (entry_size // 1024)
+        )
+        location = self._buffer.append(key, value, expiry_ns)
+        old = self.index.put(key, location)
+        if old is not None and old.region_id != self._buffer.region_id:
+            self.regions.note_key_removed(old.region_id, key)
+        self._open_keys.add(key)
+        self.stats.sets_admitted += 1
+        self._finish_mutation(start_ns, self.stats.set_latency)
+        return True
+
+    def delete(self, key: bytes) -> bool:
+        """Remove a key from every tier; returns True if it existed."""
+        start_ns = self._clock.now
+        self._clock.advance(self.config.cpu.delete_ns)
+        self.stats.deletes += 1
+        self._expiry.pop(key, None)
+        in_ram = self.ram.remove(key)
+        location = self.index.remove(key)
+        if location is not None:
+            if location.region_id == self._buffer.region_id:
+                self._open_keys.discard(key)
+            else:
+                self.regions.note_key_removed(location.region_id, key)
+        self._finish_mutation(start_ns, self.stats.delete_latency)
+        return in_ram or location is not None
+
+    def contains(self, key: bytes) -> bool:
+        """Index/DRAM membership probe without touching the device."""
+        return key in self.ram or key in self.index
+
+    def flush(self) -> None:
+        """Force-seal the open region (tests and shutdown paths)."""
+        if self._buffer.used > 0:
+            self._seal_and_rotate()
+
+    def waf(self) -> WafBreakdown:
+        """Cumulative scheme write-amplification breakdown."""
+        return self.store.waf()
+
+    def waf_window(self) -> WafBreakdown:
+        """WAF since the last :meth:`reset_stats` (Table 1's metric is a
+        steady-state quantity, so the population transient is excluded)."""
+        return self._waf_window_start.window_to(self.store.waf_raw())
+
+    def item_count(self) -> int:
+        """Distinct keys reachable via flash index (DRAM may add more)."""
+        return len(self.index)
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement window (e.g. after warm-up)."""
+        self.stats = CacheStats(started_at_ns=self._clock.now)
+        self._waf_window_start = self.store.waf_raw()
+
+    # --- warm restart -------------------------------------------------------------
+
+    def shutdown(self) -> dict:
+        """Clean shutdown: flush the open buffer and snapshot the state a
+        warm restart needs (index, region metadata, eviction order).
+
+        CacheLib's navy engine persists exactly this so flash contents
+        survive process restarts; the cached *data* already lives on the
+        (persistent) backend device.
+        """
+        self.flush()
+        sealed = []
+        # sealed_seq preserves the eviction order across the restart.
+        for rid, meta in sorted(
+            self.regions._sealed.items(), key=lambda kv: kv[1].sealed_seq
+        ):
+            sealed.append(
+                {
+                    "region_id": rid,
+                    "sealed_seq": meta.sealed_seq,
+                    "keys": sorted(meta.keys),
+                }
+            )
+        index = {}
+        for key in self.index.keys():
+            location = self.index.get(key)
+            index[key] = (location.region_id, location.offset, location.length)
+        return {
+            "config": {
+                "region_size": self.config.region_size,
+                "num_regions": self.config.num_regions,
+            },
+            "sealed": sealed,
+            "free": list(self.regions._free),
+            "index": index,
+            "expiry": dict(self._expiry),
+            "open_region_id": self._buffer.region_id,
+        }
+
+    @classmethod
+    def warm_restart(
+        cls,
+        clock: SimClock,
+        store: RegionStore,
+        config: CacheConfig,
+        state: dict,
+        admission: Optional[AdmissionPolicy] = None,
+    ) -> "HybridCache":
+        """Rebuild a cache over the same (persistent) backend.
+
+        DRAM contents are gone (it was a restart); the flash index and
+        region metadata come back, so flash hits resume immediately.
+        """
+        if state["config"]["region_size"] != config.region_size:
+            raise CacheConfigError("warm restart with a different region size")
+        if state["config"]["num_regions"] != config.num_regions:
+            raise CacheConfigError("warm restart with a different region count")
+        cache = cls(clock, store, config, admission)
+        # Discard the constructor's fresh region and rebuild exactly the
+        # persisted layout.
+        cache.regions = RegionManager(
+            config.num_regions, config.eviction_policy,
+            max(1, min(config.reclaim_window, config.num_regions // 8)),
+        )
+        cache.regions._free = [
+            rid for rid in state["free"] if rid != state["open_region_id"]
+        ]
+        for entry in state["sealed"]:
+            meta = RegionMeta(entry["region_id"], keys=set(entry["keys"]))
+            cache.regions.seal(meta)
+        cache._buffer = RegionBuffer(
+            state["open_region_id"], config.region_size, clock.now
+        )
+        cache._open_keys = set()
+        for key, (region_id, offset, length) in state["index"].items():
+            cache.index.put(key, EntryLocation(region_id, offset, length))
+        cache._expiry = dict(state["expiry"])
+        return cache
+
+    # --- internals -----------------------------------------------------------------------
+
+    def _open_fresh_region(self) -> RegionBuffer:
+        # The new buffer's fill window opens *before* the eviction work so
+        # that index-teardown stalls show up in region fill times — the
+        # Figure 3(a) jump "caused by eviction operations in other threads".
+        opened_at = self._clock.now
+        region_id, evicted = self.regions.allocate()
+        self._clock.advance(
+            self.config.cpu.region_alloc_ns
+            + self.config.cpu.buffer_alloc_ns_per_mib
+            * self.config.region_size
+            // (1024 * 1024)
+        )
+        if evicted:
+            self._evict_keys(region_id, evicted)
+        return RegionBuffer(region_id, self.config.region_size, opened_at)
+
+    def _seal_and_rotate(self) -> None:
+        buffer = self._buffer
+        fill_ns = self._clock.now - buffer.opened_at_ns
+        self.stats.region_fill_durations_ns.append(fill_ns)
+        self.store.write_region(buffer.region_id, buffer.finalize())
+        self.stats.flushes += 1
+        meta = RegionMeta(buffer.region_id, keys=set(self._open_keys))
+        meta.fill_duration_ns = fill_ns
+        self.regions.seal(meta)
+        self._open_keys = set()
+        self._buffer = self._open_fresh_region()
+
+    def _evict_keys(self, region_id: int, evicted: Set[bytes]) -> None:
+        """Tear down index entries of a reclaimed region (lock-convoy model)."""
+        self._clock.advance(self.config.cpu.eviction_teardown_ns(len(evicted)))
+        for key in evicted:
+            location = self.index.get(key)
+            if location is not None and location.region_id == region_id:
+                self.index.remove(key)
+        self.store.invalidate_region(region_id)
+
+    def _read_entry(self, key: bytes, location: EntryLocation) -> Optional[bytes]:
+        if (
+            location.region_id == self._buffer.region_id
+            and self.config.read_from_buffer
+        ):
+            blob = self._buffer.read(location.offset, location.length)
+        else:
+            blob = self.store.read(location.region_id, location.offset, location.length)
+        entry = EntryCodec.decode_entry(blob)
+        if entry.key != key:
+            # Stale index entry (should not happen; counted defensively).
+            self.stats.stale_index_reads += 1
+            self.index.remove(key)
+            return None
+        if entry.is_expired(self._clock.now):
+            self.stats.expired_reads += 1
+            self._purge_expired(key)
+            return None
+        return entry.value
+
+    def _is_expired(self, key: bytes) -> bool:
+        expiry = self._expiry.get(key)
+        return expiry is not None and self._clock.now >= expiry
+
+    def _purge_expired(self, key: bytes) -> None:
+        self._expiry.pop(key, None)
+        self.ram.remove(key)
+        location = self.index.remove(key)
+        if location is not None:
+            if location.region_id == self._buffer.region_id:
+                self._open_keys.discard(key)
+            else:
+                self.regions.note_key_removed(location.region_id, key)
+
+    def _drop_flash_copy(self, key: bytes) -> None:
+        """An unadmitted overwrite supersedes any flash copy."""
+        location = self.index.remove(key)
+        if location is not None:
+            if location.region_id == self._buffer.region_id:
+                self._open_keys.discard(key)
+            else:
+                self.regions.note_key_removed(location.region_id, key)
+
+    def _finish_lookup(self, start_ns: int, hit: bool) -> None:
+        self.stats.lookups.record(hit)
+        self.stats.get_latency.record(self._clock.now - start_ns)
+        self.stats.finished_at_ns = self._clock.now
+
+    def _finish_mutation(self, start_ns: int, recorder) -> None:
+        recorder.record(self._clock.now - start_ns)
+        self.stats.finished_at_ns = self._clock.now
+
+    def __repr__(self) -> str:
+        return (
+            f"HybridCache({self.store.scheme_name}, regions="
+            f"{self.config.num_regions}×{self.config.region_size}B, "
+            f"items={len(self.index)})"
+        )

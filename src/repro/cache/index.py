@@ -1,0 +1,53 @@
+"""Sharded hash index: key → flash location.
+
+CacheLib shards its index to reduce lock contention; the simulation
+keeps the sharding (hashing keys to shards) because the *number of
+entries a region eviction must tear down per shard* is the contention
+cost model used for Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.cache.item import EntryLocation
+
+
+class ShardedIndex:
+    """Hash index over ``num_shards`` dictionaries."""
+
+    def __init__(self, num_shards: int = 16) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self._shards: List[Dict[bytes, EntryLocation]] = [
+            {} for _ in range(num_shards)
+        ]
+
+    def _shard_of(self, key: bytes) -> Dict[bytes, EntryLocation]:
+        return self._shards[hash(key) % len(self._shards)]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._shard_of(key)
+
+    def get(self, key: bytes) -> Optional[EntryLocation]:
+        return self._shard_of(key).get(key)
+
+    def put(self, key: bytes, location: EntryLocation) -> Optional[EntryLocation]:
+        """Insert/replace; returns the previous location if any."""
+        shard = self._shard_of(key)
+        old = shard.get(key)
+        shard[key] = location
+        return old
+
+    def remove(self, key: bytes) -> Optional[EntryLocation]:
+        return self._shard_of(key).pop(key, None)
+
+    def keys(self) -> Iterator[bytes]:
+        for shard in self._shards:
+            yield from shard
+
+    def __repr__(self) -> str:
+        return f"ShardedIndex(entries={len(self)}, shards={len(self._shards)})"

@@ -1,0 +1,73 @@
+"""On-flash entry format and index locations.
+
+Entries are byte-packed into regions: a 16-byte header (key length,
+value length, absolute expiry time in ns — 0 means no TTL) followed by
+key and value bytes.  The index remembers the exact (region, offset,
+length) so a get is a single ranged read; the key is stored on flash too
+so reads can verify they decoded the entry they were looking for (guards
+against stale index entries in tests), and the expiry travels with the
+entry exactly as CacheLib keeps it in the item header.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+_HEADER = struct.Struct("<IIQ")  # key length, value length, expiry (ns, 0=none)
+
+
+@dataclass(frozen=True)
+class EntryLocation:
+    """Where an entry lives on flash."""
+
+    region_id: int
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class DecodedEntry:
+    """One decoded cache entry."""
+
+    key: bytes
+    value: bytes
+    expiry_ns: int = 0
+
+    def is_expired(self, now_ns: int) -> bool:
+        return self.expiry_ns != 0 and now_ns >= self.expiry_ns
+
+
+class EntryCodec:
+    """Serialize/deserialize cache entries."""
+
+    HEADER_SIZE = _HEADER.size
+
+    @classmethod
+    def encode(cls, key: bytes, value: bytes, expiry_ns: int = 0) -> bytes:
+        """Pack one entry; total size is ``entry_size(key, value)``."""
+        return _HEADER.pack(len(key), len(value), expiry_ns) + key + value
+
+    @classmethod
+    def entry_size(cls, key: bytes, value: bytes) -> int:
+        return cls.HEADER_SIZE + len(key) + len(value)
+
+    @classmethod
+    def decode(cls, blob: bytes) -> Tuple[bytes, bytes]:
+        """Unpack (key, value) from ``blob`` (must start at the header)."""
+        entry = cls.decode_entry(blob)
+        return entry.key, entry.value
+
+    @classmethod
+    def decode_entry(cls, blob: bytes) -> DecodedEntry:
+        """Unpack a full :class:`DecodedEntry` including expiry."""
+        if len(blob) < cls.HEADER_SIZE:
+            raise ValueError(f"entry blob too short: {len(blob)}B")
+        key_len, value_len, expiry_ns = _HEADER.unpack_from(blob)
+        need = cls.HEADER_SIZE + key_len + value_len
+        if len(blob) < need:
+            raise ValueError(f"entry blob truncated: {len(blob)} < {need}")
+        key = blob[cls.HEADER_SIZE : cls.HEADER_SIZE + key_len]
+        value = blob[cls.HEADER_SIZE + key_len : need]
+        return DecodedEntry(key=key, value=value, expiry_ns=expiry_ns)

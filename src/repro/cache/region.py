@@ -1,0 +1,83 @@
+"""Region state: the in-memory fill buffer and per-region metadata.
+
+A *region* is CacheLib's on-flash management unit.  New entries are
+packed into an in-memory :class:`RegionBuffer` ("a larger region size
+requires setting up a larger region buffer in memory", §3.2); when the
+buffer cannot fit the next entry it is flushed to the backend and
+sealed.  :class:`RegionMeta` tracks which keys currently live in a
+sealed region so that whole-region eviction can drop exactly those index
+entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.cache.item import EntryCodec, EntryLocation
+
+
+class RegionBuffer:
+    """Append-only buffer for the region currently being filled."""
+
+    def __init__(self, region_id: int, capacity: int, opened_at_ns: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.region_id = region_id
+        self.capacity = capacity
+        self.opened_at_ns = opened_at_ns
+        self._buffer = bytearray(capacity)
+        self._used = 0
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - self._used
+
+    def fits(self, entry_bytes: int) -> bool:
+        return entry_bytes <= self.remaining
+
+    def append(self, key: bytes, value: bytes, expiry_ns: int = 0) -> EntryLocation:
+        """Pack an entry; returns its location within this (open) region."""
+        blob = EntryCodec.encode(key, value, expiry_ns)
+        if len(blob) > self.remaining:
+            raise ValueError(
+                f"entry of {len(blob)}B does not fit ({self.remaining}B left)"
+            )
+        offset = self._used
+        self._buffer[offset : offset + len(blob)] = blob
+        self._used += len(blob)
+        return EntryLocation(self.region_id, offset, len(blob))
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Serve a read from the open buffer (CacheLib's read-from-buffer)."""
+        if offset + length > self._used:
+            raise ValueError("read beyond buffered data")
+        return bytes(self._buffer[offset : offset + length])
+
+    def finalize(self) -> bytes:
+        """Zero-padded payload of exactly ``capacity`` bytes for the flush."""
+        return bytes(self._buffer)
+
+
+@dataclass
+class RegionMeta:
+    """Bookkeeping for a sealed on-flash region."""
+
+    region_id: int
+    sealed_seq: int = 0
+    keys: Set[bytes] = field(default_factory=set)
+    fill_duration_ns: int = 0
+
+    @property
+    def valid_items(self) -> int:
+        return len(self.keys)
+
+    def note_inserted(self, key: bytes) -> None:
+        self.keys.add(key)
+
+    def note_removed(self, key: bytes) -> None:
+        self.keys.discard(key)

@@ -1,0 +1,148 @@
+"""Region lifecycle: allocation, sealing, whole-region eviction.
+
+CacheLib "evicts entire regions rather than individual cache objects" to
+amortize flash GC cost (§2.1).  The manager owns the fixed pool of
+region ids, the sealed-region eviction order, and the per-region key
+sets the engine needs to purge the index when a region is reclaimed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cache.eviction import make_eviction_policy
+from repro.cache.region import RegionMeta
+from repro.sim.rng import make_rng
+
+
+class RegionManager:
+    """Tracks every region's state: free → filling → sealed → (evicted).
+
+    ``reclaim_window > 1`` models navy's clean-region pool: the victim is
+    drawn (deterministically seeded) from the first ``reclaim_window``
+    regions in policy order rather than strictly the head.
+    """
+
+    def __init__(
+        self,
+        num_regions: int,
+        eviction_policy: str = "lru",
+        reclaim_window: int = 1,
+        seed: int = 97,
+    ) -> None:
+        if num_regions < 2:
+            raise ValueError("need at least 2 regions")
+        if reclaim_window < 1:
+            raise ValueError("reclaim_window must be >= 1")
+        self.num_regions = num_regions
+        self.reclaim_window = reclaim_window
+        self._free: List[int] = list(range(num_regions))
+        self._sealed: Dict[int, RegionMeta] = {}
+        self._policy = make_eviction_policy(eviction_policy)
+        self._rng = make_rng(seed, "reclaim")
+        self._seal_seq = 0
+        self.regions_evicted = 0
+        self.items_evicted = 0
+
+    # --- queries ---------------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def sealed_count(self) -> int:
+        return len(self._sealed)
+
+    def meta(self, region_id: int) -> Optional[RegionMeta]:
+        return self._sealed.get(region_id)
+
+    # --- lifecycle ---------------------------------------------------------------
+
+    def allocate(self) -> Tuple[int, Set[bytes]]:
+        """Take a region for filling.
+
+        Returns ``(region_id, evicted_keys)``: if the free pool is empty,
+        the eviction policy's victim is reclaimed and every key still
+        living in it is returned so the engine can drop the index entries
+        (this is the hit-ratio cost of large regions, §3.2).
+        """
+        if self._free:
+            return self._free.pop(0), set()
+        victim = self._pick_windowed_victim()
+        if victim is None:
+            raise RuntimeError("no sealed region to evict — engine bug")
+        meta = self._sealed.pop(victim)
+        self._policy.untrack(victim)
+        evicted = set(meta.keys)
+        self.regions_evicted += 1
+        self.items_evicted += len(evicted)
+        return victim, evicted
+
+    def seal(self, meta: RegionMeta) -> None:
+        """A filled region becomes evictable."""
+        self._seal_seq += 1
+        meta.sealed_seq = self._seal_seq
+        self._sealed[meta.region_id] = meta
+        self._policy.track(meta.region_id)
+
+    def touch(self, region_id: int) -> None:
+        """Promote on read hit (LRU policy only reacts)."""
+        self._policy.touch(region_id)
+
+    def _pick_windowed_victim(self) -> Optional[int]:
+        if self.reclaim_window == 1:
+            return self._policy.pick_victim()
+        # Draw from the first `window` regions in policy order.
+        candidates: List[int] = []
+        removed: List[int] = []
+        for _ in range(min(self.reclaim_window, len(self._sealed))):
+            victim = self._policy.pick_victim()
+            if victim is None:
+                break
+            candidates.append(victim)
+            self._policy.untrack(victim)
+            removed.append(victim)
+        # Restore policy order for the non-chosen candidates (they go
+        # back to the head region of the order by re-tracking oldest-last
+        # is wrong for FIFO; instead re-track all, then untrack chosen).
+        if not candidates:
+            return None
+        chosen = candidates[self._rng.randrange(len(candidates))]
+        # Non-chosen candidates return to the eviction end in their
+        # original relative order (restore back-to-front).
+        for region_id in reversed(removed):
+            if region_id != chosen:
+                self._policy.track_front(region_id)
+        return chosen
+
+    def eviction_position(self, region_id: int) -> Optional[float]:
+        """Where a sealed region sits in the eviction order.
+
+        0.0 means it is the next victim, values near 1.0 mean it was
+        sealed recently; None if the region is not sealed.  This is the
+        cache-side knowledge the paper's §3.4 co-design feeds to zone GC:
+        regions about to be evicted are not worth migrating.
+        """
+        order = self._policy.order()
+        if region_id not in self._sealed or not order:
+            return None
+        try:
+            index = order.index(region_id)
+        except ValueError:
+            return None
+        if len(order) == 1:
+            return 0.0
+        return index / (len(order) - 1)
+
+    def note_key_removed(self, region_id: int, key: bytes) -> None:
+        """A key was deleted/overwritten; forget it in its region's meta."""
+        meta = self._sealed.get(region_id)
+        if meta is not None:
+            meta.note_removed(key)
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionManager(free={len(self._free)}, sealed={len(self._sealed)}, "
+            f"evicted={self.regions_evicted})"
+        )

@@ -1,0 +1,75 @@
+"""Cache-level statistics: the quantities every figure in the paper plots.
+
+* hit ratio (overall / RAM / flash) — Figures 2, 4, 5(b), Table 2,
+* operation latency percentiles — Figures 5(c) and 5(d),
+* throughput inputs (op counts + simulated time) — Figures 2, 4, 5(a),
+* per-region fill durations — Figure 3,
+* write amplification at each layer — Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.stats import LatencyRecorder, RatioStat
+from repro.units import SEC
+
+
+@dataclass
+class CacheStats:
+    """Mutable statistics block owned by one :class:`HybridCache`."""
+
+    lookups: RatioStat = field(default_factory=lambda: RatioStat("cache.hit"))
+    ram_lookups: RatioStat = field(default_factory=lambda: RatioStat("ram.hit"))
+    flash_lookups: RatioStat = field(default_factory=lambda: RatioStat("flash.hit"))
+    get_latency: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder("get")
+    )
+    set_latency: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder("set")
+    )
+    delete_latency: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder("delete")
+    )
+    sets: int = 0
+    deletes: int = 0
+    sets_admitted: int = 0
+    flushes: int = 0
+    stale_index_reads: int = 0
+    expired_reads: int = 0
+    region_fill_durations_ns: List[int] = field(default_factory=list)
+    started_at_ns: int = 0
+    finished_at_ns: int = 0
+
+    @property
+    def operations(self) -> int:
+        return self.lookups.total + self.sets + self.deletes
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.lookups.ratio
+
+    def elapsed_seconds(self) -> float:
+        return max(0, self.finished_at_ns - self.started_at_ns) / SEC
+
+    def throughput_ops(self) -> float:
+        """Operations per simulated second over the recorded window."""
+        elapsed = self.elapsed_seconds()
+        if elapsed <= 0:
+            return 0.0
+        return self.operations / elapsed
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "operations": self.operations,
+            "hit_ratio": self.hit_ratio,
+            "ram_hit_ratio": self.ram_lookups.ratio,
+            "flash_hit_ratio": self.flash_lookups.ratio,
+            "throughput_ops": self.throughput_ops(),
+            "get_p50_ns": self.get_latency.p50(),
+            "get_p99_ns": self.get_latency.p99(),
+            "set_p50_ns": self.set_latency.p50(),
+            "set_p99_ns": self.set_latency.p99(),
+            "flushes": self.flushes,
+        }

@@ -1,0 +1,168 @@
+"""Command-line interface: regenerate any of the paper's results.
+
+Examples::
+
+    python -m repro fig2                  # Figure 2 at default scale
+    python -m repro table1 --quick        # faster, smaller run
+    python -m repro fig5 --csv out.csv    # also dump rows as CSV
+    python -m repro all                   # every table and figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.reporting import format_table, rows_to_csv
+
+
+def _fig2(quick: bool) -> List[dict]:
+    from repro.bench.experiments import run_fig2_overall
+
+    return run_fig2_overall(num_ops=20_000 if quick else 60_000)
+
+
+def _fig3(quick: bool) -> List[dict]:
+    from repro.bench.experiments import run_fig3_insertion_time
+
+    series = run_fig3_insertion_time(num_sets=40_000 if quick else None)
+    rows: List[dict] = []
+    for label, points in series.items():
+        for point in points:
+            rows.append({"series": label, **point})
+    return rows
+
+
+def _fig4(quick: bool) -> List[dict]:
+    from repro.bench.experiments import run_fig4_op_sweep
+
+    return run_fig4_op_sweep(num_ops=20_000 if quick else 60_000)
+
+
+def _table1(quick: bool) -> List[dict]:
+    from repro.bench.experiments import run_table1_waf
+
+    return run_table1_waf(num_ops=20_000 if quick else 60_000)
+
+
+def _fig5(quick: bool) -> List[dict]:
+    from repro.bench.experiments import run_fig5_rocksdb
+
+    if quick:
+        return run_fig5_rocksdb(num_keys=40_000, num_reads=3_000, warmup_reads=6_000)
+    return run_fig5_rocksdb()
+
+
+def _table2(quick: bool) -> List[dict]:
+    from repro.bench.experiments import run_table2_cache_sizes
+
+    if quick:
+        return run_table2_cache_sizes(
+            num_keys=40_000, num_reads=3_000, warmup_reads=6_000
+        )
+    return run_table2_cache_sizes()
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "table1": _table1,
+    "fig5": _fig5,
+    "table2": _table2,
+}
+
+TITLES = {
+    "fig2": "Figure 2: four schemes — throughput and hit ratio",
+    "fig3": "Figure 3: region buffer fill times (large vs small regions)",
+    "fig4": "Figure 4: OP-ratio sweep",
+    "table1": "Table 1: WA factor vs OP ratio",
+    "fig5": "Figure 5: RocksDB with each scheme as secondary cache",
+    "table2": "Table 2: Zone-Cache cache-size sweep",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the evaluation of 'Can ZNS SSDs be Better Storage "
+            "Devices for Persistent Cache?' (HotStorage '24)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which paper result to regenerate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller/faster run (coarser numbers)"
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", help="also write result rows to a CSV file"
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=40,
+        help="max rows to print per experiment (fig3 emits thousands)",
+    )
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="also render an ASCII chart of each result's shape",
+    )
+    return parser
+
+
+def _plot_for(name: str, rows: List[dict]) -> str:
+    from repro.bench.plots import line_plot, scheme_bars
+
+    if name in ("fig2", "fig4"):
+        return scheme_bars(
+            rows, "throughput_mops_per_min", title="throughput (Mops/min)"
+        )
+    if name == "fig5":
+        return scheme_bars(rows, "kops_per_sec", title="throughput (kops/s)")
+    if name == "table2":
+        return scheme_bars(
+            rows, "hit_ratio_pct", label_key="cache_zones", title="hit ratio (%)"
+        )
+    if name == "table1":
+        return scheme_bars(rows, "waf", title="WA factor")
+    if name == "fig3":
+        large = [r["fill_time_us"] for r in rows if r["series"] == "large_region"]
+        return line_plot(large, title="large-region fill time (us) per sequence")
+    return ""
+
+
+def run(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    all_rows: List[dict] = []
+    for name in names:
+        started = time.time()
+        print(f"running {name} ...", flush=True)
+        rows = EXPERIMENTS[name](args.quick)
+        elapsed = time.time() - started
+        shown = rows[: args.max_rows]
+        print(format_table(shown, title=TITLES[name]))
+        if len(rows) > len(shown):
+            print(f"... ({len(rows) - len(shown)} more rows)")
+        if args.plot:
+            chart = _plot_for(name, rows)
+            if chart:
+                print()
+                print(chart)
+        print(f"({elapsed:.1f}s wall clock)\n")
+        for row in rows:
+            all_rows.append({"experiment": name, **row})
+    if args.csv:
+        columns = sorted({key for row in all_rows for key in row})
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(rows_to_csv(all_rows, columns=columns) + "\n")
+        print(f"wrote {len(all_rows)} rows to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(run())

@@ -1,0 +1,103 @@
+"""Exception hierarchy shared by every subsystem in the reproduction.
+
+Each substrate raises the most specific subclass it can so that tests and
+callers can distinguish, e.g., an out-of-bounds I/O from a zone state
+violation without string matching.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# --- device layer -----------------------------------------------------------
+
+
+class DeviceError(ReproError):
+    """Base class for storage-device errors."""
+
+
+class OutOfRangeError(DeviceError):
+    """An I/O touched an LBA or offset outside the device capacity."""
+
+
+class AlignmentError(DeviceError):
+    """An I/O offset or length violated the device's alignment rules."""
+
+
+class ZoneStateError(DeviceError):
+    """A zone operation is invalid for the zone's current state."""
+
+
+class WritePointerError(ZoneStateError):
+    """A zone write did not land exactly on the zone's write pointer."""
+
+
+class ZoneResourceError(DeviceError):
+    """Opening a zone would exceed max-open or max-active zone limits."""
+
+
+class DeviceFullError(DeviceError):
+    """The device (or FTL free-space pool) has no room for the write."""
+
+
+# --- filesystem layer --------------------------------------------------------
+
+
+class FilesystemError(ReproError):
+    """Base class for F2FS-like filesystem errors."""
+
+
+class NoSpaceError(FilesystemError):
+    """The filesystem ran out of free segments (ENOSPC)."""
+
+
+class FileNotFoundInFsError(FilesystemError):
+    """Named file does not exist in the filesystem."""
+
+
+class FileExistsInFsError(FilesystemError):
+    """Attempt to create a file whose name is already taken."""
+
+
+# --- zone translation layer ---------------------------------------------------
+
+
+class TranslationError(ReproError):
+    """Base class for the region↔zone middle layer errors."""
+
+
+class RegionNotMappedError(TranslationError):
+    """Read of a region id that has no current mapping."""
+
+
+class TranslationFullError(TranslationError):
+    """No free or GC-reclaimable zone space for a new region."""
+
+
+# --- cache layer --------------------------------------------------------------
+
+
+class CacheError(ReproError):
+    """Base class for cache-engine errors."""
+
+
+class CacheConfigError(CacheError):
+    """Invalid cache configuration (sizes, ratios, backend mismatch)."""
+
+
+class ObjectTooLargeError(CacheError):
+    """A value cannot fit in a single region/zone and was rejected."""
+
+
+# --- LSM layer ---------------------------------------------------------------
+
+
+class LsmError(ReproError):
+    """Base class for LSM key-value store errors."""
+
+
+class DbClosedError(LsmError):
+    """Operation on a closed database."""

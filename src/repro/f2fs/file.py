@@ -1,0 +1,37 @@
+"""File handle for the F2FS-like filesystem.
+
+Provides the pread/pwrite interface CacheLib's file-backed engine uses
+on a single large pre-allocated file (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.f2fs.fs import F2fs
+
+
+class F2fsFile:
+    """Handle to one file; all I/O is delegated to the owning filesystem."""
+
+    def __init__(self, fs: "F2fs", name: str, file_id: int) -> None:
+        self._fs = fs
+        self.name = name
+        self.file_id = file_id
+
+    @property
+    def size(self) -> int:
+        """Current file size in bytes (high-water mark of writes)."""
+        return self._fs.nat.size_of(self.file_id)
+
+    def pwrite(self, offset: int, data: bytes) -> int:
+        """Write ``data`` at ``offset`` (block-aligned); returns latency (ns)."""
+        return self._fs.pwrite(self.file_id, offset, data)
+
+    def pread(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset``; holes read as zeros."""
+        return self._fs.pread(self.file_id, offset, length)
+
+    def __repr__(self) -> str:
+        return f"F2fsFile({self.name!r}, size={self.size})"

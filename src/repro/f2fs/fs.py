@@ -1,0 +1,434 @@
+"""The F2FS-like filesystem facade.
+
+Wires the layout, NAT, SIT, log manager and cleaner onto two devices:
+
+* a :class:`~repro.flash.ZnsSsd` carrying the main (data) area, one
+  section per zone, and
+* a conventional :class:`~repro.flash.device.BlockDevice` (nullblk in
+  the paper) carrying the metadata area: NAT/SIT journal writes and
+  checkpoints.
+
+The write path is out-of-place: old block mappings are invalidated in
+the SIT, new blocks are allocated from the hot-data log, and every
+mapping update is journaled to the metadata device in batches.  The
+paper's File-Cache criticisms fall out of this design naturally: block-
+granular mapping overhead, filesystem WA from cleaning, and reserved
+provisioning space.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import AlignmentError, NoSpaceError
+from repro.f2fs.file import F2fsFile
+from repro.f2fs.gc import Cleaner, CleanerConfig
+from repro.f2fs.layout import F2fsConfig, F2fsLayout
+from repro.f2fs.nat import NodeAddressTable
+from repro.f2fs.segment import LogManager, LogStream
+from repro.f2fs.sit import SegmentInfoTable
+from repro.flash.device import BlockDevice
+from repro.flash.znsssd import ZnsSsd
+from repro.sim.clock import SimClock
+
+
+@dataclass
+class F2fsStats:
+    """Filesystem counters; ``write_amplification`` is the FS-level WAF."""
+
+    host_write_bytes: int = 0
+    host_read_bytes: int = 0
+    data_write_bytes: int = 0  # all main-area writes incl. cleaning
+    meta_write_bytes: int = 0
+    checkpoints: int = 0
+
+    @property
+    def write_amplification(self) -> float:
+        if self.host_write_bytes == 0:
+            return 1.0
+        return (self.data_write_bytes + self.meta_write_bytes) / self.host_write_bytes
+
+
+class F2fs:
+    """Log-structured filesystem over (zoned data device, metadata device)."""
+
+    SUPERBLOCK_MAGIC = b"REPRO-F2FS-v1\x00\x00\x00"
+
+    def __init__(
+        self,
+        clock: SimClock,
+        data_device: ZnsSsd,
+        meta_device: BlockDevice,
+        config: F2fsConfig = F2fsConfig(),
+        cleaner_config: CleanerConfig = CleanerConfig(),
+    ) -> None:
+        self._clock = clock
+        self.data_device = data_device
+        self.meta_device = meta_device
+        self.config = config
+        self.layout = F2fsLayout.for_device(
+            data_device.zone_size, data_device.num_zones, config
+        )
+        self.nat = NodeAddressTable()
+        self.sit = SegmentInfoTable(
+            self.layout.num_sections, self.layout.blocks_per_section
+        )
+        self.logs = LogManager(self.layout)
+        self.cleaner = Cleaner(
+            self.layout,
+            self.sit,
+            self.logs,
+            cleaner_config,
+            migrate_block=self._migrate_block,
+            release_section=self._reset_section_zone,
+        )
+        self.stats = F2fsStats()
+        self._meta_pending_updates = 0
+        self._meta_cursor_block = 1  # block 0 is the superblock
+        self._blocks_since_checkpoint = 0
+        self._mkfs_done = False
+        # (file_id, node_group) -> current node-block address in the main
+        # area; node blocks are invalidated and rewritten when any data
+        # block they index is remapped.
+        self._node_addr: dict = {}
+
+    # --- lifecycle ------------------------------------------------------------------
+
+    def mkfs(self) -> None:
+        """Format: reset all zones, write the superblock, empty tables."""
+        for zone_index in range(self.layout.num_sections):
+            self.data_device.reset_zone(zone_index)
+        block = self.SUPERBLOCK_MAGIC.ljust(self.meta_device.block_size, b"\x00")
+        self.meta_device.write(0, block)
+        self.stats.meta_write_bytes += len(block)
+        self._mkfs_done = True
+
+    @classmethod
+    def mount(
+        cls,
+        clock: SimClock,
+        data_device: ZnsSsd,
+        meta_device: BlockDevice,
+        config: F2fsConfig = F2fsConfig(),
+        cleaner_config: CleanerConfig = CleanerConfig(),
+    ) -> "F2fs":
+        """Re-attach a filesystem from its last checkpoint."""
+        superblock = meta_device.read(0, meta_device.block_size).data
+        if not superblock or not superblock.startswith(cls.SUPERBLOCK_MAGIC):
+            raise NoSpaceError("no filesystem found on the metadata device")
+        fs = cls(clock, data_device, meta_device, config, cleaner_config)
+        fs._mkfs_done = True
+        fs._restore_checkpoint()
+        return fs
+
+    # --- namespace ---------------------------------------------------------------------
+
+    def create(self, name: str) -> F2fsFile:
+        self._require_formatted()
+        file_id = self.nat.create_file(name)
+        return F2fsFile(self, name, file_id)
+
+    def open(self, name: str) -> F2fsFile:
+        self._require_formatted()
+        return F2fsFile(self, name, self.nat.lookup_file(name))
+
+    def exists(self, name: str) -> bool:
+        return self.nat.has_file(name)
+
+    def delete(self, name: str) -> None:
+        """Unlink a file, invalidating all of its data and node blocks."""
+        self._require_formatted()
+        file_id = self.nat.lookup_file(name)
+        block_map = self.nat.remove_file(name)
+        for block_addr in block_map.values():
+            self.sit.mark_invalid(block_addr)
+        for key in [k for k in self._node_addr if k[0] == file_id]:
+            self.sit.mark_invalid(self._node_addr.pop(key))
+        self._note_meta_updates(len(block_map) + 1)
+
+    # --- free space ----------------------------------------------------------------------
+
+    @property
+    def usable_bytes(self) -> int:
+        return self.layout.usable_bytes
+
+    @property
+    def live_bytes(self) -> int:
+        """Live *data* bytes (node blocks are accounted to the reserve)."""
+        data_blocks = self.sit.total_valid_blocks - len(self._node_addr)
+        return data_blocks * self.layout.block_size
+
+    @property
+    def free_bytes(self) -> int:
+        return self.usable_bytes - self.live_bytes
+
+    # --- data path -----------------------------------------------------------------------
+
+    def pwrite(self, file_id: int, offset: int, data: bytes) -> int:
+        """Out-of-place block write; returns total latency in ns."""
+        self._require_formatted()
+        block_size = self.layout.block_size
+        if offset % block_size or len(data) % block_size:
+            raise AlignmentError(
+                f"pwrite (offset={offset}, len={len(data)}) must be "
+                f"{block_size}B-aligned"
+            )
+        if not data:
+            return 0
+        num_blocks = len(data) // block_size
+        first_block = offset // block_size
+        new_blocks = sum(
+            1
+            for i in range(num_blocks)
+            if self.nat.get_block(file_id, first_block + i) is None
+        )
+        if self.live_bytes + new_blocks * block_size > self.usable_bytes:
+            raise NoSpaceError(
+                f"write needs {new_blocks} new blocks but only "
+                f"{self.free_bytes // block_size} remain"
+            )
+        start_ns = self._clock.now
+        # Indexing CPU cost (block-granular mapping, the File-Cache tax).
+        self._clock.advance(self.config.cpu_ns_per_block * num_blocks)
+        addresses = self._allocate_with_cleaning(LogStream.HOT_DATA, num_blocks)
+        self._write_blocks(addresses, data)
+        for i, block_addr in enumerate(addresses):
+            file_block = first_block + i
+            old = self.nat.set_block(file_id, file_block, block_addr)
+            if old is not None:
+                self.sit.mark_invalid(old)
+            self.sit.mark_valid(block_addr, (file_id, file_block))
+            self.cleaner.note_section_written(
+                self.layout.section_of_block(block_addr)
+            )
+        self.nat.update_size(file_id, offset + len(data))
+        touched_groups = {
+            (first_block + i) // self.config.blocks_per_node
+            for i in range(num_blocks)
+        }
+        for group in touched_groups:
+            self._write_node_block(file_id, group)
+        self.stats.host_write_bytes += len(data)
+        self._note_meta_updates(num_blocks)
+        self._blocks_since_checkpoint += num_blocks
+        if self._blocks_since_checkpoint >= self.config.checkpoint_interval_blocks:
+            self.checkpoint()
+        self.cleaner.background_step()
+        return self._clock.now - start_ns
+
+    def pread(self, file_id: int, offset: int, length: int) -> bytes:
+        """Block-aligned read; unmapped blocks (holes) read as zeros."""
+        self._require_formatted()
+        block_size = self.layout.block_size
+        if offset % block_size or length % block_size:
+            raise AlignmentError(
+                f"pread (offset={offset}, len={length}) must be "
+                f"{block_size}B-aligned"
+            )
+        if length <= 0:
+            return b""
+        self._clock.advance(self.config.cpu_ns_per_block * (length // block_size))
+        # Node/NAT lookup touches the metadata device (block-granular
+        # indexing is not free — §3.1's "additional mapping overhead").
+        self.meta_device.read(0, self.meta_device.block_size)
+        chunks: List[bytes] = []
+        for run_addr, run_len, is_hole in self._runs(file_id, offset, length):
+            if is_hole:
+                chunks.append(b"\x00" * run_len)
+            else:
+                device_offset = self.layout.device_offset(run_addr)
+                chunks.append(self.data_device.read(device_offset, run_len).data)
+        self.stats.host_read_bytes += length
+        return b"".join(chunks)
+
+    # --- internals --------------------------------------------------------------------------
+
+    def _runs(self, file_id: int, offset: int, length: int):
+        """Yield (block_addr, run_bytes, is_hole) coalescing contiguous blocks."""
+        block_size = self.layout.block_size
+        first = offset // block_size
+        count = length // block_size
+        run_start: Optional[int] = None
+        run_len = 0
+        prev_addr: Optional[int] = None
+        hole_len = 0
+        for i in range(count):
+            addr = self.nat.get_block(file_id, first + i)
+            if addr is None:
+                if run_start is not None:
+                    yield run_start, run_len * block_size, False
+                    run_start, run_len, prev_addr = None, 0, None
+                hole_len += 1
+                continue
+            if hole_len:
+                yield 0, hole_len * block_size, True
+                hole_len = 0
+            if run_start is not None and addr == prev_addr + 1:
+                run_len += 1
+            else:
+                if run_start is not None:
+                    yield run_start, run_len * block_size, False
+                run_start, run_len = addr, 1
+            prev_addr = addr
+        if hole_len:
+            yield 0, hole_len * block_size, True
+        if run_start is not None:
+            yield run_start, run_len * block_size, False
+
+    def _allocate_with_cleaning(self, stream: LogStream, count: int) -> List[int]:
+        try:
+            return self.logs.allocate_blocks(stream, count)
+        except NoSpaceError:
+            if not self.cleaner.clean_one_section():
+                raise
+            return self.logs.allocate_blocks(stream, count)
+
+    def _write_blocks(self, addresses: List[int], data: bytes) -> None:
+        """Write payload to allocated blocks, coalescing contiguous runs."""
+        block_size = self.layout.block_size
+        i = 0
+        while i < len(addresses):
+            j = i
+            while j + 1 < len(addresses) and addresses[j + 1] == addresses[j] + 1:
+                j += 1
+            run = addresses[i : j + 1]
+            device_offset = self.layout.device_offset(run[0])
+            payload = data[i * block_size : (j + 1) * block_size]
+            self.data_device.write(device_offset, payload)
+            self.stats.data_write_bytes += len(payload)
+            i = j + 1
+
+    def _write_node_block(self, file_id: int, group: int) -> None:
+        """Write (or rewrite) the node block indexing one group of data
+        blocks.  Node blocks live in the NODE log on the main area, so
+        they contribute to filesystem WA and participate in cleaning."""
+        key = (file_id, group)
+        old = self._node_addr.get(key)
+        if old is not None:
+            self.sit.mark_invalid(old)
+        addr = self._allocate_with_cleaning(LogStream.NODE, 1)[0]
+        payload = b"\x4e" * self.layout.block_size
+        self.data_device.write(self.layout.device_offset(addr), payload)
+        self.stats.data_write_bytes += self.layout.block_size
+        # Node ownership is encoded with a negative file id so the cleaner
+        # can tell node blocks from data blocks.
+        self.sit.mark_valid(addr, (-file_id, group))
+        self._node_addr[key] = addr
+        self.cleaner.note_section_written(self.layout.section_of_block(addr))
+
+    def _migrate_block(self, block_addr: int) -> None:
+        """Cleaner callback: relocate one valid block to the cold log."""
+        owner = self.sit.owner_of(block_addr)
+        if owner is None:
+            return
+        file_id, file_block = owner
+        if file_id < 0:
+            self._migrate_node_block(block_addr, -file_id, file_block)
+            return
+        device_offset = self.layout.device_offset(block_addr)
+        payload = self.data_device.read(device_offset, self.layout.block_size).data
+        new_addr = self.logs.allocate_blocks(LogStream.COLD_DATA, 1)[0]
+        new_offset = self.layout.device_offset(new_addr)
+        self.data_device.write(new_offset, payload)
+        self.stats.data_write_bytes += self.layout.block_size
+        self.sit.mark_invalid(block_addr)
+        self.nat.set_block(file_id, file_block, new_addr)
+        self.sit.mark_valid(new_addr, owner)
+        self._note_meta_updates(1)
+
+    def _migrate_node_block(self, block_addr: int, file_id: int, group: int) -> None:
+        """Relocate a node block during cleaning (SIT + node map update)."""
+        payload = self.data_device.read(
+            self.layout.device_offset(block_addr), self.layout.block_size
+        ).data
+        new_addr = self.logs.allocate_blocks(LogStream.NODE, 1)[0]
+        self.data_device.write(self.layout.device_offset(new_addr), payload)
+        self.stats.data_write_bytes += self.layout.block_size
+        self.sit.mark_invalid(block_addr)
+        self.sit.mark_valid(new_addr, (-file_id, group))
+        self._node_addr[(file_id, group)] = new_addr
+        self._note_meta_updates(1)
+
+    def _reset_section_zone(self, section: int) -> None:
+        """Cleaner callback: a fully-migrated section maps to a zone reset."""
+        self.data_device.reset_zone(section)
+
+    def _note_meta_updates(self, count: int) -> None:
+        """Batch NAT/SIT journal updates into metadata-device block writes."""
+        self._meta_pending_updates += count
+        block_size = self.meta_device.block_size
+        while self._meta_pending_updates >= self.config.meta_batch_blocks:
+            self._meta_pending_updates -= self.config.meta_batch_blocks
+            self._write_meta_block(b"\xA5" * block_size)
+
+    def _write_meta_block(self, payload: bytes) -> None:
+        block_size = self.meta_device.block_size
+        capacity_blocks = self.meta_device.capacity_bytes // block_size
+        # Journal area wraps within the metadata device after the superblock
+        # and checkpoint region (first 25% of the device).
+        journal_start = max(1, capacity_blocks // 4)
+        journal_blocks = capacity_blocks - journal_start
+        slot = journal_start + (self._meta_cursor_block % journal_blocks)
+        self._meta_cursor_block += 1
+        self.meta_device.write(slot * block_size, payload)
+        self.stats.meta_write_bytes += block_size
+
+    # --- checkpointing ------------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Serialize NAT/SIT/log state to the metadata checkpoint region."""
+        self._require_formatted()
+        state = {
+            "nat": self.nat.to_state(),
+            "sit": self.sit.to_state(),
+            "logs": self.logs.to_state(),
+            "nodes": {f"{fid}:{grp}": addr for (fid, grp), addr in self._node_addr.items()},
+        }
+        blob = pickle.dumps(state)
+        block_size = self.meta_device.block_size
+        header = len(blob).to_bytes(8, "little")
+        payload = header + blob
+        padded_len = -(-len(payload) // block_size) * block_size
+        payload = payload.ljust(padded_len, b"\x00")
+        checkpoint_offset = block_size  # right after the superblock
+        if checkpoint_offset + len(payload) > self.meta_device.capacity_bytes:
+            raise NoSpaceError("checkpoint does not fit in the metadata device")
+        self.meta_device.write(checkpoint_offset, payload)
+        self.stats.meta_write_bytes += len(payload)
+        self.stats.checkpoints += 1
+        self._blocks_since_checkpoint = 0
+
+    def _restore_checkpoint(self) -> None:
+        block_size = self.meta_device.block_size
+        header = self.meta_device.read(block_size, block_size).data
+        blob_len = int.from_bytes(header[:8], "little")
+        if blob_len == 0:
+            return  # freshly formatted, nothing checkpointed yet
+        total = 8 + blob_len
+        padded = -(-total // block_size) * block_size
+        raw = self.meta_device.read(block_size, padded).data
+        state = pickle.loads(raw[8 : 8 + blob_len])
+        self.nat = NodeAddressTable.from_state(state["nat"])
+        self.sit = SegmentInfoTable.from_state(
+            state["sit"], self.layout.num_sections, self.layout.blocks_per_section
+        )
+        self.logs = LogManager.from_state(state["logs"], self.layout)
+        self._node_addr = {
+            (int(key.split(":")[0]), int(key.split(":")[1])): addr
+            for key, addr in state.get("nodes", {}).items()
+        }
+        self.cleaner.sit = self.sit
+        self.cleaner.logs = self.logs
+
+    def _require_formatted(self) -> None:
+        if not self._mkfs_done:
+            raise NoSpaceError("filesystem not formatted; call mkfs() first")
+
+    def __repr__(self) -> str:
+        return (
+            f"F2fs(sections={self.layout.num_sections}, "
+            f"usable={self.usable_bytes}, live={self.live_bytes}, "
+            f"waf={self.stats.write_amplification:.2f})"
+        )

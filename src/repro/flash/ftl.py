@@ -1,0 +1,214 @@
+"""Page-mapped Flash Translation Layer with greedy garbage collection.
+
+This is the invisible machinery the paper blames for the block SSD's
+write amplification and tail latency: the host sees a flat LBA space, the
+FTL logs every page write into the current active block, and when the
+free-block pool runs low it must *move valid pages* out of a victim block
+before erasing it.  Those moves are the device-level WA; the erase+move
+work stalls subsequent host commands, which is the device-GC tail latency
+the paper measures in Figure 5(d).
+
+The FTL is deliberately independent of timing: it reports *what work
+happened* (pages programmed, pages moved, blocks erased) and
+:class:`~repro.flash.BlockSsd` converts that into simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import DeviceFullError
+from repro.flash.nand import NandGeometry
+
+
+@dataclass(frozen=True)
+class FtlConfig:
+    """FTL tuning knobs.
+
+    ``op_ratio`` is the fraction of raw media reserved as over-
+    provisioning (invisible to the host).  ``gc_low_watermark`` /
+    ``gc_high_watermark`` bound the free-block pool: GC starts when free
+    blocks drop below the low mark and runs until the high mark is
+    restored.
+    """
+
+    op_ratio: float = 0.20
+    gc_low_watermark: int = 4
+    gc_high_watermark: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.op_ratio < 1.0:
+            raise ValueError(f"op_ratio must be in [0, 1), got {self.op_ratio}")
+        if self.gc_low_watermark < 1:
+            raise ValueError("gc_low_watermark must be >= 1")
+        if self.gc_high_watermark < self.gc_low_watermark:
+            raise ValueError("gc_high_watermark must be >= gc_low_watermark")
+
+
+@dataclass
+class FtlWriteReport:
+    """Work performed by the FTL to satisfy one host write."""
+
+    host_pages: int = 0
+    moved_pages: int = 0
+    erased_blocks: int = 0
+    gc_runs: int = 0
+
+    @property
+    def media_pages(self) -> int:
+        """Total pages physically programmed (host + GC relocation)."""
+        return self.host_pages + self.moved_pages
+
+
+@dataclass
+class _BlockInfo:
+    """Per-erase-block bookkeeping."""
+
+    index: int
+    # lpns[i] is the logical page stored in physical page i, or None if
+    # that slot is free/invalid.
+    lpns: List[Optional[int]] = field(default_factory=list)
+    valid_count: int = 0
+    next_page: int = 0
+
+    def is_full(self, pages_per_block: int) -> bool:
+        return self.next_page >= pages_per_block
+
+
+class PageMappedFtl:
+    """Page-granularity log-structured FTL with a greedy GC victim policy."""
+
+    def __init__(self, geometry: NandGeometry, config: FtlConfig) -> None:
+        self.geometry = geometry
+        self.config = config
+        usable_pages = int(geometry.total_pages * (1.0 - config.op_ratio))
+        # Keep at least gc_high_watermark + 1 blocks' worth of slack so the
+        # device can always make forward progress.
+        min_spare_pages = (config.gc_high_watermark + 1) * geometry.pages_per_block
+        self.logical_pages = max(
+            geometry.pages_per_block, min(usable_pages, geometry.total_pages - min_spare_pages)
+        )
+        # logical page -> (block index, page index)
+        self._l2p: Dict[int, tuple] = {}
+        self._blocks = [_BlockInfo(i, [None] * geometry.pages_per_block) for i in range(geometry.num_blocks)]
+        self._free: List[int] = list(range(geometry.num_blocks))
+        self._active: _BlockInfo = self._blocks[self._free.pop()]
+        self._gc_active: Set[int] = {self._active.index}
+        self.total_host_pages = 0
+        self.total_moved_pages = 0
+        self.total_erased_blocks = 0
+
+    @property
+    def logical_capacity_bytes(self) -> int:
+        """Host-visible capacity in bytes."""
+        return self.logical_pages * self.geometry.page_size
+
+    @property
+    def free_block_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def write_amplification(self) -> float:
+        if self.total_host_pages == 0:
+            return 1.0
+        return (self.total_host_pages + self.total_moved_pages) / self.total_host_pages
+
+    def physical_of(self, lpn: int) -> Optional[tuple]:
+        """Current physical (block, page) of a logical page, if mapped."""
+        return self._l2p.get(lpn)
+
+    def write_pages(self, lpns: List[int]) -> FtlWriteReport:
+        """Log-write the given logical pages; runs GC if the pool is low.
+
+        Returns the :class:`FtlWriteReport` describing all media work,
+        including relocation performed by any GC this write triggered.
+        """
+        report = FtlWriteReport()
+        for lpn in lpns:
+            if not 0 <= lpn < self.logical_pages:
+                raise DeviceFullError(
+                    f"lpn {lpn} outside logical space of {self.logical_pages} pages"
+                )
+            self._maybe_gc(report)
+            self._invalidate(lpn)
+            self._program(lpn)
+            report.host_pages += 1
+        self.total_host_pages += report.host_pages
+        return report
+
+    def discard_pages(self, lpns: List[int]) -> None:
+        """TRIM: drop mappings so GC does not relocate dead data."""
+        for lpn in lpns:
+            self._invalidate(lpn)
+            self._l2p.pop(lpn, None)
+
+    # --- internals -----------------------------------------------------------
+
+    def _invalidate(self, lpn: int) -> None:
+        loc = self._l2p.get(lpn)
+        if loc is None:
+            return
+        block_idx, page_idx = loc
+        block = self._blocks[block_idx]
+        if block.lpns[page_idx] == lpn:
+            block.lpns[page_idx] = None
+            block.valid_count -= 1
+
+    def _program(self, lpn: int) -> None:
+        if self._active.is_full(self.geometry.pages_per_block):
+            self._open_new_active()
+        block = self._active
+        page_idx = block.next_page
+        block.lpns[page_idx] = lpn
+        block.valid_count += 1
+        block.next_page += 1
+        self._l2p[lpn] = (block.index, page_idx)
+
+    def _open_new_active(self) -> None:
+        if not self._free:
+            raise DeviceFullError("FTL has no free blocks and GC could not help")
+        self._gc_active.discard(self._active.index)
+        self._active = self._blocks[self._free.pop()]
+        self._gc_active.add(self._active.index)
+
+    def _maybe_gc(self, report: FtlWriteReport) -> None:
+        if len(self._free) >= self.config.gc_low_watermark:
+            return
+        report.gc_runs += 1
+        while len(self._free) < self.config.gc_high_watermark:
+            victim = self._pick_victim()
+            if victim is None:
+                break
+            self._collect(victim, report)
+
+    def _pick_victim(self) -> Optional[_BlockInfo]:
+        """Greedy: full block with the fewest valid pages."""
+        best: Optional[_BlockInfo] = None
+        for block in self._blocks:
+            if block.index in self._gc_active:
+                continue
+            if not block.is_full(self.geometry.pages_per_block):
+                continue
+            if best is None or block.valid_count < best.valid_count:
+                best = block
+                if best.valid_count == 0:
+                    break
+        return best
+
+    def _collect(self, victim: _BlockInfo, report: FtlWriteReport) -> None:
+        """Relocate the victim's valid pages, erase it, return it to the pool."""
+        for page_idx, lpn in enumerate(victim.lpns):
+            if lpn is None:
+                continue
+            victim.lpns[page_idx] = None
+            victim.valid_count -= 1
+            self._program(lpn)
+            report.moved_pages += 1
+            self.total_moved_pages += 1
+        victim.next_page = 0
+        victim.valid_count = 0
+        victim.lpns = [None] * self.geometry.pages_per_block
+        self._free.append(victim.index)
+        report.erased_blocks += 1
+        self.total_erased_blocks += 1

@@ -1,0 +1,111 @@
+"""Mechanical hard-drive model (the paper's Seagate ST6000NM0115).
+
+The end-to-end RocksDB experiment (§4.2) keeps the database on an HDD so
+that secondary-cache hit ratio dominates throughput — an HDD miss costs
+milliseconds while a flash-cache hit costs microseconds.  The model
+captures exactly what matters for that experiment: seek distance,
+rotational latency, sequential-access detection, and transfer rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.device import BlockDevice, DeviceStats, IoResult, check_alignment
+from repro.sim.clock import ResourceTimeline, SimClock
+from repro.sim.rng import make_rng
+from repro.units import GIB, KIB, msec
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class HddConfig:
+    """7200 RPM enterprise-drive parameters."""
+
+    capacity_bytes: int = 4 * GIB
+    block_size: int = 4 * KIB
+    avg_seek_ns: int = msec(4.2)
+    full_stroke_seek_ns: int = msec(9.0)
+    rotation_ns: int = msec(8.33)  # 7200 RPM
+    transfer_bytes_per_ns: float = 0.2  # ~200 MB/s sustained
+    sequential_window: int = 256 * KIB
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.capacity_bytes % self.block_size:
+            raise ValueError("capacity must be a positive multiple of block_size")
+
+
+class HddDevice(BlockDevice):
+    """Seek + rotation + transfer latency model over a RAM data store."""
+
+    def __init__(self, clock: SimClock, config: HddConfig = HddConfig(), seed: int = 7) -> None:
+        self._clock = clock
+        self.config = config
+        self._stats = DeviceStats()
+        self._blocks: Dict[int, bytes] = {}
+        self._timeline = ResourceTimeline("hdd")
+        self._head_pos = 0
+        self._rng = make_rng(seed, "hdd.rotation")
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.config.capacity_bytes
+
+    @property
+    def block_size(self) -> int:
+        return self.config.block_size
+
+    @property
+    def stats(self) -> DeviceStats:
+        return self._stats
+
+    def read(self, offset: int, length: int) -> IoResult:
+        check_alignment(offset, length, self.block_size, self.capacity_bytes)
+        first = offset // self.block_size
+        count = length // self.block_size
+        chunks = [
+            self._blocks.get(i, b"\x00" * self.block_size)
+            for i in range(first, first + count)
+        ]
+        latency = self._service(offset, length)
+        self._stats.host_read_bytes += length
+        self._stats.media_read_bytes += length
+        self._stats.read_latency.record(latency)
+        return IoResult(latency_ns=latency, data=b"".join(chunks))
+
+    def write(self, offset: int, data: bytes) -> IoResult:
+        check_alignment(offset, len(data), self.block_size, self.capacity_bytes)
+        first = offset // self.block_size
+        for i in range(len(data) // self.block_size):
+            self._blocks[first + i] = bytes(
+                data[i * self.block_size : (i + 1) * self.block_size]
+            )
+        latency = self._service(offset, len(data))
+        self._stats.host_write_bytes += len(data)
+        self._stats.media_write_bytes += len(data)
+        self._stats.write_latency.record(latency)
+        return IoResult(latency_ns=latency)
+
+    # --- internals ---------------------------------------------------------------
+
+    def _service(self, offset: int, length: int) -> int:
+        """Mechanical positioning plus transfer, serialized on the actuator."""
+        cfg = self.config
+        distance = abs(offset - self._head_pos)
+        if distance <= cfg.sequential_window:
+            positioning = 0
+        else:
+            # Seek time grows with the square root of distance (classic model),
+            # plus a uniformly random rotational delay.
+            frac = min(1.0, distance / cfg.capacity_bytes)
+            seek = cfg.avg_seek_ns + int(
+                (cfg.full_stroke_seek_ns - cfg.avg_seek_ns) * (frac ** 0.5)
+            )
+            rotation = int(self._rng.random() * cfg.rotation_ns)
+            positioning = seek + rotation
+        transfer = int(length / cfg.transfer_bytes_per_ns)
+        self._head_pos = offset + length
+        start = self._clock.now
+        done = self._timeline.acquire(start, positioning + transfer)
+        self._clock.advance_to(done)
+        return done - start

@@ -1,0 +1,108 @@
+"""NAND flash geometry and timing model shared by both SSD types.
+
+The paper's two devices (WD ZN540 ZNS and WD SN540 block SSD) are
+"hardware compatible": same NAND, different interface.  We model that by
+giving :class:`~repro.flash.BlockSsd` and :class:`~repro.flash.ZnsSsd`
+the *same* :class:`NandGeometry`/:class:`NandTiming` and letting only the
+translation layer differ — which is exactly the comparison the paper
+makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import KIB, usec
+
+
+@dataclass(frozen=True)
+class NandGeometry:
+    """Physical layout of the flash array.
+
+    ``parallelism`` collapses channels × dies × planes into a single
+    width: a batch of N page programs takes ``ceil(N / parallelism)``
+    serial program steps.
+    """
+
+    page_size: int = 4 * KIB
+    pages_per_block: int = 64
+    num_blocks: int = 1024
+    parallelism: int = 8
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {self.page_size}")
+        if self.pages_per_block <= 0:
+            raise ValueError(
+                f"pages_per_block must be positive, got {self.pages_per_block}"
+            )
+        if self.num_blocks <= 0:
+            raise ValueError(f"num_blocks must be positive, got {self.num_blocks}")
+        if self.parallelism <= 0:
+            raise ValueError(f"parallelism must be positive, got {self.parallelism}")
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per erase block."""
+        return self.page_size * self.pages_per_block
+
+    @property
+    def total_bytes(self) -> int:
+        """Raw media capacity in bytes."""
+        return self.block_size * self.num_blocks
+
+    @property
+    def total_pages(self) -> int:
+        return self.pages_per_block * self.num_blocks
+
+
+@dataclass(frozen=True)
+class NandTiming:
+    """Latency parameters for the flash array.
+
+    Defaults approximate mainstream TLC NAND: ~60 µs page read, ~600 µs
+    page program, ~3 ms block erase, and a ~1.2 GB/s host transfer bus.
+    """
+
+    page_read_ns: int = usec(60)
+    page_program_ns: int = usec(600)
+    block_erase_ns: int = usec(3000)
+    bus_ns_per_byte: float = 0.8  # ~1.2 GB/s
+    command_overhead_ns: int = usec(8)
+
+    def __post_init__(self) -> None:
+        for field_name in ("page_read_ns", "page_program_ns", "block_erase_ns"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+        if self.bus_ns_per_byte < 0:
+            raise ValueError("bus_ns_per_byte must be non-negative")
+
+    def transfer_ns(self, num_bytes: int) -> int:
+        """Host-interface transfer time for ``num_bytes``."""
+        return int(num_bytes * self.bus_ns_per_byte)
+
+    def read_ns(self, num_pages: int, num_bytes: int, parallelism: int) -> int:
+        """Service time for reading ``num_pages`` pages (``num_bytes`` payload)."""
+        if num_pages <= 0:
+            return self.command_overhead_ns
+        serial_steps = -(-num_pages // parallelism)
+        return (
+            self.command_overhead_ns
+            + serial_steps * self.page_read_ns
+            + self.transfer_ns(num_bytes)
+        )
+
+    def program_ns(self, num_pages: int, num_bytes: int, parallelism: int) -> int:
+        """Service time for programming ``num_pages`` pages."""
+        if num_pages <= 0:
+            return self.command_overhead_ns
+        serial_steps = -(-num_pages // parallelism)
+        return (
+            self.command_overhead_ns
+            + serial_steps * self.page_program_ns
+            + self.transfer_ns(num_bytes)
+        )
+
+    def erase_ns(self, num_blocks: int = 1) -> int:
+        """Service time for erasing ``num_blocks`` blocks serially."""
+        return self.command_overhead_ns + num_blocks * self.block_erase_ns

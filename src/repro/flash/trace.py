@@ -1,0 +1,116 @@
+"""I/O tracing: record every command a device services.
+
+Traces make device behaviour inspectable in tests and debuggable in
+benchmarks: the access pattern a cache scheme produces (sequential
+region writes vs scattered block updates) is exactly what the paper's
+analysis hinges on.
+
+``TracingBlockDevice`` wraps any :class:`~repro.flash.device.BlockDevice`;
+the ZNS device accepts a tracer directly (``zns.tracer = IoTrace()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.flash.device import BlockDevice, DeviceStats, IoResult
+
+
+@dataclass(frozen=True)
+class IoEvent:
+    """One traced device command."""
+
+    timestamp_ns: int
+    op: str  # "read" | "write" | "append" | "reset" | "discard"
+    offset: int
+    length: int
+    latency_ns: int
+
+
+@dataclass
+class IoTrace:
+    """Append-only command trace with summary helpers."""
+
+    events: List[IoEvent] = field(default_factory=list)
+
+    def record(self, event: IoEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_op(self, op: str) -> List[IoEvent]:
+        return [e for e in self.events if e.op == op]
+
+    def bytes_by_op(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.op] = out.get(event.op, 0) + event.length
+        return out
+
+    def sequential_fraction(self, op: str = "write") -> float:
+        """Fraction of ``op`` events contiguous with their predecessor —
+        the sequentiality a log-structured cache is supposed to produce."""
+        events = self.by_op(op)
+        if len(events) < 2:
+            return 1.0
+        sequential = sum(
+            1
+            for prev, cur in zip(events, events[1:])
+            if cur.offset == prev.offset + prev.length
+        )
+        return sequential / (len(events) - 1)
+
+    def to_csv(self) -> str:
+        lines = ["timestamp_ns,op,offset,length,latency_ns"]
+        for e in self.events:
+            lines.append(
+                f"{e.timestamp_ns},{e.op},{e.offset},{e.length},{e.latency_ns}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class TracingBlockDevice(BlockDevice):
+    """Transparent tracing wrapper around any block device."""
+
+    def __init__(self, inner: BlockDevice, trace: Optional[IoTrace] = None) -> None:
+        self.inner = inner
+        self.trace = trace if trace is not None else IoTrace()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.inner.capacity_bytes
+
+    @property
+    def block_size(self) -> int:
+        return self.inner.block_size
+
+    @property
+    def stats(self) -> DeviceStats:
+        return self.inner.stats
+
+    def _now(self) -> int:
+        clock = getattr(self.inner, "_clock", None)
+        return clock.now if clock is not None else 0
+
+    def read(self, offset: int, length: int) -> IoResult:
+        result = self.inner.read(offset, length)
+        self.trace.record(
+            IoEvent(self._now(), "read", offset, length, result.latency_ns)
+        )
+        return result
+
+    def write(self, offset: int, data: bytes) -> IoResult:
+        result = self.inner.write(offset, data)
+        self.trace.record(
+            IoEvent(self._now(), "write", offset, len(data), result.latency_ns)
+        )
+        return result
+
+    def __getattr__(self, name: str):
+        # Delegate extras (e.g. BlockSsd.discard) to the wrapped device.
+        return getattr(self.inner, name)

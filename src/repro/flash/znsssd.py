@@ -1,0 +1,283 @@
+"""Zoned Namespace SSD simulator.
+
+The ZNS device shares the NAND geometry/timing of the block SSD but
+replaces the FTL with the zone interface: sequential writes at each
+zone's write pointer, zone append, reset, finish, and explicit
+open/close with max-open / max-active limits.  Because the host performs
+all cleaning, the device never relocates data — ``media_write_bytes``
+always equals ``host_write_bytes`` and device WA is exactly 1.0, the
+property the paper's Zone-Cache exploits (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import AlignmentError, OutOfRangeError, ZoneResourceError
+from repro.flash.device import DeviceStats, IoResult
+from repro.flash.nand import NandGeometry, NandTiming
+from repro.flash.zone import Zone, ZoneState
+from repro.sim.clock import ResourceTimeline, SimClock
+
+
+@dataclass(frozen=True)
+class ZnsConfig:
+    """ZNS device shape.
+
+    ``zone_size`` must be a multiple of the NAND block size; the WD ZN540
+    in the paper has 904 zones of 1077 MiB — scaled geometries preserve
+    the zone:region:cache ratios instead of the absolute sizes.
+    """
+
+    geometry: NandGeometry = field(default_factory=NandGeometry)
+    timing: NandTiming = field(default_factory=NandTiming)
+    zone_size: int = 0  # 0 → derive: 16 NAND blocks per zone
+    max_open_zones: int = 14
+    max_active_zones: int = 14
+
+    def resolved_zone_size(self) -> int:
+        if self.zone_size:
+            return self.zone_size
+        return 16 * self.geometry.block_size
+
+
+class ZnsSsd:
+    """ZNS SSD exposing the zone command set over simulated NAND."""
+
+    def __init__(self, clock: SimClock, config: ZnsConfig = ZnsConfig()) -> None:
+        self._clock = clock
+        self.config = config
+        zone_size = config.resolved_zone_size()
+        if zone_size % config.geometry.block_size != 0:
+            raise ValueError(
+                f"zone_size {zone_size} is not a multiple of the NAND block "
+                f"size {config.geometry.block_size}"
+            )
+        if config.max_open_zones < 1 or config.max_active_zones < config.max_open_zones:
+            raise ValueError("need max_active_zones >= max_open_zones >= 1")
+        self.zone_size = zone_size
+        self.num_zones = config.geometry.total_bytes // zone_size
+        if self.num_zones < 1:
+            raise ValueError("geometry too small for even one zone")
+        self.zones: List[Zone] = [
+            Zone(index=i, start=i * zone_size, size=zone_size)
+            for i in range(self.num_zones)
+        ]
+        self._timeline = ResourceTimeline("znsssd")
+        self._stats = DeviceStats()
+        self._pages: Dict[int, bytes] = {}
+
+    # --- capacity / bookkeeping ---------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Full media capacity: ZNS exports everything (no OP), per §2.2."""
+        return self.num_zones * self.zone_size
+
+    @property
+    def block_size(self) -> int:
+        """Write granularity (one NAND page)."""
+        return self.config.geometry.page_size
+
+    @property
+    def stats(self) -> DeviceStats:
+        return self._stats
+
+    @property
+    def open_zone_count(self) -> int:
+        return sum(1 for z in self.zones if z.is_open)
+
+    @property
+    def active_zone_count(self) -> int:
+        return sum(1 for z in self.zones if z.is_active)
+
+    def zone_of(self, offset: int) -> Zone:
+        """Zone containing byte ``offset``."""
+        if not 0 <= offset < self.capacity_bytes:
+            raise OutOfRangeError(f"offset {offset} outside device of {self.capacity_bytes}B")
+        return self.zones[offset // self.zone_size]
+
+    def report_zones(self) -> List[Zone]:
+        """The zone list (live objects), like a ZNS Zone Management Receive."""
+        return self.zones
+
+    # --- I/O -----------------------------------------------------------------------
+
+    def read(self, offset: int, length: int, background: bool = False) -> IoResult:
+        """Random read; unwritten space reads back as zeros.
+
+        ``background=True`` models an internal housekeeping thread (e.g.
+        the middle layer's GC): the transfer occupies the device timeline
+        — later foreground commands queue behind it — but the caller is
+        not blocked and the shared clock does not advance.
+        """
+        self._check_aligned(offset, length)
+        if offset + length > self.capacity_bytes:
+            raise OutOfRangeError(
+                f"read (offset={offset}, length={length}) exceeds capacity"
+            )
+        page_size = self.block_size
+        first = offset // page_size
+        count = length // page_size
+        chunks = [
+            self._pages.get(ppn, b"\x00" * page_size)
+            for ppn in range(first, first + count)
+        ]
+        service = self.config.timing.read_ns(
+            count, length, self.config.geometry.parallelism
+        )
+        if background:
+            self._timeline.reserve_background(self._clock.now, service)
+            latency = 0
+        else:
+            latency = self._complete(service)
+            self._stats.read_latency.record(latency)
+        self._stats.host_read_bytes += length
+        self._stats.media_read_bytes += length
+        return IoResult(latency_ns=latency, data=b"".join(chunks))
+
+    def write(self, offset: int, data: bytes, background: bool = False) -> IoResult:
+        """Sequential write: must land exactly on the zone's write pointer.
+
+        ``background=True`` behaves as for :meth:`read`: the program time
+        is reserved on the device timeline without blocking the caller.
+        """
+        self._check_aligned(offset, len(data))
+        zone = self.zone_of(offset)
+        zone.check_writable(offset, len(data))
+        self._ensure_open_budget(zone)
+        self._store(offset, data)
+        zone.advance(len(data))
+        return self._account_write(len(data), background=background)
+
+    def append(self, zone_index: int, data: bytes) -> "AppendResult":
+        """Zone Append: device picks the offset (the current write pointer)."""
+        self._check_zone_index(zone_index)
+        self._check_aligned(0, len(data))
+        zone = self.zones[zone_index]
+        offset = zone.write_pointer
+        zone.check_writable(offset, len(data))
+        self._ensure_open_budget(zone)
+        self._store(offset, data)
+        zone.advance(len(data))
+        result = self._account_write(len(data))
+        return AppendResult(latency_ns=result.latency_ns, offset=offset)
+
+    def reset_zone(self, zone_index: int) -> IoResult:
+        """Reset: discard zone contents, write pointer back to start."""
+        self._check_zone_index(zone_index)
+        zone = self.zones[zone_index]
+        had_data = zone.written_bytes > 0
+        zone.reset()
+        page_size = self.block_size
+        first = zone.start // page_size
+        for ppn in range(first, first + self.zone_size // page_size):
+            self._pages.pop(ppn, None)
+        # The reset command itself is fast; the media erase proceeds in the
+        # background and *later* commands queue behind it.
+        latency = self._complete(self.config.timing.command_overhead_ns)
+        if had_data:
+            blocks = self.zone_size // self.config.geometry.block_size
+            self._timeline.reserve_background(
+                self._clock.now, self.config.timing.erase_ns(blocks)
+            )
+            self._stats.erase_count += blocks
+        return IoResult(latency_ns=latency)
+
+    def finish_zone(self, zone_index: int) -> IoResult:
+        """Finish: write pointer jumps to the zone end; state becomes FULL."""
+        self._check_zone_index(zone_index)
+        self.zones[zone_index].finish()
+        latency = self._complete(self.config.timing.command_overhead_ns)
+        return IoResult(latency_ns=latency)
+
+    def open_zone(self, zone_index: int) -> IoResult:
+        """Explicitly open a zone (counts against max-open)."""
+        self._check_zone_index(zone_index)
+        zone = self.zones[zone_index]
+        if not zone.is_open:
+            self._ensure_open_budget(zone)
+        zone.open_explicit()
+        latency = self._complete(self.config.timing.command_overhead_ns)
+        return IoResult(latency_ns=latency)
+
+    def close_zone(self, zone_index: int) -> IoResult:
+        """Close an open zone (frees an open slot, keeps an active slot)."""
+        self._check_zone_index(zone_index)
+        self.zones[zone_index].close()
+        latency = self._complete(self.config.timing.command_overhead_ns)
+        return IoResult(latency_ns=latency)
+
+    # --- internals -------------------------------------------------------------------
+
+    def _store(self, offset: int, data: bytes) -> None:
+        page_size = self.block_size
+        first = offset // page_size
+        for i in range(len(data) // page_size):
+            self._pages[first + i] = bytes(data[i * page_size : (i + 1) * page_size])
+
+    def _account_write(self, length: int, background: bool = False) -> IoResult:
+        count = length // self.block_size
+        service = self.config.timing.program_ns(
+            count, length, self.config.geometry.parallelism
+        )
+        if background:
+            self._timeline.reserve_background(self._clock.now, service)
+            latency = 0
+        else:
+            latency = self._complete(service)
+            self._stats.write_latency.record(latency)
+        self._stats.host_write_bytes += length
+        self._stats.media_write_bytes += length  # no device GC: WA == 1.0
+        return IoResult(latency_ns=latency)
+
+    def _ensure_open_budget(self, zone: Zone) -> None:
+        """Enforce max-open/max-active before a zone becomes (implicitly) open."""
+        if zone.is_open:
+            return
+        if self.open_zone_count >= self.config.max_open_zones:
+            raise ZoneResourceError(
+                f"opening zone {zone.index} would exceed max_open_zones="
+                f"{self.config.max_open_zones}"
+            )
+        if not zone.is_active and self.active_zone_count >= self.config.max_active_zones:
+            raise ZoneResourceError(
+                f"activating zone {zone.index} would exceed max_active_zones="
+                f"{self.config.max_active_zones}"
+            )
+
+    def _check_zone_index(self, zone_index: int) -> None:
+        if not 0 <= zone_index < self.num_zones:
+            raise OutOfRangeError(
+                f"zone index {zone_index} outside [0, {self.num_zones})"
+            )
+
+    def _check_aligned(self, offset: int, length: int) -> None:
+        if offset % self.block_size or length % self.block_size:
+            raise AlignmentError(
+                f"ZNS I/O (offset={offset}, length={length}) must be aligned to "
+                f"{self.block_size}B pages"
+            )
+        if length <= 0:
+            raise AlignmentError(f"I/O length must be positive, got {length}")
+
+    def _complete(self, service_ns: int) -> int:
+        """Synchronous completion: advances the shared clock (see BlockSsd)."""
+        start = self._clock.now
+        done = self._timeline.acquire(start, service_ns)
+        self._clock.advance_to(done)
+        return done - start
+
+    def __repr__(self) -> str:
+        return (
+            f"ZnsSsd(zones={self.num_zones}, zone_size={self.zone_size}, "
+            f"open={self.open_zone_count}/{self.config.max_open_zones})"
+        )
+
+
+@dataclass
+class AppendResult(IoResult):
+    """Result of a Zone Append: includes the device-chosen offset."""
+
+    offset: int = -1

@@ -1,0 +1,128 @@
+"""Zone descriptor and state machine for the ZNS SSD.
+
+Implements the NVMe ZNS zone states and the transitions driven by
+write/append/reset/finish/open/close, as described in the ZNS spec and
+the paper's background section (§2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import WritePointerError, ZoneStateError
+
+
+class ZoneState(enum.Enum):
+    """NVMe ZNS zone states (the simulator never uses READ_ONLY/OFFLINE,
+    but they are modelled so failure-injection tests can force them)."""
+
+    EMPTY = "empty"
+    IMPLICIT_OPEN = "implicit_open"
+    EXPLICIT_OPEN = "explicit_open"
+    CLOSED = "closed"
+    FULL = "full"
+    READ_ONLY = "read_only"
+    OFFLINE = "offline"
+
+
+OPEN_STATES = (ZoneState.IMPLICIT_OPEN, ZoneState.EXPLICIT_OPEN)
+ACTIVE_STATES = OPEN_STATES + (ZoneState.CLOSED,)
+
+
+@dataclass
+class Zone:
+    """One zone: fixed location, sequential write pointer, state."""
+
+    index: int
+    start: int
+    size: int
+    state: ZoneState = ZoneState.EMPTY
+    write_pointer: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"zone size must be positive, got {self.size}")
+        self.write_pointer = self.start
+
+    @property
+    def end(self) -> int:
+        """First byte past the zone."""
+        return self.start + self.size
+
+    @property
+    def written_bytes(self) -> int:
+        return self.write_pointer - self.start
+
+    @property
+    def remaining_bytes(self) -> int:
+        return self.end - self.write_pointer
+
+    @property
+    def is_open(self) -> bool:
+        return self.state in OPEN_STATES
+
+    @property
+    def is_active(self) -> bool:
+        """Open or closed — i.e. holds device write resources."""
+        return self.state in ACTIVE_STATES
+
+    def contains(self, offset: int, length: int = 1) -> bool:
+        return self.start <= offset and offset + length <= self.end
+
+    # --- transitions ------------------------------------------------------------
+
+    def check_writable(self, offset: int, length: int) -> None:
+        """Validate a write of ``length`` bytes at ``offset``."""
+        if self.state in (ZoneState.FULL, ZoneState.READ_ONLY, ZoneState.OFFLINE):
+            raise ZoneStateError(
+                f"zone {self.index} is {self.state.value}; writes not allowed"
+            )
+        if offset != self.write_pointer:
+            raise WritePointerError(
+                f"zone {self.index}: write at {offset} but write pointer is "
+                f"{self.write_pointer}"
+            )
+        if offset + length > self.end:
+            raise ZoneStateError(
+                f"zone {self.index}: write of {length}B at {offset} crosses the "
+                f"zone boundary at {self.end}"
+            )
+
+    def advance(self, length: int) -> None:
+        """Move the write pointer after a successful write/append."""
+        self.write_pointer += length
+        if self.write_pointer >= self.end:
+            self.state = ZoneState.FULL
+        elif self.state == ZoneState.EMPTY or self.state == ZoneState.CLOSED:
+            self.state = ZoneState.IMPLICIT_OPEN
+
+    def reset(self) -> None:
+        if self.state == ZoneState.OFFLINE:
+            raise ZoneStateError(f"zone {self.index} is offline; cannot reset")
+        self.write_pointer = self.start
+        self.state = ZoneState.EMPTY
+
+    def finish(self) -> None:
+        if self.state in (ZoneState.READ_ONLY, ZoneState.OFFLINE):
+            raise ZoneStateError(f"zone {self.index} is {self.state.value}")
+        self.write_pointer = self.end
+        self.state = ZoneState.FULL
+
+    def open_explicit(self) -> None:
+        if self.state == ZoneState.FULL:
+            raise ZoneStateError(f"zone {self.index} is full; cannot open")
+        if self.state in (ZoneState.READ_ONLY, ZoneState.OFFLINE):
+            raise ZoneStateError(f"zone {self.index} is {self.state.value}")
+        self.state = ZoneState.EXPLICIT_OPEN
+
+    def close(self) -> None:
+        if self.state not in OPEN_STATES:
+            raise ZoneStateError(
+                f"zone {self.index} is {self.state.value}; only open zones close"
+            )
+        # A closed zone with nothing written reverts to empty per spec.
+        if self.write_pointer == self.start:
+            self.state = ZoneState.EMPTY
+        else:
+            self.state = ZoneState.CLOSED

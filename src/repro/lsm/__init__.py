@@ -1,0 +1,50 @@
+"""LSM-tree key-value store (RocksDB stand-in for the §4.2 experiments).
+
+A leveled LSM with the pieces the end-to-end evaluation needs:
+
+* write path — WAL + memtable, flush to L0 SSTables,
+* SSTables — 4 KiB data blocks, block index, per-table bloom filter,
+* leveled compaction with a background-style compactor,
+* a DRAM block cache with a **secondary cache** hook: evicted blocks
+  spill to a :class:`~repro.cache.HybridCache` (any of the four schemes)
+  and misses consult it before touching the HDD — exactly how the paper
+  couples CacheLib to RocksDB [8, 10],
+* the database lives on the simulated HDD, so a cache miss costs
+  milliseconds and the secondary cache's hit ratio dominates throughput.
+"""
+
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.block import BlockHandle, DataBlock, DataBlockBuilder
+from repro.lsm.table_space import TableSpace
+from repro.lsm.sstable import SSTable, SSTableBuilder
+from repro.lsm.memtable import Memtable
+from repro.lsm.wal import WalFullError, WriteAheadLog
+from repro.lsm.manifest import Manifest
+from repro.lsm.iterator import merge_sources, scan_range
+from repro.lsm.version import Version
+from repro.lsm.block_cache import BlockCache, SecondaryCache
+from repro.lsm.secondary import CacheLibSecondaryCache
+from repro.lsm.db import Db, DbConfig, DbStats
+
+__all__ = [
+    "BloomFilter",
+    "BlockHandle",
+    "DataBlock",
+    "DataBlockBuilder",
+    "TableSpace",
+    "SSTable",
+    "SSTableBuilder",
+    "Memtable",
+    "WalFullError",
+    "WriteAheadLog",
+    "Manifest",
+    "merge_sources",
+    "scan_range",
+    "Version",
+    "BlockCache",
+    "SecondaryCache",
+    "CacheLibSecondaryCache",
+    "Db",
+    "DbConfig",
+    "DbStats",
+]

@@ -1,0 +1,67 @@
+"""Bloom filter for SSTables (RocksDB's full-filter equivalent).
+
+Without filters every point lookup would probe a data block in each
+overlapping table; with ~10 bits/key the false-positive rate is <1%, so
+a get usually touches exactly one data block — which is what makes the
+secondary cache's hit ratio, not probe count, dominate read latency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+
+class BloomFilter:
+    """Double-hashing bloom filter over byte keys."""
+
+    def __init__(self, num_bits: int, num_hashes: int) -> None:
+        if num_bits < 8:
+            raise ValueError("num_bits must be >= 8")
+        if not 1 <= num_hashes <= 16:
+            raise ValueError("num_hashes must be in [1, 16]")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = bytearray(-(-num_bits // 8))
+
+    @classmethod
+    def for_keys(cls, keys: Iterable[bytes], bits_per_key: int = 10) -> "BloomFilter":
+        keys = list(keys)
+        num_bits = max(64, len(keys) * bits_per_key)
+        num_hashes = max(1, min(12, int(bits_per_key * 0.69)))
+        bloom = cls(num_bits, num_hashes)
+        for key in keys:
+            bloom.add(key)
+        return bloom
+
+    def _base_hashes(self, key: bytes) -> tuple:
+        digest = hashlib.blake2b(key, digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1
+        return h1, h2
+
+    def add(self, key: bytes) -> None:
+        h1, h2 = self._base_hashes(key)
+        for i in range(self.num_hashes):
+            bit = (h1 + i * h2) % self.num_bits
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+
+    def may_contain(self, key: bytes) -> bool:
+        h1, h2 = self._base_hashes(key)
+        for i in range(self.num_hashes):
+            bit = (h1 + i * h2) % self.num_bits
+            if not self._bits[bit >> 3] >> (bit & 7) & 1:
+                return False
+        return True
+
+    def to_bytes(self) -> bytes:
+        header = self.num_bits.to_bytes(4, "little") + bytes([self.num_hashes])
+        return header + bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "BloomFilter":
+        num_bits = int.from_bytes(blob[:4], "little")
+        num_hashes = blob[4]
+        bloom = cls(num_bits, num_hashes)
+        bloom._bits = bytearray(blob[5 : 5 + len(bloom._bits)])
+        return bloom

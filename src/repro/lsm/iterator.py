@@ -1,0 +1,58 @@
+"""Merged range iteration over the LSM tree.
+
+Provides RocksDB-style ordered scans: a k-way merge across the memtable
+and every level, newest source winning on duplicate keys, tombstones
+suppressing older values.  Used by ``Db.scan`` / ``Db.items``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lsm.compaction import TOMBSTONE
+
+# A source yields (key, encoded_value) in ascending key order.
+Source = Iterator[Tuple[bytes, bytes]]
+
+
+def merge_sources(sources: List[Source]) -> Iterator[Tuple[bytes, bytes]]:
+    """K-way merge; ``sources[0]`` has the highest precedence.
+
+    Yields *encoded* values (tombstones included) — the caller decides
+    whether to surface or suppress deletions.
+    """
+    heap: List[Tuple[bytes, int, bytes, Source]] = []
+    for priority, source in enumerate(sources):
+        entry = next(source, None)
+        if entry is not None:
+            heapq.heappush(heap, (entry[0], priority, entry[1], source))
+    previous_key: Optional[bytes] = None
+    while heap:
+        key, priority, value, source = heapq.heappop(heap)
+        entry = next(source, None)
+        if entry is not None:
+            heapq.heappush(heap, (entry[0], priority, entry[1], source))
+        if key == previous_key:
+            continue  # an older duplicate; the newer copy already won
+        previous_key = key
+        yield key, value
+
+
+def scan_range(
+    sources: List[Source],
+    start: Optional[bytes] = None,
+    end: Optional[bytes] = None,
+    include_tombstones: bool = False,
+) -> Iterator[Tuple[bytes, bytes]]:
+    """Ordered (key, value) pairs in ``[start, end)``, deletions elided."""
+    for key, encoded in merge_sources(sources):
+        if start is not None and key < start:
+            continue
+        if end is not None and key >= end:
+            return
+        if encoded == TOMBSTONE:
+            if include_tombstones:
+                yield key, b""
+            continue
+        yield key, encoded[1:]

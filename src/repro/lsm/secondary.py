@@ -1,0 +1,43 @@
+"""CacheLib-backed secondary cache adapter.
+
+Wraps a :class:`~repro.cache.HybridCache` (any of the four schemes) in
+the :class:`~repro.lsm.block_cache.SecondaryCache` interface, encoding
+block identities as cache keys — the glue the paper adds to evaluate
+each scheme under RocksDB.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.cache.engine import HybridCache
+from repro.lsm.block_cache import BlockKey, SecondaryCache
+
+_KEY = struct.Struct("<QQ")
+
+
+class CacheLibSecondaryCache(SecondaryCache):
+    """Secondary cache over one scheme's HybridCache."""
+
+    def __init__(self, cache: HybridCache) -> None:
+        self.cache = cache
+        self.inserts = 0
+        self.lookups = 0
+
+    @staticmethod
+    def encode_key(key: BlockKey) -> bytes:
+        return b"blk" + _KEY.pack(key[0], key[1])
+
+    def lookup(self, key: BlockKey) -> Optional[bytes]:
+        self.lookups += 1
+        return self.cache.get(self.encode_key(key))
+
+    def insert(self, key: BlockKey, block: bytes) -> None:
+        self.inserts += 1
+        self.cache.set(self.encode_key(key), block)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Flash-tier hit ratio over all secondary lookups."""
+        return self.cache.stats.hit_ratio

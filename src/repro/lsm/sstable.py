@@ -1,0 +1,201 @@
+"""SSTables: immutable sorted tables stored in one device extent.
+
+Layout inside the extent::
+
+    [data blocks (padded)][meta blob (padded)][footer block]
+
+The meta blob serializes the block index, bloom filter and key range;
+the footer carries a magic, the meta blob's location, and the table id —
+so a table can be fully re-opened from the device after a crash
+(:meth:`SSTable.open`).  At runtime the index/bloom stay pinned in
+memory, the equivalent of RocksDB's "index block caching enabled"
+(§4.2).
+"""
+
+from __future__ import annotations
+
+import bisect
+import pickle
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import LsmError
+from repro.lsm.block import BlockHandle, DataBlock, DataBlockBuilder
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.table_space import TableSpace
+from repro.units import align_up
+
+FOOTER_MAGIC = b"REPRO-SST1"
+_FOOTER = struct.Struct("<10sQQQI")  # magic, table_id, meta_offset, meta_len, data_size
+
+
+@dataclass
+class SSTable:
+    """Reader handle for one immutable table."""
+
+    table_id: int
+    extent_offset: int
+    extent_size: int
+    index_keys: List[bytes]          # first key of each block
+    index_handles: List[BlockHandle]  # offsets relative to extent start
+    bloom: BloomFilter
+    smallest: bytes
+    largest: bytes
+    num_entries: int
+    space: TableSpace = field(repr=False)
+
+    def may_contain(self, key: bytes) -> bool:
+        if not self.smallest <= key <= self.largest:
+            return False
+        return self.bloom.may_contain(key)
+
+    def block_for(self, key: bytes) -> Optional[BlockHandle]:
+        """Handle of the single block that could hold ``key``."""
+        idx = bisect.bisect_right(self.index_keys, key) - 1
+        if idx < 0:
+            return None
+        return self.index_handles[idx]
+
+    def read_block(self, handle: BlockHandle) -> bytes:
+        """Read a data block from the device (aligned to device blocks)."""
+        device = self.space.device
+        start = self.extent_offset + handle.offset
+        aligned_start = (start // device.block_size) * device.block_size
+        end = align_up(start + handle.size, device.block_size)
+        data = device.read(aligned_start, end - aligned_start).data
+        skip = start - aligned_start
+        return data[skip : skip + handle.size]
+
+    def iter_entries(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Full scan in key order (used by compaction)."""
+        for handle in self.index_handles:
+            block = DataBlock(self.read_block(handle))
+            yield from block.entries()
+
+    def release(self) -> None:
+        """Free the table's extent (after compaction supersedes it)."""
+        self.space.release(self.extent_offset)
+
+    @classmethod
+    def open(cls, space: TableSpace, extent_offset: int, extent_size: int) -> "SSTable":
+        """Re-open a table from its on-device footer (crash recovery)."""
+        device = space.device
+        footer_offset = extent_offset + extent_size - device.block_size
+        footer_block = device.read(footer_offset, device.block_size).data
+        magic, table_id, meta_offset, meta_len, _data_size = _FOOTER.unpack_from(
+            footer_block
+        )
+        if magic != FOOTER_MAGIC:
+            raise LsmError(
+                f"no SSTable footer at extent offset {extent_offset} "
+                f"(+{extent_size})"
+            )
+        meta_start = extent_offset + meta_offset
+        aligned_start = (meta_start // device.block_size) * device.block_size
+        aligned_end = align_up(meta_start + meta_len, device.block_size)
+        raw = device.read(aligned_start, aligned_end - aligned_start).data
+        skip = meta_start - aligned_start
+        meta = pickle.loads(raw[skip : skip + meta_len])
+        return cls(
+            table_id=table_id,
+            extent_offset=extent_offset,
+            extent_size=extent_size,
+            index_keys=meta["index_keys"],
+            index_handles=[BlockHandle(*h) for h in meta["handles"]],
+            bloom=BloomFilter.from_bytes(meta["bloom"]),
+            smallest=meta["smallest"],
+            largest=meta["largest"],
+            num_entries=meta["num_entries"],
+            space=space,
+        )
+
+
+class SSTableBuilder:
+    """Builds one table from ascending (key, value) pairs."""
+
+    def __init__(
+        self, table_id: int, space: TableSpace, block_size: int = 4096,
+        bits_per_key: int = 10,
+    ) -> None:
+        self.table_id = table_id
+        self.space = space
+        self.block_size = block_size
+        self.bits_per_key = bits_per_key
+        self._builder = DataBlockBuilder(block_size)
+        self._blocks: List[bytes] = []
+        self._index_keys: List[bytes] = []
+        self._keys: List[bytes] = []
+        self._smallest: Optional[bytes] = None
+        self._largest: Optional[bytes] = None
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._keys)
+
+    def add(self, key: bytes, value: bytes) -> None:
+        if self._largest is not None and key <= self._largest:
+            raise ValueError("keys must be added in strictly ascending order")
+        if self._builder.would_overflow(key, value):
+            self._seal_block()
+        if self._builder.num_entries == 0:
+            self._index_keys.append(key)
+        self._builder.add(key, value)
+        self._keys.append(key)
+        if self._smallest is None:
+            self._smallest = key
+        self._largest = key
+
+    def finish(self) -> Optional[SSTable]:
+        """Write the table (data + meta + footer) to the device."""
+        if self._builder.num_entries:
+            self._seal_block()
+        if not self._blocks:
+            return None
+        device = self.space.device
+        handles: List[BlockHandle] = []
+        offset = 0
+        padded_blocks: List[bytes] = []
+        for blob in self._blocks:
+            handles.append(BlockHandle(offset, len(blob)))
+            padded = blob.ljust(align_up(len(blob), device.block_size), b"\x00")
+            padded_blocks.append(padded)
+            offset += len(padded)
+        data_payload = b"".join(padded_blocks)
+        assert self._smallest is not None and self._largest is not None
+        bloom = BloomFilter.for_keys(self._keys, self.bits_per_key)
+        meta_blob = pickle.dumps(
+            {
+                "index_keys": self._index_keys,
+                "handles": [(h.offset, h.size) for h in handles],
+                "bloom": bloom.to_bytes(),
+                "smallest": self._smallest,
+                "largest": self._largest,
+                "num_entries": len(self._keys),
+            }
+        )
+        meta_offset = len(data_payload)
+        meta_padded = meta_blob.ljust(
+            align_up(len(meta_blob), device.block_size), b"\x00"
+        )
+        footer = _FOOTER.pack(
+            FOOTER_MAGIC, self.table_id, meta_offset, len(meta_blob), len(data_payload)
+        ).ljust(device.block_size, b"\x00")
+        payload = data_payload + meta_padded + footer
+        extent_offset = self.space.allocate(len(payload))
+        device.write(extent_offset, payload)
+        return SSTable(
+            table_id=self.table_id,
+            extent_offset=extent_offset,
+            extent_size=len(payload),
+            index_keys=self._index_keys,
+            index_handles=handles,
+            bloom=bloom,
+            smallest=self._smallest,
+            largest=self._largest,
+            num_entries=len(self._keys),
+            space=self.space,
+        )
+
+    def _seal_block(self) -> None:
+        self._blocks.append(self._builder.finish())

@@ -1,0 +1,82 @@
+"""Extent allocator over a block device (the LSM's "filesystem").
+
+RocksDB stores SSTables as files; this reproduction stores each table in
+one contiguous extent on the simulated HDD, which keeps table reads and
+compaction writes as sequential as a real filesystem would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import NoSpaceError
+from repro.flash.device import BlockDevice
+from repro.units import align_up
+
+
+class TableSpace:
+    """First-fit contiguous extent allocator with free-list coalescing."""
+
+    def __init__(self, device: BlockDevice) -> None:
+        self.device = device
+        self._free: List[Tuple[int, int]] = [(0, device.capacity_bytes)]
+        self._allocated: Dict[int, int] = {}  # offset -> size
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(size for _, size in self._free)
+
+    @property
+    def allocated_extents(self) -> int:
+        return len(self._allocated)
+
+    def allocate(self, size: int) -> int:
+        """Reserve a contiguous extent; returns its device offset."""
+        size = align_up(size, self.device.block_size)
+        for i, (offset, extent_size) in enumerate(self._free):
+            if extent_size >= size:
+                remainder = extent_size - size
+                if remainder:
+                    self._free[i] = (offset + size, remainder)
+                else:
+                    del self._free[i]
+                self._allocated[offset] = size
+                return offset
+        raise NoSpaceError(
+            f"no contiguous extent of {size}B (free={self.free_bytes}B, "
+            f"fragmented into {len(self._free)} pieces)"
+        )
+
+    def reserve(self, offset: int, size: int) -> None:
+        """Mark a specific extent as allocated (used by crash recovery to
+        rebuild the allocator from the manifest)."""
+        size = align_up(size, self.device.block_size)
+        for i, (free_offset, free_size) in enumerate(self._free):
+            if free_offset <= offset and offset + size <= free_offset + free_size:
+                pieces: List[Tuple[int, int]] = []
+                if offset > free_offset:
+                    pieces.append((free_offset, offset - free_offset))
+                tail = (free_offset + free_size) - (offset + size)
+                if tail:
+                    pieces.append((offset + size, tail))
+                self._free[i : i + 1] = pieces
+                self._allocated[offset] = size
+                return
+        raise NoSpaceError(
+            f"extent (offset={offset}, size={size}) is not entirely free"
+        )
+
+    def release(self, offset: int) -> None:
+        """Free an extent, coalescing neighbours."""
+        size = self._allocated.pop(offset, None)
+        if size is None:
+            raise KeyError(f"no allocated extent at offset {offset}")
+        self._free.append((offset, size))
+        self._free.sort()
+        merged: List[Tuple[int, int]] = []
+        for start, length in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == start:
+                merged[-1] = (merged[-1][0], merged[-1][1] + length)
+            else:
+                merged.append((start, length))
+        self._free = merged

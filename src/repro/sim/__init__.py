@@ -1,0 +1,20 @@
+"""Simulation kernel: virtual clock, deterministic RNG, and statistics.
+
+Every device, filesystem, and cache component in this reproduction is
+driven by a single shared :class:`SimClock`.  Devices *advance* the clock
+by their modelled service time; the workload drivers read the clock to
+compute throughput, so all reported numbers are deterministic functions of
+the configuration and seed.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.stats import LatencyRecorder, Counter, RatioStat
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "SimClock",
+    "LatencyRecorder",
+    "Counter",
+    "RatioStat",
+    "make_rng",
+]

@@ -1,0 +1,22 @@
+"""Deterministic random number generation helpers.
+
+All stochastic behaviour in the reproduction (workload key choice, value
+sizes, latency jitter) flows through seeded generators created here so
+that every experiment is exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed: int, stream: str = "") -> random.Random:
+    """Create an independent deterministic RNG.
+
+    ``stream`` decorrelates multiple generators derived from one seed
+    (e.g. the workload generator and the device jitter source) so that
+    adding draws to one does not perturb the other.
+    """
+    if stream:
+        seed = hash((seed, stream)) & 0x7FFF_FFFF_FFFF_FFFF
+    return random.Random(seed)

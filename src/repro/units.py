@@ -1,0 +1,77 @@
+"""Size and time unit constants and helpers.
+
+All device capacities in this library are expressed in bytes and all
+simulated time in integer nanoseconds.  These helpers keep call sites
+readable (``4 * KIB``, ``usec(250)``) and make the scaling rules in
+DESIGN.md auditable.
+"""
+
+from __future__ import annotations
+
+# --- sizes -----------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# --- time (simulated clock is integer nanoseconds) -------------------------
+
+NSEC = 1
+USEC = 1_000
+MSEC = 1_000_000
+SEC = 1_000_000_000
+
+
+def usec(value: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return int(value * USEC)
+
+
+def msec(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return int(value * MSEC)
+
+
+def sec(value: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return int(value * SEC)
+
+
+def to_seconds(nanoseconds: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return nanoseconds / SEC
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return (value // alignment) * alignment
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return -(-value // alignment) * alignment
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """Return True if ``value`` is a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return value % alignment == 0
+
+
+def format_size(num_bytes: int) -> str:
+    """Human-readable size string, e.g. ``format_size(16 * MIB) == '16.0MiB'``."""
+    if num_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {num_bytes}")
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{suffix}"
+        value /= 1024
+    raise AssertionError("unreachable")

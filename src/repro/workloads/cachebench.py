@@ -1,0 +1,167 @@
+"""CacheBench-style micro-benchmark driver.
+
+Models the workload the paper uses in §4.1: CacheBench's
+``feature_stress/navy/bc`` mix — "50% get, 30% set, and 20% delete
+operations" over a Zipf-popular keyspace, with LRU eviction in the
+cache.  The driver runs against any :class:`~repro.cache.HybridCache`
+and reports the figures the paper plots: throughput (operations per
+minute), hit ratio, WAF breakdown, and latency percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cache.engine import HybridCache
+from repro.sim.rng import make_rng
+from repro.workloads.distributions import (
+    UniformSampler,
+    ValueSizeSampler,
+    ZipfSampler,
+)
+
+
+@dataclass(frozen=True)
+class CacheBenchConfig:
+    """Knobs mirroring the CacheBench config file."""
+
+    num_ops: int = 50_000
+    num_keys: int = 20_000
+    get_ratio: float = 0.50
+    set_ratio: float = 0.30
+    delete_ratio: float = 0.20
+    zipf_theta: float = 0.9
+    key_size: int = 16
+    value_sizes: tuple = (512, 1024, 2048, 4096)
+    value_weights: tuple = (2.0, 4.0, 3.0, 1.0)
+    warmup_ops: int = 0
+    set_on_miss: bool = False
+    # Deletes model invalidations of *stale* content: they sample
+    # uniformly from the cold fraction of the popularity ranking rather
+    # than by popularity (popularity-weighted deletes would cap the hit
+    # ratio at sets/(sets+deletes) = 0.6, far below the paper's 94%).
+    delete_uniform: bool = True
+    delete_cold_fraction: float = 0.3
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        total = self.get_ratio + self.set_ratio + self.delete_ratio
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"op ratios must sum to 1.0, got {total}")
+        if self.num_ops < 1 or self.num_keys < 1:
+            raise ValueError("num_ops and num_keys must be >= 1")
+        if self.key_size < 4:
+            raise ValueError("key_size must be >= 4")
+
+
+@dataclass
+class WorkloadResult:
+    """Everything the paper's micro-benchmark figures report."""
+
+    scheme: str
+    operations: int
+    sim_seconds: float
+    throughput_ops_per_sec: float
+    hit_ratio: float
+    waf_app: float
+    waf_device: float
+    get_p50_ns: int = 0
+    get_p99_ns: int = 0
+    set_p50_ns: int = 0
+    set_p99_ns: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ops_per_minute_m(self) -> float:
+        """Operations per minute, in millions (Figure 4's y-axis)."""
+        return self.throughput_ops_per_sec * 60 / 1e6
+
+    @property
+    def waf_total(self) -> float:
+        return self.waf_app * self.waf_device
+
+
+class CacheBenchDriver:
+    """Drives the get/set/delete mix against one cache instance."""
+
+    def __init__(self, config: CacheBenchConfig = CacheBenchConfig()) -> None:
+        self.config = config
+        self._keys = ZipfSampler(config.num_keys, config.zipf_theta, config.seed)
+        self._delete_keys = UniformSampler(config.num_keys, config.seed)
+        self._sizes = ValueSizeSampler(
+            config.value_sizes, config.value_weights, config.seed
+        )
+        self._ops_rng = make_rng(config.seed, "opmix")
+
+    def key_bytes(self, key_index: int) -> bytes:
+        """Fixed-width printable key, like CacheBench's generated keys."""
+        return f"k{key_index:0{self.config.key_size - 1}d}".encode()[
+            : self.config.key_size
+        ]
+
+    def value_bytes(self, key_index: int, size: int) -> bytes:
+        unit = f"v{key_index:014d}".encode()
+        reps = -(-size // len(unit))
+        return (unit * reps)[:size]
+
+    def run(self, cache: HybridCache) -> WorkloadResult:
+        """Execute the mix; stats are reset after warm-up."""
+        config = self.config
+        for op_index in range(config.warmup_ops):
+            self._one_op(cache)
+        cache.reset_stats()
+        for op_index in range(config.num_ops):
+            self._one_op(cache)
+        return self.summarize(cache)
+
+    def summarize(self, cache: HybridCache) -> WorkloadResult:
+        stats = cache.stats
+        waf = cache.waf_window()
+        return WorkloadResult(
+            scheme=cache.store.scheme_name,
+            operations=stats.operations,
+            sim_seconds=stats.elapsed_seconds(),
+            throughput_ops_per_sec=stats.throughput_ops(),
+            hit_ratio=stats.hit_ratio,
+            waf_app=waf.app,
+            waf_device=waf.device,
+            get_p50_ns=stats.get_latency.p50(),
+            get_p99_ns=stats.get_latency.p99(),
+            set_p50_ns=stats.set_latency.p50(),
+            set_p99_ns=stats.set_latency.p99(),
+            extra={
+                "flash_hit_ratio": stats.flash_lookups.ratio,
+                "ram_hit_ratio": stats.ram_lookups.ratio,
+                "regions_evicted": cache.regions.regions_evicted,
+                "items_evicted": cache.regions.items_evicted,
+            },
+        )
+
+    def _one_op(self, cache: HybridCache) -> None:
+        draw = self._ops_rng.random()
+        config = self.config
+        if draw < config.get_ratio:
+            key_index = self._keys.sample()
+            key = self.key_bytes(key_index)
+            value = cache.get(key)
+            if value is None and config.set_on_miss:
+                cache.set(key, self.value_bytes(key_index, self._sizes.sample()))
+        elif draw < config.get_ratio + config.set_ratio:
+            key_index = self._keys.sample()
+            cache.set(
+                self.key_bytes(key_index),
+                self.value_bytes(key_index, self._sizes.sample()),
+            )
+        else:
+            if config.delete_uniform:
+                first_cold_rank = int(
+                    config.num_keys * (1.0 - config.delete_cold_fraction)
+                )
+                rank = first_cold_rank + self._delete_keys.sample() % max(
+                    1, config.num_keys - first_cold_rank
+                )
+                key_index = self._keys.key_of_rank(rank)
+            else:
+                key_index = self._keys.sample()
+            cache.delete(self.key_bytes(key_index))

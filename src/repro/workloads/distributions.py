@@ -1,0 +1,126 @@
+"""Key-popularity and value-size distributions.
+
+Caching workloads are skewed; the paper's micro benchmark uses
+CacheBench's Zipf-like popularity and the end-to-end experiment controls
+skew with db_bench's ``ReadRandom Exp Range`` parameter ("larger ER
+value means more skewed data", §4.2).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence
+
+from repro.sim.rng import make_rng
+
+
+class UniformSampler:
+    """Uniform key indices over ``[0, num_keys)``."""
+
+    def __init__(self, num_keys: int, seed: int = 1) -> None:
+        if num_keys < 1:
+            raise ValueError("num_keys must be >= 1")
+        self.num_keys = num_keys
+        self._rng = make_rng(seed, "uniform")
+
+    def sample(self) -> int:
+        return self._rng.randrange(self.num_keys)
+
+
+class ZipfSampler:
+    """Zipf(theta) popularity over a finite keyspace via inverse-CDF.
+
+    Rank 1 is the hottest key; ranks are shuffled deterministically so
+    hot keys are spread across the key space (as CacheBench does).
+    """
+
+    def __init__(self, num_keys: int, theta: float = 0.9, seed: int = 1) -> None:
+        if num_keys < 1:
+            raise ValueError("num_keys must be >= 1")
+        if theta < 0:
+            raise ValueError("theta must be >= 0")
+        self.num_keys = num_keys
+        self.theta = theta
+        self._rng = make_rng(seed, "zipf")
+        weights = [1.0 / (rank ** theta) for rank in range(1, num_keys + 1)]
+        total = math.fsum(weights)
+        cumulative = 0.0
+        self._cdf: List[float] = []
+        for weight in weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+        # Map popularity ranks onto shuffled key ids.
+        self._rank_to_key = list(range(num_keys))
+        make_rng(seed, "zipf.shuffle").shuffle(self._rank_to_key)
+
+    def sample(self) -> int:
+        rank = bisect.bisect_left(self._cdf, self._rng.random())
+        return self._rank_to_key[min(rank, self.num_keys - 1)]
+
+    def key_of_rank(self, rank: int) -> int:
+        """Key id holding popularity rank ``rank`` (0 = hottest)."""
+        if not 0 <= rank < self.num_keys:
+            raise IndexError(f"rank {rank} outside [0, {self.num_keys})")
+        return self._rank_to_key[rank]
+
+
+class ExpRangeSampler:
+    """db_bench's ``-read_random_exp_range`` skew model.
+
+    A draw ``x ~ U(0, exp_range)`` selects key ``floor(num_keys *
+    exp(-x))``-ish: the probability mass decays exponentially across the
+    key space, and a *larger* ``exp_range`` concentrates more of the
+    accesses on fewer keys.  Like db_bench we scramble the key order so
+    the hot set is not one contiguous range.
+    """
+
+    def __init__(self, num_keys: int, exp_range: float, seed: int = 1) -> None:
+        if num_keys < 1:
+            raise ValueError("num_keys must be >= 1")
+        if exp_range < 0:
+            raise ValueError("exp_range must be >= 0")
+        self.num_keys = num_keys
+        self.exp_range = exp_range
+        self._rng = make_rng(seed, "exprange")
+
+    def sample(self) -> int:
+        if self.exp_range == 0:
+            return self._rng.randrange(self.num_keys)
+        x = self._rng.random() * self.exp_range
+        frac = math.exp(-x)
+        index = int(self.num_keys * frac)
+        if index >= self.num_keys:
+            index = self.num_keys - 1
+        # Multiplicative hashing scrambles adjacency, as db_bench does.
+        return (index * 0x9E3779B1) % self.num_keys
+
+
+class ValueSizeSampler:
+    """Discrete value-size distribution (sizes with relative weights)."""
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        weights: Sequence[float] = (),
+        seed: int = 1,
+    ) -> None:
+        if not sizes:
+            raise ValueError("need at least one size")
+        if any(size <= 0 for size in sizes):
+            raise ValueError("sizes must be positive")
+        if weights and len(weights) != len(sizes):
+            raise ValueError("weights must match sizes")
+        self.sizes = list(sizes)
+        self._weights = list(weights) if weights else [1.0] * len(sizes)
+        total = math.fsum(self._weights)
+        cumulative = 0.0
+        self._cdf = []
+        for weight in self._weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+        self._rng = make_rng(seed, "valuesize")
+
+    def sample(self) -> int:
+        slot = bisect.bisect_left(self._cdf, self._rng.random())
+        return self.sizes[min(slot, len(self.sizes) - 1)]

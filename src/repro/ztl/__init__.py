@@ -1,0 +1,42 @@
+"""Zone Translation Layer — the paper's "simple middle layer" (§3.3).
+
+Translates the cache's *region* interface (fixed-size, rewrite-in-place
+identifiers) onto the ZNS SSD's *zone* interface (sequential-only,
+reset-granular).  Key pieces, mirroring Figure 1(c):
+
+* :class:`~repro.ztl.mapping.RegionMap` — region id → (zone, slot)
+  mapping, one entry per live region (vs 4 KiB block maps in a
+  filesystem: "less mapping overhead").
+* :class:`~repro.ztl.bitmap.SlotBitmap` — per-zone validity bits ("for a
+  zone with 1024 MiB and 16 MiB region, the bitmap will only cost 64
+  bits").
+* :class:`~repro.ztl.allocator.ZoneBook` — open-zone pool supporting
+  concurrent writing of multiple zones; zones are finished when no space
+  remains for another region.
+* :class:`~repro.ztl.gc.ZoneGarbageCollector` — background collection
+  driven by an empty-zone low watermark and a valid-data victim
+  threshold, both configurable as the paper prescribes; supports
+  cache-provided *hints* that drop cold regions instead of migrating
+  them (the co-design direction in §3.4).
+* :class:`~repro.ztl.layer.RegionTranslationLayer` — the facade the
+  Region-Cache backend talks to.
+"""
+
+from repro.ztl.bitmap import SlotBitmap
+from repro.ztl.mapping import RegionLocation, RegionMap
+from repro.ztl.allocator import ZoneBook, ZoneUse
+from repro.ztl.gc import GcConfig, ZoneGarbageCollector
+from repro.ztl.layer import RegionTranslationLayer, ZtlConfig, ZtlStats
+
+__all__ = [
+    "SlotBitmap",
+    "RegionLocation",
+    "RegionMap",
+    "ZoneBook",
+    "ZoneUse",
+    "GcConfig",
+    "ZoneGarbageCollector",
+    "RegionTranslationLayer",
+    "ZtlConfig",
+    "ZtlStats",
+]

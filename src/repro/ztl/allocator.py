@@ -1,0 +1,185 @@
+"""Open-zone pool and per-zone slot accounting for the middle layer.
+
+The paper's middle layer "supports concurrent writing of multiple zones
+at the same time" and finishes a zone "when there is no space to write a
+new region".  :class:`ZoneBook` tracks every zone's role (empty, open
+for host writes, open for GC migration, finished) and hands out region
+slots round-robin across the host-open zones.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import TranslationFullError
+from repro.ztl.bitmap import SlotBitmap
+
+
+class ZoneUse(enum.Enum):
+    """Role of a zone from the middle layer's perspective."""
+
+    EMPTY = "empty"
+    HOST_OPEN = "host_open"
+    GC_OPEN = "gc_open"
+    FINISHED = "finished"
+
+
+@dataclass
+class ZoneRecord:
+    """Middle-layer bookkeeping for one device zone."""
+
+    zone_index: int
+    slots_per_zone: int
+    use: ZoneUse = ZoneUse.EMPTY
+    bitmap: SlotBitmap = field(init=False)
+    next_slot: int = 0
+
+    def __post_init__(self) -> None:
+        self.bitmap = SlotBitmap(self.slots_per_zone)
+
+    @property
+    def is_full(self) -> bool:
+        return self.next_slot >= self.slots_per_zone
+
+    @property
+    def valid_count(self) -> int:
+        return self.bitmap.valid_count
+
+    @property
+    def valid_fraction(self) -> float:
+        return self.bitmap.valid_fraction
+
+
+class ZoneBook:
+    """Tracks zone roles and allocates region slots across open zones."""
+
+    def __init__(
+        self,
+        num_zones: int,
+        slots_per_zone: int,
+        host_open_target: int,
+        reserved_for_gc: int = 1,
+    ) -> None:
+        if num_zones < 2:
+            raise ValueError(f"need at least 2 zones, got {num_zones}")
+        if slots_per_zone < 1:
+            raise ValueError(f"slots_per_zone must be >= 1, got {slots_per_zone}")
+        if host_open_target < 1:
+            raise ValueError("host_open_target must be >= 1")
+        if not 0 <= reserved_for_gc < num_zones:
+            raise ValueError("reserved_for_gc must be in [0, num_zones)")
+        self.slots_per_zone = slots_per_zone
+        self.host_open_target = host_open_target
+        # Host writes may not drain the empty pool below this: the GC
+        # stream always has somewhere to migrate survivors.
+        self.reserved_for_gc = reserved_for_gc
+        self.records: List[ZoneRecord] = [
+            ZoneRecord(i, slots_per_zone) for i in range(num_zones)
+        ]
+        self._empty: List[int] = list(range(num_zones))
+        self._host_open: List[int] = []
+        self._gc_open: Optional[int] = None
+        self._finished: List[int] = []
+        self._rr_cursor = 0
+
+    # --- pool state ---------------------------------------------------------------
+
+    @property
+    def empty_count(self) -> int:
+        return len(self._empty)
+
+    @property
+    def host_open_zones(self) -> List[int]:
+        return list(self._host_open)
+
+    @property
+    def finished_zones(self) -> List[int]:
+        return list(self._finished)
+
+    @property
+    def gc_zone(self) -> Optional[int]:
+        return self._gc_open
+
+    def record(self, zone_index: int) -> ZoneRecord:
+        return self.records[zone_index]
+
+    # --- allocation -----------------------------------------------------------------
+
+    def allocate_host_slot(self) -> ZoneRecord:
+        """Zone record to write the next host region into (round-robin).
+
+        Raises :class:`TranslationFullError` when no open zone has space
+        and no empty zone can be opened — the caller must GC first.
+        """
+        self._refill_host_open()
+        if not self._host_open:
+            raise TranslationFullError("no empty zones left for host writes")
+        self._rr_cursor %= len(self._host_open)
+        record = self.records[self._host_open[self._rr_cursor]]
+        self._rr_cursor = (self._rr_cursor + 1) % max(1, len(self._host_open))
+        return record
+
+    def allocate_gc_slot(self) -> ZoneRecord:
+        """Zone record for a GC migration write (separate stream)."""
+        if self._gc_open is None or self.records[self._gc_open].is_full:
+            if self._gc_open is not None:
+                self.mark_finished(self._gc_open)
+            if not self._empty:
+                raise TranslationFullError("no empty zone for the GC stream")
+            self._gc_open = self._empty.pop(0)
+            self.records[self._gc_open].use = ZoneUse.GC_OPEN
+        return self.records[self._gc_open]
+
+    def note_slot_written(self, record: ZoneRecord) -> None:
+        """Advance the zone's slot cursor; finish the zone when full."""
+        record.next_slot += 1
+        if record.is_full:
+            self.mark_finished(record.zone_index)
+
+    # --- transitions -----------------------------------------------------------------
+
+    def mark_finished(self, zone_index: int) -> None:
+        record = self.records[zone_index]
+        if record.use == ZoneUse.HOST_OPEN and zone_index in self._host_open:
+            self._host_open.remove(zone_index)
+        if record.use == ZoneUse.GC_OPEN and self._gc_open == zone_index:
+            self._gc_open = None
+        record.use = ZoneUse.FINISHED
+        if zone_index not in self._finished:
+            self._finished.append(zone_index)
+
+    def mark_empty(self, zone_index: int) -> None:
+        """Return a reset zone to the empty pool (after GC)."""
+        record = self.records[zone_index]
+        if zone_index in self._finished:
+            self._finished.remove(zone_index)
+        if zone_index in self._host_open:
+            self._host_open.remove(zone_index)
+        if self._gc_open == zone_index:
+            self._gc_open = None
+        record.use = ZoneUse.EMPTY
+        record.bitmap.clear_all()
+        record.next_slot = 0
+        self._empty.append(zone_index)
+
+    # --- internals ----------------------------------------------------------------------
+
+    def _refill_host_open(self) -> None:
+        self._host_open = [
+            z for z in self._host_open if not self.records[z].is_full
+        ]
+        while (
+            len(self._host_open) < self.host_open_target
+            and len(self._empty) > self.reserved_for_gc
+        ):
+            zone_index = self._empty.pop(0)
+            self.records[zone_index].use = ZoneUse.HOST_OPEN
+            self._host_open.append(zone_index)
+
+    def __repr__(self) -> str:
+        return (
+            f"ZoneBook(empty={len(self._empty)}, open={len(self._host_open)}, "
+            f"finished={len(self._finished)}, gc={self._gc_open})"
+        )

@@ -1,0 +1,69 @@
+"""Per-zone region-validity bitmap.
+
+The paper: "The bitmap is a set of 0/1 bits, and it will indicate
+whether the region is valid."  One bit per region slot in the zone.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class SlotBitmap:
+    """Fixed-size validity bitmap with O(1) popcount tracking."""
+
+    def __init__(self, num_slots: int) -> None:
+        if num_slots <= 0:
+            raise ValueError(f"num_slots must be positive, got {num_slots}")
+        self._bits = 0
+        self._num_slots = num_slots
+        self._valid_count = 0
+
+    @property
+    def num_slots(self) -> int:
+        return self._num_slots
+
+    @property
+    def valid_count(self) -> int:
+        return self._valid_count
+
+    @property
+    def valid_fraction(self) -> float:
+        return self._valid_count / self._num_slots
+
+    def is_set(self, slot: int) -> bool:
+        self._check(slot)
+        return bool(self._bits >> slot & 1)
+
+    def set(self, slot: int) -> None:
+        self._check(slot)
+        if not self._bits >> slot & 1:
+            self._bits |= 1 << slot
+            self._valid_count += 1
+
+    def clear(self, slot: int) -> None:
+        self._check(slot)
+        if self._bits >> slot & 1:
+            self._bits &= ~(1 << slot)
+            self._valid_count -= 1
+
+    def clear_all(self) -> None:
+        self._bits = 0
+        self._valid_count = 0
+
+    def valid_slots(self) -> Iterator[int]:
+        """Iterate indices of set bits in ascending order."""
+        bits = self._bits
+        slot = 0
+        while bits:
+            if bits & 1:
+                yield slot
+            bits >>= 1
+            slot += 1
+
+    def _check(self, slot: int) -> None:
+        if not 0 <= slot < self._num_slots:
+            raise IndexError(f"slot {slot} outside [0, {self._num_slots})")
+
+    def __repr__(self) -> str:
+        return f"SlotBitmap({self._valid_count}/{self._num_slots})"

@@ -1,0 +1,207 @@
+"""Middle-layer garbage collection (the paper's §3.3 "Garbage Collection").
+
+A background thread is simulated by invoking :meth:`ZoneGarbageCollector.
+maybe_collect` after foreground writes: it checks "the empty zone number
+and valid data size of the finished zones", and when empty zones fall
+below ``min_empty_zones`` it selects a victim (preferring zones whose
+valid fraction is below ``victim_valid_threshold``), migrates the valid
+regions to the GC stream zone, and resets the victim.
+
+The ``migration_hint`` hook is the co-design lever from §3.4: given a
+region id it may return False to *drop* the region instead of migrating
+it ("not all the valid regions are needed to be migrated"), trading a
+little hit ratio for less GC work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import TranslationFullError
+from repro.ztl.allocator import ZoneBook, ZoneRecord
+
+# Returns True to migrate the region, False to drop it.
+MigrationHint = Callable[[int], bool]
+# Called with (region_id,) when GC drops a region so the owner can purge it.
+DropCallback = Callable[[int], None]
+
+
+@dataclass(frozen=True)
+class GcConfig:
+    """Thresholds from the paper, all configurable (§3.3).
+
+    Below ``min_empty_zones`` empty zones, GC collects zones whose valid
+    fraction is under ``victim_valid_threshold``.  If no zone qualifies,
+    collection is *deferred* — rewrites keep concentrating dead regions
+    into old zones, so waiting is what keeps WA low — unless the pool is
+    critically low (``emergency_empty_zones``), where the least-valid
+    zone is taken regardless to guarantee forward progress.
+    """
+
+    min_empty_zones: int = 2
+    victim_valid_threshold: float = 0.20
+    max_zones_per_run: int = 1
+    emergency_empty_zones: int = 1
+    # Regions migrated per background check: keeps each GC burst short so
+    # foreground reads never queue behind a whole zone's migration.
+    pace_regions: int = 8
+
+    def __post_init__(self) -> None:
+        if self.min_empty_zones < 1:
+            raise ValueError("min_empty_zones must be >= 1")
+        if not 0.0 <= self.victim_valid_threshold <= 1.0:
+            raise ValueError("victim_valid_threshold must be in [0, 1]")
+        if self.max_zones_per_run < 1:
+            raise ValueError("max_zones_per_run must be >= 1")
+        if not 0 <= self.emergency_empty_zones <= self.min_empty_zones:
+            raise ValueError(
+                "emergency_empty_zones must be in [0, min_empty_zones]"
+            )
+        if self.pace_regions < 1:
+            raise ValueError("pace_regions must be >= 1")
+
+
+class ZoneGarbageCollector:
+    """Selects victims and migrates valid regions; owns no I/O itself.
+
+    The actual data movement is delegated to the layer through the
+    ``migrate`` and ``reset`` callables so this class stays a pure
+    policy + orchestration object (easy to unit test).
+    """
+
+    def __init__(
+        self,
+        book: ZoneBook,
+        config: GcConfig,
+        migrate: Callable[[int, ZoneRecord], None],
+        reset: Callable[[int], None],
+        migration_hint: Optional[MigrationHint] = None,
+        on_drop: Optional[DropCallback] = None,
+    ) -> None:
+        self._book = book
+        self.config = config
+        self._migrate = migrate
+        self._reset = reset
+        self.migration_hint = migration_hint
+        self.on_drop = on_drop
+        self.zones_collected = 0
+        self.regions_migrated = 0
+        self.regions_dropped = 0
+        self._victim: Optional[int] = None
+        self._pending: List[int] = []
+
+    # --- policy -------------------------------------------------------------------
+
+    def needs_collection(self) -> bool:
+        return self._book.empty_count < self.config.min_empty_zones
+
+    def pick_victim(self) -> Optional[int]:
+        """Finished zone with the least valid data, if it is worth taking.
+
+        Only zones below the valid-data threshold qualify during normal
+        background GC; when the empty pool is at the emergency level the
+        least-valid zone is returned regardless so the device can always
+        make forward progress.
+        """
+        candidates = self._book.finished_zones
+        if not candidates:
+            return None
+        best = min(candidates, key=lambda z: self._book.record(z).valid_count)
+        record = self._book.record(best)
+        if record.valid_fraction <= self.config.victim_valid_threshold:
+            return best
+        if self._book.empty_count <= self.config.emergency_empty_zones:
+            return best
+        # Nothing cheap to collect and no emergency: defer — invalidations
+        # keep accumulating in old zones, so patience lowers WA.
+        return None
+
+    # --- execution ------------------------------------------------------------------
+
+    def maybe_collect(self) -> int:
+        """Paced background check; returns regions processed this step.
+
+        The collector keeps one victim "in progress" across calls and
+        migrates at most ``pace_regions`` regions per call, so no single
+        foreground operation queues behind a whole zone's migration.
+        """
+        if self._victim is None and not self.needs_collection():
+            return 0
+        return self._step(self.config.pace_regions)
+
+    def collect(self, max_zones: int = 1) -> int:
+        """Emergency foreground collection: finish whole victims now."""
+        reclaimed = 0
+        for _ in range(max_zones):
+            before = self.zones_collected
+            self._step(self._book.slots_per_zone + 1)
+            while self._victim is not None:
+                self._step(self._book.slots_per_zone + 1)
+            if self.zones_collected == before:
+                break
+            reclaimed += 1
+            if not self.needs_collection():
+                break
+        return reclaimed
+
+    def _step(self, budget: int) -> int:
+        if self._victim is None:
+            self._victim = self.pick_victim()
+            if self._victim is None:
+                return 0
+            record = self._book.record(self._victim)
+            self._pending = list(record.bitmap.valid_slots())
+        record = self._book.record(self._victim)
+        processed = 0
+        while self._pending and processed < budget:
+            slot = self._pending.pop()
+            if not record.bitmap.is_set(slot):
+                continue  # invalidated since the victim was chosen
+            region_id = self._region_at(self._victim, slot)
+            if region_id is None:
+                record.bitmap.clear(slot)
+                continue
+            keep = True
+            if self.migration_hint is not None:
+                keep = self.migration_hint(region_id)
+            if keep:
+                target = self._book.allocate_gc_slot()
+                self._migrate(region_id, target)
+                self.regions_migrated += 1
+            else:
+                self.regions_dropped += 1
+                self._drop(region_id)
+            record.bitmap.clear(slot)
+            processed += 1
+        if not self._pending:
+            victim = self._victim
+            self._victim = None
+            self._reset(victim)
+            self._book.mark_empty(victim)
+            self.zones_collected += 1
+        return processed
+
+    # Wired by the layer: region lookup by location and drop handling.
+    _region_lookup: Optional[Callable[[int, int], Optional[int]]] = None
+    _drop_handler: Optional[Callable[[int], None]] = None
+
+    def bind_lookup(
+        self,
+        region_lookup: Callable[[int, int], Optional[int]],
+        drop_handler: Callable[[int], None],
+    ) -> None:
+        """Late-bind the layer's mapping accessors (avoids a ctor cycle)."""
+        self._region_lookup = region_lookup
+        self._drop_handler = drop_handler
+
+    def _region_at(self, zone_index: int, slot: int) -> Optional[int]:
+        if self._region_lookup is None:
+            raise TranslationFullError("GC not bound to a translation layer")
+        return self._region_lookup(zone_index, slot)
+
+    def _drop(self, region_id: int) -> None:
+        if self._drop_handler is not None:
+            self._drop_handler(region_id)
+        if self.on_drop is not None:
+            self.on_drop(region_id)

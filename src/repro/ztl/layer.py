@@ -1,0 +1,317 @@
+"""The region translation layer facade (Figure 1c).
+
+``RegionTranslationLayer`` gives the cache a simple contract:
+
+* ``write_region(region_id, data)`` — (re)write a fixed-size region;
+  any previous copy of the same id becomes invalid.
+* ``read_region(region_id, offset, length)`` — random read within a
+  region ("compute the real physical address using the in-region offset
+  and in-zone address").
+* ``invalidate_region(region_id)`` — delete the mapping and clear the
+  zone's bitmap bit, as happens "if CacheLib rewrites a region".
+
+Internally it drives the ZNS device, keeps the region map and zone
+bitmaps coherent, and runs the background GC check after each write.
+Application-level write amplification — the metric of Table 1 — is
+``(host + migrated region writes) / host region writes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import TranslationFullError
+from repro.flash.device import IoResult
+from repro.flash.znsssd import ZnsSsd
+from repro.ztl.allocator import ZoneBook, ZoneRecord
+from repro.ztl.gc import GcConfig, MigrationHint, ZoneGarbageCollector
+from repro.ztl.mapping import RegionLocation, RegionMap
+
+
+@dataclass(frozen=True)
+class ZtlConfig:
+    """Middle-layer configuration.
+
+    ``region_size`` must divide the device zone size; ``usable_zones``
+    optionally restricts the layer to the first N zones (the paper's
+    experiments carve 25 or 220 zones out of the device).
+    """
+
+    region_size: int
+    host_open_zones: int = 2
+    usable_zones: int = 0  # 0 → all zones
+    # Use the ZNS Zone Append command instead of positioned writes: the
+    # device picks the in-zone offset, so the host never races the write
+    # pointer (the interface advantage §2.2 describes; see also
+    # "Zone append: a new way of writing to zoned storage" [3]).
+    use_zone_append: bool = False
+    gc: GcConfig = GcConfig()
+
+
+@dataclass
+class ZtlStats:
+    """Middle-layer counters; ``app_write_amplification`` is Table 1's WAF."""
+
+    host_region_writes: int = 0
+    migrated_region_writes: int = 0
+    dropped_regions: int = 0
+    gc_zone_resets: int = 0
+    host_reads: int = 0
+
+    @property
+    def app_write_amplification(self) -> float:
+        if self.host_region_writes == 0:
+            return 1.0
+        return (
+            self.host_region_writes + self.migrated_region_writes
+        ) / self.host_region_writes
+
+
+class RegionTranslationLayer:
+    """Region interface over a :class:`~repro.flash.ZnsSsd`."""
+
+    def __init__(
+        self,
+        device: ZnsSsd,
+        config: ZtlConfig,
+        migration_hint: Optional[MigrationHint] = None,
+        on_drop: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if config.region_size <= 0 or device.zone_size % config.region_size != 0:
+            raise ValueError(
+                f"region_size {config.region_size} must divide zone size "
+                f"{device.zone_size}"
+            )
+        if config.region_size % device.block_size != 0:
+            raise ValueError(
+                f"region_size {config.region_size} must be a multiple of the "
+                f"device page size {device.block_size}"
+            )
+        num_zones = config.usable_zones or device.num_zones
+        if not 2 <= num_zones <= device.num_zones:
+            raise ValueError(
+                f"usable_zones {num_zones} must be in [2, {device.num_zones}]"
+            )
+        # Host streams + the GC stream must fit in the device's open budget.
+        if config.host_open_zones + 1 > device.config.max_open_zones:
+            raise ValueError(
+                f"host_open_zones {config.host_open_zones} + 1 GC stream exceeds "
+                f"device max_open_zones {device.config.max_open_zones}"
+            )
+        self.device = device
+        self.config = config
+        self.region_size = config.region_size
+        self.zone_size = device.zone_size
+        self.slots_per_zone = device.zone_size // config.region_size
+        self.num_zones = num_zones
+        self.book = ZoneBook(num_zones, self.slots_per_zone, config.host_open_zones)
+        self.map = RegionMap()
+        self.stats = ZtlStats()
+        self.gc = ZoneGarbageCollector(
+            self.book,
+            config.gc,
+            migrate=self._migrate_region,
+            reset=self._reset_zone,
+            migration_hint=migration_hint,
+            on_drop=on_drop,
+        )
+        self.gc.bind_lookup(self._region_at, self._drop_region)
+
+    # --- capacity ------------------------------------------------------------------
+
+    @property
+    def total_slots(self) -> int:
+        return self.num_zones * self.slots_per_zone
+
+    @property
+    def live_regions(self) -> int:
+        return len(self.map)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw capacity managed by the layer (cache size + OP headroom)."""
+        return self.total_slots * self.region_size
+
+    # --- region interface ------------------------------------------------------------
+
+    def write_region(self, region_id: int, data: bytes) -> IoResult:
+        """(Re)write one region; returns the device write result."""
+        if len(data) != self.region_size:
+            raise ValueError(
+                f"region write must be exactly {self.region_size}B, got {len(data)}"
+            )
+        self.invalidate_region(region_id)
+        record = self._allocate_host_record()
+        result = self._write_to_record(region_id, record, data)
+        self.stats.host_region_writes += 1
+        # Background thread check (paper: runs continuously; we piggyback).
+        self.gc.maybe_collect()
+        return result
+
+    def read_region(
+        self, region_id: int, offset: int = 0, length: Optional[int] = None
+    ) -> IoResult:
+        """Read ``length`` bytes at ``offset`` within a live region."""
+        location = self.map.lookup(region_id)
+        if length is None:
+            length = self.region_size - offset
+        if offset < 0 or offset + length > self.region_size:
+            raise ValueError(
+                f"read (offset={offset}, length={length}) exceeds region size "
+                f"{self.region_size}"
+            )
+        base = location.byte_offset(self.zone_size, self.region_size)
+        self.stats.host_reads += 1
+        return self.device.read(base + offset, length)
+
+    def has_region(self, region_id: int) -> bool:
+        return region_id in self.map
+
+    def invalidate_region(self, region_id: int) -> bool:
+        """Drop the mapping and clear the validity bit; True if it existed."""
+        location = self.map.unbind(region_id)
+        if location is None:
+            return False
+        self.book.record(location.zone_index).bitmap.clear(location.slot)
+        return True
+
+    # --- internals ----------------------------------------------------------------------
+
+    def _allocate_host_record(self) -> ZoneRecord:
+        # Emergency foreground GC: the background thread fell behind.
+        # Bounded retries: if repeated collections reclaim zones but the
+        # pool never rises above the GC reserve, the layer is over-
+        # committed (not enough OP for zone-granular garbage to
+        # concentrate) and we fail loudly rather than livelock.
+        for _ in range(4):
+            try:
+                return self.book.allocate_host_slot()
+            except TranslationFullError:
+                if self.gc.collect(max_zones=1) == 0:
+                    raise
+        raise TranslationFullError(
+            "GC cannot free zones faster than the host consumes them; "
+            "the layer needs more over-provisioning (see DESIGN.md)"
+        )
+
+    def _write_to_record(
+        self, region_id: int, record: ZoneRecord, data: bytes, background: bool = False
+    ) -> IoResult:
+        if self.config.use_zone_append and not background:
+            result = self.device.append(record.zone_index, data)
+            slot = (result.offset % self.zone_size) // self.region_size
+            location = RegionLocation(record.zone_index, slot)
+        else:
+            slot = record.next_slot
+            location = RegionLocation(record.zone_index, slot)
+            offset = location.byte_offset(self.zone_size, self.region_size)
+            result = self.device.write(offset, data, background=background)
+        record.bitmap.set(slot)
+        self.map.bind(region_id, location)
+        self.book.note_slot_written(record)
+        return result
+
+    def _migrate_region(self, region_id: int, target: ZoneRecord) -> None:
+        """GC relocation on the background thread (§3.3): the device is
+        kept busy — foreground I/O queues behind the migration — but the
+        cache itself is not blocked."""
+        old = self.map.lookup(region_id)
+        offset = old.byte_offset(self.zone_size, self.region_size)
+        data = self.device.read(offset, self.region_size, background=True).data
+        assert data is not None
+        self.book.record(old.zone_index).bitmap.clear(old.slot)
+        self._write_to_record(region_id, target, data, background=True)
+        self.stats.migrated_region_writes += 1
+
+    def _reset_zone(self, zone_index: int) -> None:
+        self.device.reset_zone(zone_index)
+        self.stats.gc_zone_resets += 1
+
+    def _region_at(self, zone_index: int, slot: int) -> Optional[int]:
+        return self.map.region_at(RegionLocation(zone_index, slot))
+
+    def _drop_region(self, region_id: int) -> None:
+        self.map.unbind(region_id)
+        self.stats.dropped_regions += 1
+
+    # --- persistence (warm restart) -----------------------------------------------
+
+    def to_state(self) -> dict:
+        """Serializable snapshot of the mapping and zone bookkeeping.
+
+        The data itself lives on the (persistent) ZNS device; this state
+        is what a real middle layer would keep in a superblock so the
+        region map survives restarts.
+        """
+        records = []
+        for record in self.book.records:
+            records.append(
+                {
+                    "zone": record.zone_index,
+                    "use": record.use.value,
+                    "next_slot": record.next_slot,
+                    "valid_slots": list(record.bitmap.valid_slots()),
+                }
+            )
+        mapping = {}
+        for record in self.book.records:
+            for slot in record.bitmap.valid_slots():
+                region_id = self._region_at(record.zone_index, slot)
+                if region_id is not None:
+                    mapping[str(region_id)] = [record.zone_index, slot]
+        return {
+            "region_size": self.region_size,
+            "num_zones": self.num_zones,
+            "records": records,
+            "mapping": mapping,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild mapping/bookkeeping from :meth:`to_state` output.
+
+        The device must be the same one (or hold identical contents).
+        """
+        from repro.ztl.allocator import ZoneUse
+
+        if state["region_size"] != self.region_size or state["num_zones"] != self.num_zones:
+            raise ValueError("state does not match this layer's geometry")
+        self.book = ZoneBook(
+            self.num_zones, self.slots_per_zone, self.config.host_open_zones
+        )
+        self.map = RegionMap()
+        # Rebuild per-zone records and pool membership.
+        self.book._empty = []
+        self.book._host_open = []
+        self.book._finished = []
+        self.book._gc_open = None
+        for entry in state["records"]:
+            record = self.book.records[entry["zone"]]
+            record.next_slot = entry["next_slot"]
+            record.use = ZoneUse(entry["use"])
+            record.bitmap.clear_all()
+            for slot in entry["valid_slots"]:
+                record.bitmap.set(slot)
+            if record.use is ZoneUse.EMPTY:
+                self.book._empty.append(record.zone_index)
+            elif record.use is ZoneUse.HOST_OPEN:
+                self.book._host_open.append(record.zone_index)
+            elif record.use is ZoneUse.GC_OPEN:
+                self.book._gc_open = record.zone_index
+            else:
+                self.book._finished.append(record.zone_index)
+        for region_id_str, (zone_index, slot) in state["mapping"].items():
+            self.map.bind(int(region_id_str), RegionLocation(zone_index, slot))
+        # Re-point the collector at the rebuilt book and clear any
+        # in-progress victim from the previous life.
+        self.gc._book = self.book
+        self.gc._victim = None
+        self.gc._pending = []
+        self.gc.bind_lookup(self._region_at, self._drop_region)
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionTranslationLayer(zones={self.num_zones}, "
+            f"slots/zone={self.slots_per_zone}, live={self.live_regions}, "
+            f"waf={self.stats.app_write_amplification:.2f})"
+        )

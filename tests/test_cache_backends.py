@@ -1,0 +1,208 @@
+"""Unit tests for the four RegionStore backends and shared helpers."""
+
+import pytest
+
+from repro.cache.backends import (
+    BlockRegionStore,
+    FileRegionStore,
+    WafRaw,
+    ZoneRegionStore,
+    ZtlRegionStore,
+)
+from repro.cache.backends.base import aligned_window
+from repro.errors import CacheConfigError
+from repro.f2fs import CleanerConfig, F2fs, F2fsConfig
+from repro.flash import (
+    BlockSsd,
+    BlockSsdConfig,
+    FtlConfig,
+    NandGeometry,
+    NullBlkDevice,
+    ZnsConfig,
+    ZnsSsd,
+)
+from repro.sim import SimClock
+from repro.units import KIB, MIB
+from repro.ztl import GcConfig, RegionTranslationLayer, ZtlConfig
+
+PAGE = 4 * KIB
+REGION = 16 * KIB
+
+
+def geometry():
+    return NandGeometry(page_size=PAGE, pages_per_block=16, num_blocks=256)
+
+
+def payload(tag: int, size: int = REGION) -> bytes:
+    return bytes([tag % 251 + 1]) * size
+
+
+class TestAlignedWindow:
+    def test_already_aligned(self):
+        assert aligned_window(0, 4096, 4096) == (0, 4096, 0)
+
+    def test_unaligned_offset(self):
+        offset, length, skip = aligned_window(100, 50, 4096)
+        assert offset == 0
+        assert length == 4096
+        assert skip == 100
+
+    def test_crossing_boundary(self):
+        offset, length, skip = aligned_window(4000, 200, 4096)
+        assert offset == 0
+        assert length == 8192
+        assert skip == 4000
+
+
+class TestWafRaw:
+    def test_window_math(self):
+        start = WafRaw(app_host=100, app_total=100, dev_host=100, dev_total=110)
+        end = WafRaw(app_host=200, app_total=230, dev_host=220, dev_total=290)
+        waf = start.window_to(end)
+        assert waf.app == pytest.approx(1.30)
+        assert waf.device == pytest.approx(1.50)
+        assert waf.total == pytest.approx(1.95)
+
+    def test_empty_window_is_one(self):
+        raw = WafRaw(1, 1, 1, 1)
+        waf = raw.window_to(raw)
+        assert waf.app == 1.0 and waf.device == 1.0
+
+
+def backend_cases():
+    def block():
+        clock = SimClock()
+        device = BlockSsd(clock, BlockSsdConfig(geometry=geometry(), ftl=FtlConfig(0.25)))
+        return BlockRegionStore(device, REGION, 16)
+
+    def file():
+        clock = SimClock()
+        zns = ZnsSsd(clock, ZnsConfig(geometry=geometry(), zone_size=8 * 64 * KIB))
+        meta = NullBlkDevice(clock, capacity_bytes=4 * MIB)
+        fs = F2fs(clock, zns, meta, F2fsConfig(checkpoint_interval_blocks=1 << 30),
+                  CleanerConfig())
+        fs.mkfs()
+        return FileRegionStore(fs, REGION, 16)
+
+    def zone():
+        clock = SimClock()
+        zns = ZnsSsd(clock, ZnsConfig(geometry=geometry(), zone_size=4 * 64 * KIB))
+        return ZoneRegionStore(zns, 8)
+
+    def ztl():
+        clock = SimClock()
+        zns = ZnsSsd(clock, ZnsConfig(geometry=geometry(), zone_size=4 * 64 * KIB))
+        layer = RegionTranslationLayer(
+            zns, ZtlConfig(region_size=REGION, gc=GcConfig(min_empty_zones=2))
+        )
+        return ZtlRegionStore(layer, 16)
+
+    return [("block", block), ("file", file), ("zone", zone), ("ztl", ztl)]
+
+
+@pytest.fixture(params=[name for name, _ in backend_cases()])
+def store(request):
+    for name, factory in backend_cases():
+        if name == request.param:
+            return factory()
+    raise AssertionError
+
+
+class TestRegionStoreContract:
+    def region_size_of(self, store):
+        return store.region_size
+
+    def test_write_read_roundtrip(self, store):
+        data = payload(3, store.region_size)
+        store.write_region(0, data)
+        assert store.read(0, 0, store.region_size) == data
+
+    def test_partial_unaligned_read(self, store):
+        data = payload(4, store.region_size)
+        store.write_region(1, data)
+        assert store.read(1, 100, 999) == data[100:1099]
+
+    def test_rewrite_replaces(self, store):
+        store.write_region(0, payload(1, store.region_size))
+        store.write_region(0, payload(2, store.region_size))
+        assert store.read(0, 0, 64) == payload(2, 64)
+
+    def test_bad_region_id(self, store):
+        with pytest.raises(IndexError):
+            store.write_region(store.num_regions, payload(1, store.region_size))
+        with pytest.raises(IndexError):
+            store.read(-1, 0, 16)
+        with pytest.raises(IndexError):
+            store.invalidate_region(store.num_regions)
+
+    def test_wrong_payload_size(self, store):
+        with pytest.raises(ValueError):
+            store.write_region(0, b"short")
+
+    def test_waf_types(self, store):
+        store.write_region(0, payload(1, store.region_size))
+        waf = store.waf()
+        raw = store.waf_raw()
+        assert waf.app >= 1.0 and waf.device >= 1.0
+        assert raw.app_total >= raw.app_host >= 0
+
+    def test_scheme_name(self, store):
+        assert store.scheme_name.endswith("-Cache")
+
+
+class TestBackendSpecifics:
+    def test_block_store_capacity_check(self):
+        clock = SimClock()
+        device = BlockSsd(clock, BlockSsdConfig(geometry=geometry()))
+        too_many = device.capacity_bytes // REGION + 1
+        with pytest.raises(ValueError):
+            BlockRegionStore(device, REGION, too_many)
+
+    def test_block_discard_mode(self):
+        clock = SimClock()
+        device = BlockSsd(clock, BlockSsdConfig(geometry=geometry()))
+        store = BlockRegionStore(device, REGION, 8, use_discard=True)
+        store.write_region(0, payload(1))
+        store.invalidate_region(0)
+        assert store.read(0, 0, 64) == b"\x00" * 64
+
+    def test_file_store_must_fit_fs(self):
+        clock = SimClock()
+        zns = ZnsSsd(clock, ZnsConfig(geometry=geometry(), zone_size=8 * 64 * KIB))
+        meta = NullBlkDevice(clock, capacity_bytes=4 * MIB)
+        fs = F2fs(clock, zns, meta)
+        fs.mkfs()
+        too_many = fs.usable_bytes // REGION + 1
+        with pytest.raises(ValueError):
+            FileRegionStore(fs, REGION, too_many)
+
+    def test_zone_store_region_is_zone(self):
+        clock = SimClock()
+        zns = ZnsSsd(clock, ZnsConfig(geometry=geometry(), zone_size=4 * 64 * KIB))
+        store = ZoneRegionStore(zns)
+        assert store.region_size == zns.zone_size
+        assert store.num_regions == zns.num_zones
+
+    def test_zone_store_invalidate_resets(self):
+        clock = SimClock()
+        zns = ZnsSsd(clock, ZnsConfig(geometry=geometry(), zone_size=4 * 64 * KIB))
+        store = ZoneRegionStore(zns, 4)
+        store.write_region(0, payload(1, store.region_size))
+        store.invalidate_region(0)
+        from repro.flash.zone import ZoneState
+
+        assert zns.zones[0].state == ZoneState.EMPTY
+
+    def test_ztl_store_requires_op(self):
+        clock = SimClock()
+        zns = ZnsSsd(clock, ZnsConfig(geometry=geometry(), zone_size=4 * 64 * KIB))
+        layer = RegionTranslationLayer(zns, ZtlConfig(region_size=REGION))
+        with pytest.raises(CacheConfigError):
+            ZtlRegionStore(layer, layer.total_slots)
+
+    def test_ztl_op_ratio(self):
+        clock = SimClock()
+        zns = ZnsSsd(clock, ZnsConfig(geometry=geometry(), zone_size=4 * 64 * KIB))
+        layer = RegionTranslationLayer(zns, ZtlConfig(region_size=REGION))
+        store = ZtlRegionStore(layer, layer.total_slots // 2)
+        assert store.op_ratio == pytest.approx(0.5)

@@ -1,0 +1,246 @@
+"""Unit tests for cache building blocks: codec, index, buffers, policies,
+RAM cache, admission, config."""
+
+import pytest
+
+from repro.cache import (
+    AdmitAll,
+    CacheConfig,
+    CpuCosts,
+    EntryCodec,
+    EntryLocation,
+    ProbabilisticAdmission,
+    RamCache,
+    RegionBuffer,
+    RegionMeta,
+    ShardedIndex,
+    make_eviction_policy,
+)
+from repro.cache.admission import SizeThresholdAdmission
+from repro.errors import CacheConfigError
+
+
+class TestEntryCodec:
+    def test_roundtrip(self):
+        blob = EntryCodec.encode(b"key", b"value")
+        assert EntryCodec.decode(blob) == (b"key", b"value")
+
+    def test_entry_size(self):
+        assert EntryCodec.entry_size(b"key", b"value") == 16 + 3 + 5
+
+    def test_expiry_roundtrip(self):
+        blob = EntryCodec.encode(b"k", b"v", expiry_ns=12345)
+        entry = EntryCodec.decode_entry(blob)
+        assert entry.expiry_ns == 12345
+        assert entry.is_expired(now_ns=12345)
+        assert not entry.is_expired(now_ns=12344)
+
+    def test_no_expiry_never_expires(self):
+        entry = EntryCodec.decode_entry(EntryCodec.encode(b"k", b"v"))
+        assert not entry.is_expired(now_ns=2**62)
+
+    def test_decode_with_trailing_garbage(self):
+        blob = EntryCodec.encode(b"k", b"v") + b"\x00" * 32
+        assert EntryCodec.decode(blob) == (b"k", b"v")
+
+    def test_truncated_rejected(self):
+        blob = EntryCodec.encode(b"key", b"value")
+        with pytest.raises(ValueError):
+            EntryCodec.decode(blob[:5])
+        with pytest.raises(ValueError):
+            EntryCodec.decode(blob[:10])
+
+    def test_empty_value(self):
+        blob = EntryCodec.encode(b"key", b"")
+        assert EntryCodec.decode(blob) == (b"key", b"")
+
+
+class TestShardedIndex:
+    def test_put_get_remove(self):
+        index = ShardedIndex(4)
+        loc = EntryLocation(1, 0, 10)
+        assert index.put(b"a", loc) is None
+        assert index.get(b"a") == loc
+        assert b"a" in index
+        assert index.remove(b"a") == loc
+        assert index.get(b"a") is None
+
+    def test_put_returns_old(self):
+        index = ShardedIndex(4)
+        old = EntryLocation(1, 0, 10)
+        new = EntryLocation(2, 5, 10)
+        index.put(b"a", old)
+        assert index.put(b"a", new) == old
+        assert index.get(b"a") == new
+
+    def test_len_spans_shards(self):
+        index = ShardedIndex(4)
+        for i in range(100):
+            index.put(f"key{i}".encode(), EntryLocation(0, i, 1))
+        assert len(index) == 100
+        assert len(set(index.keys())) == 100
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            ShardedIndex(0)
+
+
+class TestRegionBuffer:
+    def test_append_and_read(self):
+        buffer = RegionBuffer(region_id=3, capacity=4096, opened_at_ns=0)
+        loc = buffer.append(b"k", b"v" * 10)
+        assert loc.region_id == 3
+        assert loc.offset == 0
+        blob = buffer.read(loc.offset, loc.length)
+        assert EntryCodec.decode(blob) == (b"k", b"v" * 10)
+
+    def test_fits(self):
+        buffer = RegionBuffer(0, capacity=32, opened_at_ns=0)
+        assert buffer.fits(32)
+        assert not buffer.fits(33)
+
+    def test_overflow_rejected(self):
+        buffer = RegionBuffer(0, capacity=16, opened_at_ns=0)
+        with pytest.raises(ValueError):
+            buffer.append(b"key", b"x" * 32)
+
+    def test_read_beyond_used_rejected(self):
+        buffer = RegionBuffer(0, capacity=64, opened_at_ns=0)
+        buffer.append(b"k", b"v")
+        with pytest.raises(ValueError):
+            buffer.read(0, 64)
+
+    def test_finalize_pads_to_capacity(self):
+        buffer = RegionBuffer(0, capacity=64, opened_at_ns=0)
+        buffer.append(b"k", b"v")
+        payload = buffer.finalize()
+        assert len(payload) == 64
+
+    def test_meta_key_tracking(self):
+        meta = RegionMeta(0)
+        meta.note_inserted(b"a")
+        meta.note_inserted(b"b")
+        meta.note_removed(b"a")
+        assert meta.valid_items == 1
+
+
+class TestEvictionPolicies:
+    def test_fifo_ignores_touch(self):
+        policy = make_eviction_policy("fifo")
+        policy.track(1)
+        policy.track(2)
+        policy.touch(1)
+        assert policy.pick_victim() == 1
+
+    def test_lru_promotes_on_touch(self):
+        policy = make_eviction_policy("lru")
+        policy.track(1)
+        policy.track(2)
+        policy.touch(1)
+        assert policy.pick_victim() == 2
+
+    def test_untrack(self):
+        policy = make_eviction_policy("lru")
+        policy.track(1)
+        policy.untrack(1)
+        assert policy.pick_victim() is None
+        assert len(policy) == 0
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_eviction_policy("random")
+
+
+class TestRamCache:
+    def test_put_get(self):
+        ram = RamCache(1024)
+        ram.put(b"a", b"1" * 100)
+        assert ram.get(b"a") == b"1" * 100
+
+    def test_byte_budget_evicts_lru(self):
+        ram = RamCache(300)
+        ram.put(b"a", b"1" * 100)
+        ram.put(b"b", b"2" * 100)
+        ram.get(b"a")  # promote a
+        ram.put(b"c", b"3" * 100)  # must evict b
+        assert ram.get(b"b") is None
+        assert ram.get(b"a") is not None
+        assert ram.evictions == 1
+
+    def test_oversized_item_skipped(self):
+        ram = RamCache(50)
+        ram.put(b"a", b"1" * 100)
+        assert ram.get(b"a") is None
+
+    def test_replace_updates_budget(self):
+        ram = RamCache(1024)
+        ram.put(b"a", b"1" * 100)
+        ram.put(b"a", b"2" * 10)
+        assert ram.used_bytes == 1 + 10
+
+    def test_remove(self):
+        ram = RamCache(1024)
+        ram.put(b"a", b"1")
+        assert ram.remove(b"a")
+        assert not ram.remove(b"a")
+        assert ram.used_bytes == 0
+
+
+class TestAdmission:
+    def test_admit_all(self):
+        assert AdmitAll().admit(b"k", b"v")
+
+    def test_probabilistic_bounds(self):
+        always = ProbabilisticAdmission(1.0)
+        never = ProbabilisticAdmission(0.0)
+        assert all(always.admit(b"k", b"v") for _ in range(50))
+        assert not any(never.admit(b"k", b"v") for _ in range(50))
+
+    def test_probabilistic_rate(self):
+        policy = ProbabilisticAdmission(0.5, seed=3)
+        admitted = sum(policy.admit(b"k", b"v") for _ in range(2000))
+        assert 850 < admitted < 1150
+
+    def test_probabilistic_invalid(self):
+        with pytest.raises(ValueError):
+            ProbabilisticAdmission(1.5)
+
+    def test_size_threshold(self):
+        policy = SizeThresholdAdmission(10)
+        assert policy.admit(b"k", b"x" * 10)
+        assert not policy.admit(b"k", b"x" * 11)
+
+
+class TestCacheConfig:
+    def test_flash_bytes(self):
+        config = CacheConfig(region_size=1024, num_regions=8)
+        assert config.flash_bytes == 8192
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"region_size": 0},
+            {"num_regions": 1},
+            {"ram_bytes": -1},
+            {"eviction_policy": "mru"},
+            {"index_shards": 0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(CacheConfigError):
+            CacheConfig(**kwargs)
+
+    def test_eviction_teardown_superlinear(self):
+        cpu = CpuCosts(evict_index_per_item_ns=1000, evict_contention_scale_items=100)
+        # 10 items: ~linear; 1000 items: heavy contention multiplier.
+        small = cpu.eviction_teardown_ns(10)
+        large = cpu.eviction_teardown_ns(1000)
+        assert small < 10 * 1000 * 2
+        assert large > 1000 * 1000 * 5
+
+    def test_teardown_zero_items(self):
+        assert CpuCosts().eviction_teardown_ns(0) == 0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(CacheConfigError):
+            CpuCosts(get_ns=-1)

@@ -1,0 +1,71 @@
+"""TTL (expiry) behaviour of the hybrid cache."""
+
+import pytest
+
+from repro.bench.schemes import SchemeScale, build_region_cache
+from repro.sim import SimClock
+from repro.units import KIB
+
+SCALE = SchemeScale(
+    zone_size=256 * KIB, region_size=16 * KIB, pages_per_block=16,
+    ram_bytes=32 * KIB,
+)
+
+
+@pytest.fixture
+def stack():
+    return build_region_cache(SimClock(), SCALE, 16 * 256 * KIB, 12 * 256 * KIB)
+
+
+class TestTtl:
+    def test_item_readable_before_expiry(self, stack):
+        stack.cache.set(b"k", b"v", ttl_seconds=10.0)
+        assert stack.cache.get(b"k") == b"v"
+
+    def test_item_expires_from_ram(self, stack):
+        cache = stack.cache
+        cache.set(b"k", b"v", ttl_seconds=0.5)
+        stack.clock.advance(int(1e9))  # 1 simulated second
+        assert cache.get(b"k") is None
+
+    def test_item_expires_from_flash(self, stack):
+        cache = stack.cache
+        cache.set(b"k", b"v", ttl_seconds=0.5)
+        cache.flush()
+        cache.ram.clear()
+        cache._expiry.clear()  # simulate a restart losing RAM metadata
+        stack.clock.advance(int(1e9))
+        # Expiry travels in the on-flash header, so it still expires.
+        assert cache.get(b"k") is None
+        assert cache.stats.expired_reads == 1
+
+    def test_expired_item_purged_on_access(self, stack):
+        cache = stack.cache
+        cache.set(b"k", b"v", ttl_seconds=0.1)
+        stack.clock.advance(int(1e9))
+        cache.get(b"k")
+        assert not cache.contains(b"k")
+
+    def test_reset_ttl_on_overwrite(self, stack):
+        cache = stack.cache
+        cache.set(b"k", b"v1", ttl_seconds=0.1)
+        cache.set(b"k", b"v2")  # no TTL this time
+        stack.clock.advance(int(1e9))
+        assert cache.get(b"k") == b"v2"
+
+    def test_invalid_ttl_rejected(self, stack):
+        with pytest.raises(ValueError):
+            stack.cache.set(b"k", b"v", ttl_seconds=0)
+
+    def test_delete_clears_expiry(self, stack):
+        cache = stack.cache
+        cache.set(b"k", b"v", ttl_seconds=5.0)
+        cache.delete(b"k")
+        assert b"k" not in cache._expiry
+
+    def test_hit_ratio_counts_expired_as_miss(self, stack):
+        cache = stack.cache
+        cache.set(b"k", b"v", ttl_seconds=0.1)
+        stack.clock.advance(int(1e9))
+        cache.get(b"k")
+        assert cache.stats.lookups.misses == 1

@@ -1,0 +1,92 @@
+"""Unit tests for the db_bench driver (small configurations)."""
+
+import pytest
+
+from repro.bench.schemes import SchemeScale
+from repro.units import KIB, MIB
+from repro.workloads.dbbench import DbBenchConfig, DbBenchDriver
+
+TINY_SCALE = SchemeScale(
+    zone_size=256 * KIB, region_size=16 * KIB, pages_per_block=16,
+    ram_bytes=16 * KIB, parallelism=4,
+)
+
+
+def tiny_config(**kwargs):
+    defaults = dict(
+        num_keys=4000,
+        num_reads=400,
+        warmup_reads=400,
+        exp_range=25.0,
+        cache_zones=3,
+        hdd_bytes=64 * MIB,
+        dram_block_cache_bytes=32 * KIB,
+    )
+    defaults.update(kwargs)
+    return DbBenchConfig(**defaults)
+
+
+class TestDbBenchConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_keys": 0},
+            {"num_reads": 0},
+            {"key_size": 4},
+            {"value_size": 0},
+            {"cache_zones": 0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            tiny_config(**kwargs)
+
+    def test_key_value_shapes(self):
+        driver = DbBenchDriver(tiny_config(), TINY_SCALE)
+        assert len(driver.key_bytes(7)) == 16
+        assert len(driver.value_bytes(7)) == 64
+
+
+class TestDbBenchDriver:
+    @pytest.mark.parametrize("scheme", ["Region-Cache", "Zone-Cache", "Block-Cache"])
+    def test_run_produces_sane_result(self, scheme):
+        driver = DbBenchDriver(tiny_config(scheme=scheme), TINY_SCALE)
+        result = driver.run()
+        assert result.scheme == scheme
+        assert result.reads == 400
+        assert result.ops_per_sec > 0
+        assert 0.0 <= result.cache_hit_ratio <= 1.0
+        assert result.found_ratio == 1.0  # every sampled key was inserted
+        assert result.p99_ns >= result.p50_ns
+
+    def test_deterministic(self):
+        a = DbBenchDriver(tiny_config(), TINY_SCALE).run()
+        b = DbBenchDriver(tiny_config(), TINY_SCALE).run()
+        assert a.ops_per_sec == b.ops_per_sec
+        assert a.cache_hit_ratio == b.cache_hit_ratio
+
+    def test_skew_improves_hit_ratio(self):
+        # The cache must be smaller than the working set for skew to
+        # matter at all.
+        flat = DbBenchDriver(
+            tiny_config(exp_range=0.0, num_keys=16_000), TINY_SCALE
+        ).run()
+        skewed = DbBenchDriver(
+            tiny_config(exp_range=25.0, num_keys=16_000), TINY_SCALE
+        ).run()
+        assert skewed.cache_hit_ratio > flat.cache_hit_ratio
+
+    def test_bigger_cache_bigger_hit(self):
+        small = DbBenchDriver(
+            tiny_config(cache_zones=2, num_keys=8000), TINY_SCALE
+        ).run()
+        large = DbBenchDriver(
+            tiny_config(cache_zones=6, num_keys=8000), TINY_SCALE
+        ).run()
+        assert large.cache_hit_ratio > small.cache_hit_ratio
+
+    def test_zone_cache_floors_to_whole_zones(self):
+        config = tiny_config(scheme="Zone-Cache", cache_zones=3.5)
+        driver = DbBenchDriver(config, TINY_SCALE)
+        driver.setup()
+        assert driver.stack.cache.config.flash_bytes == 3 * TINY_SCALE.zone_size

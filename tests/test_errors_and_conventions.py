@@ -1,0 +1,100 @@
+"""Cross-cutting tests: error hierarchy, clock conventions, RNG streams."""
+
+import pytest
+
+from repro import errors
+from repro.sim import make_rng
+from repro.sim.clock import SimClock
+
+
+class TestErrorHierarchy:
+    def test_all_errors_descend_from_repro_error(self):
+        leaf_errors = [
+            errors.OutOfRangeError,
+            errors.AlignmentError,
+            errors.ZoneStateError,
+            errors.WritePointerError,
+            errors.ZoneResourceError,
+            errors.DeviceFullError,
+            errors.NoSpaceError,
+            errors.FileNotFoundInFsError,
+            errors.FileExistsInFsError,
+            errors.RegionNotMappedError,
+            errors.TranslationFullError,
+            errors.CacheConfigError,
+            errors.ObjectTooLargeError,
+            errors.DbClosedError,
+        ]
+        for leaf in leaf_errors:
+            assert issubclass(leaf, errors.ReproError), leaf
+
+    def test_layer_bases(self):
+        assert issubclass(errors.WritePointerError, errors.ZoneStateError)
+        assert issubclass(errors.ZoneStateError, errors.DeviceError)
+        assert issubclass(errors.NoSpaceError, errors.FilesystemError)
+        assert issubclass(errors.RegionNotMappedError, errors.TranslationError)
+        assert issubclass(errors.ObjectTooLargeError, errors.CacheError)
+        assert issubclass(errors.DbClosedError, errors.LsmError)
+
+    def test_catching_the_base_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.WritePointerError("x")
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = make_rng(5, "workload")
+        b = make_rng(5, "workload")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_streams_decorrelated(self):
+        a = make_rng(5, "workload")
+        b = make_rng(5, "device")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_empty_stream_uses_raw_seed(self):
+        import random
+
+        assert make_rng(5).random() == random.Random(5).random()
+
+
+class TestClockConventions:
+    def test_devices_advance_shared_clock(self):
+        """Every device moves the one shared clock — the core simulation
+        convention (DESIGN.md)."""
+        from repro.flash import (
+            BlockSsd,
+            HddConfig,
+            HddDevice,
+            NullBlkDevice,
+            ZnsSsd,
+        )
+        from repro.units import MIB
+
+        clock = SimClock()
+        devices = [
+            BlockSsd(clock),
+            ZnsSsd(clock),
+            NullBlkDevice(clock, capacity_bytes=1 * MIB),
+            HddDevice(clock, HddConfig(capacity_bytes=16 * MIB)),
+        ]
+        for device in devices:
+            before = clock.now
+            device.write(0, b"\x00" * 4096)
+            assert clock.now > before, type(device).__name__
+
+    def test_background_io_does_not_advance_clock(self):
+        from repro.flash import ZnsSsd
+
+        clock = SimClock()
+        zns = ZnsSsd(clock)
+        before = clock.now
+        zns.write(0, b"\x00" * 4096, background=True)
+        assert clock.now == before
+        # But the device is busy: the next foreground op queues.
+        latency = zns.read(0, 4096).latency_ns
+        clock2 = SimClock()
+        zns2 = ZnsSsd(clock2)
+        zns2.write(0, b"\x00" * 4096)
+        baseline = zns2.read(0, 4096).latency_ns
+        assert latency > baseline

@@ -1,0 +1,19 @@
+"""Smoke test: the quickstart example must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "app-level WAF" in result.stdout
+    assert "get user:1001 -> b'alice'" in result.stdout

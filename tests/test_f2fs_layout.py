@@ -1,0 +1,61 @@
+"""Unit tests for F2FS layout math and config validation."""
+
+import pytest
+
+from repro.f2fs import F2fsConfig, F2fsLayout
+from repro.units import KIB
+
+
+def make_layout(zone_size=512 * KIB, num_zones=32, **config_kwargs) -> F2fsLayout:
+    return F2fsLayout.for_device(zone_size, num_zones, F2fsConfig(**config_kwargs))
+
+
+class TestF2fsConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"block_size": 0},
+            {"segments_per_section": 0},
+            {"provision_ratio": -0.1},
+            {"provision_ratio": 0.95},
+            {"meta_batch_blocks": 0},
+            {"cpu_ns_per_block": -1},
+            {"checkpoint_interval_blocks": 0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            F2fsConfig(**kwargs)
+
+
+class TestF2fsLayout:
+    def test_derived_counts(self):
+        layout = make_layout()
+        assert layout.blocks_per_section == 128
+        assert layout.blocks_per_segment == 32
+        assert layout.num_sections == 32
+
+    def test_provisioning_reserved(self):
+        layout = make_layout(provision_ratio=0.25)
+        assert layout.reserved_sections == 8
+        assert layout.usable_sections == 24
+        assert layout.usable_bytes == 24 * 512 * KIB
+
+    def test_minimum_reserve_is_two(self):
+        layout = make_layout(num_zones=4, provision_ratio=0.0)
+        assert layout.reserved_sections == 2
+
+    def test_excessive_reserve_rejected(self):
+        with pytest.raises(ValueError):
+            make_layout(num_zones=2, provision_ratio=0.8)
+
+    def test_zone_must_align_to_segments(self):
+        with pytest.raises(ValueError):
+            F2fsLayout.for_device(100 * KIB, 8, F2fsConfig(segments_per_section=3))
+
+    def test_address_math_roundtrip(self):
+        layout = make_layout()
+        addr = layout.block_addr(section=3, offset=17)
+        assert layout.section_of_block(addr) == 3
+        assert layout.block_offset_in_section(addr) == 17
+        assert layout.device_offset(addr) == 3 * 512 * KIB + 17 * 4 * KIB

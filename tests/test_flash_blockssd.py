@@ -1,0 +1,112 @@
+"""Unit tests for the conventional block SSD simulator."""
+
+import random
+
+import pytest
+
+from repro.errors import AlignmentError, OutOfRangeError
+from repro.flash import BlockSsd, BlockSsdConfig, FtlConfig
+from repro.sim import SimClock
+from tests.conftest import make_payload
+
+PAGE = 4096
+
+
+class TestBlockSsdIo:
+    def test_read_back(self, block_ssd):
+        payload = make_payload(2 * PAGE, tag=7)
+        block_ssd.write(PAGE, payload)
+        assert block_ssd.read(PAGE, 2 * PAGE).data == payload
+
+    def test_unwritten_reads_zero(self, block_ssd):
+        assert block_ssd.read(0, PAGE).data == b"\x00" * PAGE
+
+    def test_overwrite_returns_new_data(self, block_ssd):
+        block_ssd.write(0, make_payload(PAGE, 1))
+        block_ssd.write(0, make_payload(PAGE, 2))
+        assert block_ssd.read(0, PAGE).data == make_payload(PAGE, 2)
+
+    def test_unaligned_write_rejected(self, block_ssd):
+        with pytest.raises(AlignmentError):
+            block_ssd.write(100, make_payload(PAGE, 1))
+
+    def test_unaligned_length_rejected(self, block_ssd):
+        with pytest.raises(AlignmentError):
+            block_ssd.write(0, b"xy")
+
+    def test_out_of_range_rejected(self, block_ssd):
+        cap = block_ssd.capacity_bytes
+        with pytest.raises(OutOfRangeError):
+            block_ssd.read(cap, PAGE)
+        with pytest.raises(OutOfRangeError):
+            block_ssd.write(cap - PAGE, make_payload(2 * PAGE, 1))
+
+    def test_discard_drops_data(self, block_ssd):
+        block_ssd.write(0, make_payload(PAGE, 9))
+        block_ssd.discard(0, PAGE)
+        assert block_ssd.read(0, PAGE).data == b"\x00" * PAGE
+
+
+class TestBlockSsdTiming:
+    def test_io_advances_clock(self, clock, block_ssd):
+        before = clock.now
+        result = block_ssd.write(0, make_payload(PAGE, 1))
+        assert clock.now == before + result.latency_ns
+
+    def test_write_slower_than_read(self, block_ssd):
+        write_lat = block_ssd.write(0, make_payload(PAGE, 1)).latency_ns
+        read_lat = block_ssd.read(0, PAGE).latency_ns
+        assert write_lat > read_lat
+
+    def test_latency_recorded_in_stats(self, block_ssd):
+        block_ssd.write(0, make_payload(PAGE, 1))
+        assert block_ssd.stats.write_latency.count == 1
+
+
+class TestBlockSsdGcBehaviour:
+    def churn(self, ssd: BlockSsd, factor: int = 3, seed: int = 5) -> None:
+        rng = random.Random(seed)
+        pages = ssd.capacity_bytes // PAGE
+        for i in range(pages):
+            ssd.write(i * PAGE, make_payload(PAGE, i))
+        for _ in range(pages * factor):
+            ssd.write(rng.randrange(pages) * PAGE, make_payload(PAGE, 0xAB))
+
+    def test_churn_produces_wa(self, block_ssd):
+        self.churn(block_ssd)
+        assert block_ssd.stats.write_amplification > 1.0
+        assert block_ssd.stats.gc_runs > 0
+        assert block_ssd.stats.erase_count > 0
+
+    def test_gc_inflates_tail_latency(self, block_ssd):
+        """Device GC stalls produce p99 >> p50 — Figure 5(d)'s mechanism."""
+        self.churn(block_ssd)
+        stats = block_ssd.stats.write_latency
+        assert stats.p99() > 2 * stats.p50()
+
+    def test_waf_in_snapshot(self, block_ssd):
+        self.churn(block_ssd)
+        snap = block_ssd.stats.snapshot()
+        assert snap["write_amplification"] == pytest.approx(
+            block_ssd.stats.write_amplification
+        )
+
+    def test_data_integrity_across_gc(self, clock, small_geometry):
+        """Read-back correctness must hold even while GC relocates pages."""
+        ssd = BlockSsd(
+            clock,
+            BlockSsdConfig(
+                geometry=small_geometry,
+                ftl=FtlConfig(op_ratio=0.25, gc_low_watermark=2, gc_high_watermark=4),
+            ),
+        )
+        rng = random.Random(23)
+        pages = ssd.capacity_bytes // PAGE
+        expected = {}
+        for step in range(pages * 4):
+            lpn = rng.randrange(pages)
+            payload = make_payload(PAGE, step)
+            ssd.write(lpn * PAGE, payload)
+            expected[lpn] = payload
+        for lpn, payload in expected.items():
+            assert ssd.read(lpn * PAGE, PAGE).data == payload

@@ -1,0 +1,59 @@
+"""Unit tests for NAND geometry and timing."""
+
+import pytest
+
+from repro.flash.nand import NandGeometry, NandTiming
+from repro.units import KIB
+
+
+class TestNandGeometry:
+    def test_derived_sizes(self):
+        geo = NandGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=8)
+        assert geo.block_size == 64 * KIB
+        assert geo.total_bytes == 512 * KIB
+        assert geo.total_pages == 128
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"page_size": 0},
+            {"pages_per_block": 0},
+            {"num_blocks": -1},
+            {"parallelism": 0},
+        ],
+    )
+    def test_invalid_geometry_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NandGeometry(**kwargs)
+
+
+class TestNandTiming:
+    def test_transfer_scales_with_bytes(self):
+        timing = NandTiming(bus_ns_per_byte=1.0)
+        assert timing.transfer_ns(100) == 100
+
+    def test_read_uses_parallelism(self):
+        timing = NandTiming(
+            page_read_ns=100, bus_ns_per_byte=0.0, command_overhead_ns=0
+        )
+        # 8 pages over parallelism 4 -> 2 serial read steps.
+        assert timing.read_ns(8, 0, parallelism=4) == 200
+
+    def test_program_rounds_up_serial_steps(self):
+        timing = NandTiming(
+            page_program_ns=100, bus_ns_per_byte=0.0, command_overhead_ns=0
+        )
+        assert timing.program_ns(9, 0, parallelism=4) == 300
+
+    def test_zero_pages_costs_only_overhead(self):
+        timing = NandTiming(command_overhead_ns=7)
+        assert timing.read_ns(0, 0, parallelism=4) == 7
+        assert timing.program_ns(0, 0, parallelism=4) == 7
+
+    def test_erase_serial(self):
+        timing = NandTiming(block_erase_ns=1000, command_overhead_ns=0)
+        assert timing.erase_ns(3) == 3000
+
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ValueError):
+            NandTiming(page_read_ns=-1)

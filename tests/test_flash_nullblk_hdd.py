@@ -1,0 +1,97 @@
+"""Unit tests for the nullblk and HDD device models."""
+
+import pytest
+
+from repro.errors import AlignmentError, OutOfRangeError
+from repro.flash import HddConfig, HddDevice, NullBlkDevice
+from repro.sim import SimClock
+from repro.units import KIB, MIB
+from tests.conftest import make_payload
+
+PAGE = 4096
+
+
+class TestNullBlk:
+    def test_read_back(self, clock):
+        dev = NullBlkDevice(clock, capacity_bytes=1 * MIB)
+        dev.write(PAGE, make_payload(PAGE, 4))
+        assert dev.read(PAGE, PAGE).data == make_payload(PAGE, 4)
+
+    def test_constant_latency(self, clock):
+        dev = NullBlkDevice(clock, capacity_bytes=1 * MIB)
+        latencies = {dev.write(i * PAGE, make_payload(PAGE, i)).latency_ns for i in range(8)}
+        assert len(latencies) == 1
+
+    def test_no_write_amplification(self, clock):
+        dev = NullBlkDevice(clock, capacity_bytes=1 * MIB)
+        dev.write(0, make_payload(PAGE, 1))
+        assert dev.stats.write_amplification == 1.0
+
+    def test_alignment_enforced(self, clock):
+        dev = NullBlkDevice(clock, capacity_bytes=1 * MIB)
+        with pytest.raises(AlignmentError):
+            dev.write(1, make_payload(PAGE, 1))
+
+    def test_capacity_enforced(self, clock):
+        dev = NullBlkDevice(clock, capacity_bytes=1 * MIB)
+        with pytest.raises(OutOfRangeError):
+            dev.read(1 * MIB, PAGE)
+
+    def test_bad_capacity_rejected(self, clock):
+        with pytest.raises(ValueError):
+            NullBlkDevice(clock, capacity_bytes=1000)  # not block aligned
+
+    def test_clock_advances(self, clock):
+        dev = NullBlkDevice(clock, capacity_bytes=1 * MIB)
+        before = clock.now
+        dev.write(0, make_payload(PAGE, 1))
+        assert clock.now > before
+
+
+class TestHdd:
+    def make(self, clock, **kwargs) -> HddDevice:
+        return HddDevice(clock, HddConfig(capacity_bytes=64 * MIB, **kwargs))
+
+    def test_read_back(self, clock):
+        dev = self.make(clock)
+        dev.write(8 * PAGE, make_payload(2 * PAGE, 6))
+        assert dev.read(8 * PAGE, 2 * PAGE).data == make_payload(2 * PAGE, 6)
+
+    def test_unwritten_reads_zero(self, clock):
+        dev = self.make(clock)
+        assert dev.read(0, PAGE).data == b"\x00" * PAGE
+
+    def test_sequential_faster_than_random(self, clock):
+        dev = self.make(clock)
+        # Sequential scan.
+        seq = [dev.read(i * PAGE, PAGE).latency_ns for i in range(64)]
+        # Long-distance strided reads force seeks.
+        stride = 1 * MIB
+        rand = [dev.read((i * 7 % 60) * stride, PAGE).latency_ns for i in range(64)]
+        assert sum(seq) / len(seq) < sum(rand) / len(rand) / 10
+
+    def test_random_read_costs_milliseconds(self, clock):
+        """The end-to-end experiment depends on HDD misses costing ~ms."""
+        dev = self.make(clock)
+        dev.read(0, PAGE)
+        far = dev.read(32 * MIB, PAGE).latency_ns
+        assert far > 1_000_000  # > 1 ms
+
+    def test_determinism_with_seed(self):
+        lat_a = []
+        lat_b = []
+        for target in (lat_a, lat_b):
+            clock = SimClock()
+            dev = HddDevice(clock, HddConfig(capacity_bytes=64 * MIB), seed=3)
+            for i in range(16):
+                target.append(dev.read((i * 13 % 50) * MIB, PAGE).latency_ns)
+        assert lat_a == lat_b
+
+    def test_alignment_enforced(self, clock):
+        dev = self.make(clock)
+        with pytest.raises(AlignmentError):
+            dev.read(10, PAGE)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            HddConfig(capacity_bytes=5000)

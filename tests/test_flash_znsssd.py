@@ -1,0 +1,178 @@
+"""Unit tests for the ZNS SSD simulator."""
+
+import pytest
+
+from repro.errors import (
+    AlignmentError,
+    OutOfRangeError,
+    WritePointerError,
+    ZoneResourceError,
+    ZoneStateError,
+)
+from repro.flash import ZnsConfig, ZnsSsd
+from repro.flash.zone import ZoneState
+from repro.sim import SimClock
+from tests.conftest import make_payload
+
+PAGE = 4096
+
+
+class TestZnsGeometry:
+    def test_zone_layout(self, zns_ssd):
+        assert zns_ssd.num_zones == 16
+        assert zns_ssd.zone_size == 256 * 1024
+        assert zns_ssd.capacity_bytes == zns_ssd.num_zones * zns_ssd.zone_size
+
+    def test_no_overprovisioning(self, zns_ssd):
+        """ZNS exports the full media — the paper's capacity advantage."""
+        assert zns_ssd.capacity_bytes == zns_ssd.config.geometry.total_bytes
+
+    def test_zone_size_must_align_to_blocks(self, clock, small_geometry):
+        with pytest.raises(ValueError):
+            ZnsSsd(clock, ZnsConfig(geometry=small_geometry, zone_size=PAGE * 3))
+
+    def test_zone_of(self, zns_ssd):
+        assert zns_ssd.zone_of(0).index == 0
+        assert zns_ssd.zone_of(zns_ssd.zone_size).index == 1
+        with pytest.raises(OutOfRangeError):
+            zns_ssd.zone_of(zns_ssd.capacity_bytes)
+
+
+class TestZnsWrites:
+    def test_sequential_write_and_read(self, zns_ssd):
+        payload = make_payload(2 * PAGE, 3)
+        zns_ssd.write(0, payload)
+        assert zns_ssd.read(0, 2 * PAGE).data == payload
+
+    def test_write_off_pointer_rejected(self, zns_ssd):
+        with pytest.raises(WritePointerError):
+            zns_ssd.write(PAGE, make_payload(PAGE, 1))
+
+    def test_write_crossing_zone_rejected(self, zns_ssd):
+        zone = zns_ssd.zones[0]
+        fill = make_payload(zone.size - PAGE, 1)
+        zns_ssd.write(0, fill)
+        with pytest.raises(ZoneStateError):
+            zns_ssd.write(zone.write_pointer, make_payload(2 * PAGE, 2))
+
+    def test_unaligned_rejected(self, zns_ssd):
+        with pytest.raises(AlignmentError):
+            zns_ssd.write(0, b"tiny")
+
+    def test_append_returns_offset(self, zns_ssd):
+        first = zns_ssd.append(2, make_payload(PAGE, 1))
+        second = zns_ssd.append(2, make_payload(PAGE, 2))
+        assert first.offset == 2 * zns_ssd.zone_size
+        assert second.offset == first.offset + PAGE
+
+    def test_fill_zone_makes_it_full(self, zns_ssd):
+        zns_ssd.write(0, make_payload(zns_ssd.zone_size, 5))
+        assert zns_ssd.zones[0].state == ZoneState.FULL
+
+    def test_write_to_full_zone_rejected(self, zns_ssd):
+        zns_ssd.write(0, make_payload(zns_ssd.zone_size, 5))
+        with pytest.raises(ZoneStateError):
+            zns_ssd.append(0, make_payload(PAGE, 1))
+
+    def test_zero_wa_always(self, zns_ssd):
+        """No device GC -> media writes == host writes, WA == 1."""
+        for zone_idx in range(4):
+            zns_ssd.write(
+                zone_idx * zns_ssd.zone_size, make_payload(zns_ssd.zone_size, zone_idx)
+            )
+            zns_ssd.reset_zone(zone_idx)
+        assert zns_ssd.stats.write_amplification == 1.0
+
+
+class TestZnsZoneManagement:
+    def test_reset_discards_data(self, zns_ssd):
+        zns_ssd.write(0, make_payload(PAGE, 9))
+        zns_ssd.reset_zone(0)
+        assert zns_ssd.zones[0].state == ZoneState.EMPTY
+        assert zns_ssd.read(0, PAGE).data == b"\x00" * PAGE
+
+    def test_reset_counts_erases_only_when_dirty(self, zns_ssd):
+        zns_ssd.reset_zone(3)
+        assert zns_ssd.stats.erase_count == 0
+        zns_ssd.write(0, make_payload(PAGE, 1))
+        zns_ssd.reset_zone(0)
+        assert zns_ssd.stats.erase_count > 0
+
+    def test_finish_zone(self, zns_ssd):
+        zns_ssd.write(0, make_payload(PAGE, 1))
+        zns_ssd.finish_zone(0)
+        assert zns_ssd.zones[0].state == ZoneState.FULL
+
+    def test_max_open_zones_enforced(self, zns_ssd):
+        limit = zns_ssd.config.max_open_zones
+        for zone_idx in range(limit):
+            zns_ssd.write(zone_idx * zns_ssd.zone_size, make_payload(PAGE, 1))
+        with pytest.raises(ZoneResourceError):
+            zns_ssd.write(limit * zns_ssd.zone_size, make_payload(PAGE, 1))
+
+    def test_close_frees_open_slot(self, zns_ssd):
+        limit = zns_ssd.config.max_open_zones
+        for zone_idx in range(limit):
+            zns_ssd.write(zone_idx * zns_ssd.zone_size, make_payload(PAGE, 1))
+        zns_ssd.close_zone(0)
+        # One open slot free now, but the closed zone still holds an active slot.
+        zns_ssd.write(limit * zns_ssd.zone_size, make_payload(PAGE, 1))
+        assert zns_ssd.open_zone_count == limit
+
+    def test_max_active_zones_enforced(self, zns_ssd):
+        max_active = zns_ssd.config.max_active_zones
+        for zone_idx in range(zns_ssd.config.max_open_zones):
+            zns_ssd.write(zone_idx * zns_ssd.zone_size, make_payload(PAGE, 1))
+        for zone_idx in range(max_active - zns_ssd.config.max_open_zones):
+            zns_ssd.close_zone(zone_idx)
+            zns_ssd.write(
+                (zns_ssd.config.max_open_zones + zone_idx) * zns_ssd.zone_size,
+                make_payload(PAGE, 1),
+            )
+        # All active slots used (open + closed); a fresh zone must be refused.
+        zns_ssd.close_zone(zns_ssd.config.max_open_zones - 1)
+        with pytest.raises(ZoneResourceError):
+            zns_ssd.write(
+                (max_active + 1) * zns_ssd.zone_size, make_payload(PAGE, 1)
+            )
+
+    def test_finish_releases_open_slot(self, zns_ssd):
+        limit = zns_ssd.config.max_open_zones
+        for zone_idx in range(limit):
+            zns_ssd.write(zone_idx * zns_ssd.zone_size, make_payload(PAGE, 1))
+        zns_ssd.finish_zone(0)
+        zns_ssd.write(limit * zns_ssd.zone_size, make_payload(PAGE, 1))
+
+    def test_explicit_open_counts_against_limit(self, zns_ssd):
+        limit = zns_ssd.config.max_open_zones
+        for zone_idx in range(limit):
+            zns_ssd.open_zone(zone_idx)
+        with pytest.raises(ZoneResourceError):
+            zns_ssd.open_zone(limit)
+
+    def test_report_zones(self, zns_ssd):
+        report = zns_ssd.report_zones()
+        assert len(report) == zns_ssd.num_zones
+        assert all(z.state == ZoneState.EMPTY for z in report)
+
+    def test_bad_zone_index(self, zns_ssd):
+        with pytest.raises(OutOfRangeError):
+            zns_ssd.reset_zone(zns_ssd.num_zones)
+
+
+class TestZnsTiming:
+    def test_io_advances_clock(self, clock, zns_ssd):
+        before = clock.now
+        result = zns_ssd.write(0, make_payload(PAGE, 1))
+        assert clock.now == before + result.latency_ns
+
+    def test_reset_returns_fast_but_erase_queues_later_io(self, zns_ssd):
+        """The reset command is cheap; the media erase runs in the
+        background, so the *next* I/O queues behind it."""
+        clean_reset = zns_ssd.reset_zone(1).latency_ns
+        zns_ssd.write(0, make_payload(PAGE, 1))
+        baseline_read = zns_ssd.read(0, PAGE).latency_ns
+        dirty_reset = zns_ssd.reset_zone(0).latency_ns
+        assert dirty_reset == clean_reset  # command itself is constant-time
+        delayed_read = zns_ssd.read(zns_ssd.zone_size, PAGE).latency_ns
+        assert delayed_read > baseline_read  # queued behind the erase

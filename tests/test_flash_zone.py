@@ -1,0 +1,123 @@
+"""Unit tests for the zone state machine."""
+
+import pytest
+
+from repro.errors import WritePointerError, ZoneStateError
+from repro.flash.zone import Zone, ZoneState
+
+
+def make_zone(size=4096 * 4) -> Zone:
+    return Zone(index=0, start=8192, size=size)
+
+
+class TestZoneBasics:
+    def test_initial_state(self):
+        zone = make_zone()
+        assert zone.state == ZoneState.EMPTY
+        assert zone.write_pointer == zone.start
+        assert zone.written_bytes == 0
+        assert zone.remaining_bytes == zone.size
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Zone(index=0, start=0, size=0)
+
+    def test_contains(self):
+        zone = make_zone()
+        assert zone.contains(zone.start, zone.size)
+        assert not zone.contains(zone.end, 1)
+        assert not zone.contains(zone.start - 1, 1)
+
+
+class TestZoneWrites:
+    def test_write_at_pointer_advances(self):
+        zone = make_zone()
+        zone.check_writable(zone.start, 4096)
+        zone.advance(4096)
+        assert zone.write_pointer == zone.start + 4096
+        assert zone.state == ZoneState.IMPLICIT_OPEN
+
+    def test_write_off_pointer_rejected(self):
+        zone = make_zone()
+        with pytest.raises(WritePointerError):
+            zone.check_writable(zone.start + 4096, 4096)
+
+    def test_write_past_boundary_rejected(self):
+        zone = make_zone()
+        with pytest.raises(ZoneStateError):
+            zone.check_writable(zone.start, zone.size + 4096)
+
+    def test_fill_transitions_to_full(self):
+        zone = make_zone()
+        zone.advance(zone.size)
+        assert zone.state == ZoneState.FULL
+
+    def test_write_to_full_zone_rejected(self):
+        zone = make_zone()
+        zone.advance(zone.size)
+        with pytest.raises(ZoneStateError):
+            zone.check_writable(zone.write_pointer, 4096)
+
+
+class TestZoneTransitions:
+    def test_reset_restores_empty(self):
+        zone = make_zone()
+        zone.advance(zone.size)
+        zone.reset()
+        assert zone.state == ZoneState.EMPTY
+        assert zone.write_pointer == zone.start
+
+    def test_finish_jumps_pointer(self):
+        zone = make_zone()
+        zone.advance(4096)
+        zone.finish()
+        assert zone.state == ZoneState.FULL
+        assert zone.write_pointer == zone.end
+
+    def test_explicit_open(self):
+        zone = make_zone()
+        zone.open_explicit()
+        assert zone.state == ZoneState.EXPLICIT_OPEN
+        assert zone.is_open
+
+    def test_open_full_zone_rejected(self):
+        zone = make_zone()
+        zone.finish()
+        with pytest.raises(ZoneStateError):
+            zone.open_explicit()
+
+    def test_close_open_zone(self):
+        zone = make_zone()
+        zone.advance(4096)
+        zone.close()
+        assert zone.state == ZoneState.CLOSED
+        assert zone.is_active and not zone.is_open
+
+    def test_close_unwritten_zone_reverts_to_empty(self):
+        zone = make_zone()
+        zone.open_explicit()
+        zone.close()
+        assert zone.state == ZoneState.EMPTY
+
+    def test_close_non_open_rejected(self):
+        zone = make_zone()
+        with pytest.raises(ZoneStateError):
+            zone.close()
+
+    def test_offline_zone_rejects_everything(self):
+        zone = make_zone()
+        zone.state = ZoneState.OFFLINE
+        with pytest.raises(ZoneStateError):
+            zone.reset()
+        with pytest.raises(ZoneStateError):
+            zone.finish()
+        with pytest.raises(ZoneStateError):
+            zone.open_explicit()
+        with pytest.raises(ZoneStateError):
+            zone.check_writable(zone.write_pointer, 4096)
+
+    def test_read_only_rejects_writes(self):
+        zone = make_zone()
+        zone.state = ZoneState.READ_ONLY
+        with pytest.raises(ZoneStateError):
+            zone.check_writable(zone.write_pointer, 4096)

@@ -1,0 +1,197 @@
+"""Integration tests for the LSM database, compaction, and the
+secondary-cache coupling."""
+
+import random
+
+import pytest
+
+from repro.bench.schemes import SchemeScale, build_region_cache, build_zone_cache
+from repro.errors import DbClosedError
+from repro.flash import HddConfig, HddDevice
+from repro.lsm import CacheLibSecondaryCache, Db, DbConfig
+from repro.lsm.compaction import CompactionConfig
+from repro.sim import SimClock
+from repro.units import KIB, MIB
+
+
+def make_db(clock=None, secondary=None, memtable_kib=64, block_cache_kib=32):
+    clock = clock or SimClock()
+    hdd = HddDevice(clock, HddConfig(capacity_bytes=64 * MIB))
+    config = DbConfig(
+        memtable_bytes=memtable_kib * KIB,
+        block_cache_bytes=block_cache_kib * KIB,
+        wal_bytes=256 * KIB,
+        compaction=CompactionConfig(
+            l0_trigger=3, l1_target_bytes=512 * KIB, max_table_bytes=128 * KIB
+        ),
+    )
+    return Db(clock, hdd, config, secondary_cache=secondary), clock
+
+
+def key(i: int) -> bytes:
+    return f"user{i:010d}".encode()
+
+
+class TestDbBasics:
+    def test_put_get(self):
+        db, _ = make_db()
+        db.put(key(1), b"value1")
+        assert db.get(key(1)) == b"value1"
+
+    def test_get_missing(self):
+        db, _ = make_db()
+        assert db.get(key(404)) is None
+
+    def test_overwrite(self):
+        db, _ = make_db()
+        db.put(key(1), b"old")
+        db.put(key(1), b"new")
+        assert db.get(key(1)) == b"new"
+
+    def test_delete_shadows(self):
+        db, _ = make_db()
+        db.put(key(1), b"v")
+        db.flush_memtable()
+        db.delete(key(1))
+        assert db.get(key(1)) is None
+        db.flush_memtable()
+        assert db.get(key(1)) is None
+
+    def test_get_after_flush(self):
+        db, _ = make_db()
+        for i in range(100):
+            db.put(key(i), f"value{i}".encode())
+        db.flush_memtable()
+        for i in range(100):
+            assert db.get(key(i)) == f"value{i}".encode()
+
+    def test_closed_db_rejects_ops(self):
+        db, _ = make_db()
+        db.put(key(1), b"v")
+        db.close()
+        with pytest.raises(DbClosedError):
+            db.get(key(1))
+        with pytest.raises(DbClosedError):
+            db.put(key(2), b"v")
+
+    def test_clock_advances(self):
+        db, clock = make_db()
+        before = clock.now
+        db.put(key(1), b"v")
+        db.get(key(1))
+        assert clock.now > before
+
+
+class TestDbCompaction:
+    def fill(self, db, count=4000, value_size=64, seed=3):
+        rng = random.Random(seed)
+        order = list(range(count))
+        rng.shuffle(order)
+        expected = {}
+        for i in order:
+            value = f"val{i:06d}".encode() * (value_size // 9 + 1)
+            db.put(key(i), value[:value_size])
+            expected[i] = value[:value_size]
+        db.flush_memtable()
+        return expected
+
+    def test_compaction_triggered(self):
+        db, _ = make_db()
+        self.fill(db)
+        assert db.compactor.compactions_run > 0
+        # L0 kept under control.
+        assert len(db.version.levels[0]) < db.config.compaction.l0_trigger
+
+    def test_all_keys_survive_compaction(self):
+        db, _ = make_db()
+        expected = self.fill(db)
+        for i, value in list(expected.items())[::7]:
+            assert db.get(key(i)) == value, i
+
+    def test_overwrites_resolve_to_newest(self):
+        db, _ = make_db()
+        self.fill(db, count=2000)
+        for i in range(0, 2000, 3):
+            db.put(key(i), b"NEWEST" + key(i))
+        db.flush_memtable()
+        db.compactor.maybe_compact()
+        for i in range(0, 2000, 37):
+            expected = b"NEWEST" + key(i) if i % 3 == 0 else None
+            if expected is not None:
+                assert db.get(key(i)) == expected
+
+    def test_deletes_survive_compaction(self):
+        db, _ = make_db()
+        self.fill(db, count=2000)
+        for i in range(0, 2000, 5):
+            db.delete(key(i))
+        db.flush_memtable()
+        db.compactor.maybe_compact()
+        for i in range(0, 2000, 35):
+            if i % 5 == 0:
+                assert db.get(key(i)) is None
+
+    def test_extents_released(self):
+        db, _ = make_db()
+        self.fill(db)
+        live_tables = db.version.table_count()
+        # Allocated extents = live tables + the WAL and manifest extents.
+        assert db.space.allocated_extents == live_tables + 2
+
+
+class TestSecondaryCacheCoupling:
+    SCALE = SchemeScale(
+        zone_size=256 * KIB, region_size=16 * KIB, pages_per_block=16,
+        ram_bytes=16 * KIB,
+    )
+
+    def make_with_secondary(self):
+        clock = SimClock()
+        stack = build_region_cache(
+            clock, self.SCALE, 8 * 256 * KIB, 6 * 256 * KIB
+        )
+        secondary = CacheLibSecondaryCache(stack.cache)
+        db, _ = make_db(clock=clock, secondary=secondary, block_cache_kib=16)
+        return db, secondary, stack
+
+    def test_spill_and_fill(self):
+        db, secondary, _ = self.make_with_secondary()
+        rng = random.Random(5)
+        for i in range(3000):
+            db.put(key(i), f"value{i}".encode())
+        db.flush_memtable()
+        for _ in range(800):
+            db.get(key(rng.randrange(3000)))
+        assert secondary.inserts > 0
+        assert secondary.lookups > 0
+        # Repeated reads of the same keys eventually hit the flash tier.
+        assert db.block_cache.secondary_lookups.hits > 0
+
+    def test_secondary_hits_faster_than_hdd(self):
+        db, secondary, stack = self.make_with_secondary()
+        for i in range(3000):
+            db.put(key(i), f"value{i}".encode())
+        db.flush_memtable()
+        rng = random.Random(7)
+        for _ in range(2000):
+            db.get(key(rng.randrange(3000)))
+        db.stats.get_latency.reset()
+        # A hot key served from flash must be far cheaper than ~ms HDD.
+        hot = key(100)
+        db.get(hot)
+        db.block_cache._items.clear()  # force out of DRAM
+        db.get(hot)
+        assert db.stats.get_latency.max() < 2_000_000  # < 2 ms
+
+    def test_zone_cache_also_works_as_secondary(self):
+        clock = SimClock()
+        stack = build_zone_cache(clock, self.SCALE, 6 * 256 * KIB)
+        secondary = CacheLibSecondaryCache(stack.cache)
+        db, _ = make_db(clock=clock, secondary=secondary, block_cache_kib=16)
+        for i in range(2000):
+            db.put(key(i), f"value{i}".encode())
+        db.flush_memtable()
+        rng = random.Random(9)
+        for _ in range(600):
+            assert db.get(key(rng.randrange(2000))) is not None
+        assert stack.cache.waf().total == 1.0

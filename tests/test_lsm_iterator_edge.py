@@ -1,0 +1,72 @@
+"""Edge cases for the LSM merge iterator and scans across levels."""
+
+import pytest
+
+from repro.lsm.compaction import TOMBSTONE
+from repro.lsm.iterator import merge_sources, scan_range
+
+
+class TestMergeSources:
+    def test_empty_sources(self):
+        assert list(merge_sources([])) == []
+        assert list(merge_sources([iter([]), iter([])])) == []
+
+    def test_single_source_passthrough(self):
+        entries = [(b"a", b"1"), (b"b", b"2")]
+        assert list(merge_sources([iter(entries)])) == entries
+
+    def test_three_way_precedence(self):
+        s0 = iter([(b"k", b"newest")])
+        s1 = iter([(b"k", b"middle")])
+        s2 = iter([(b"k", b"oldest"), (b"z", b"tail")])
+        merged = dict(merge_sources([s0, s1, s2]))
+        assert merged == {b"k": b"newest", b"z": b"tail"}
+
+    def test_interleaved_keys_stay_sorted(self):
+        s0 = iter([(b"b", b"0b"), (b"d", b"0d")])
+        s1 = iter([(b"a", b"1a"), (b"c", b"1c"), (b"e", b"1e")])
+        keys = [k for k, _ in merge_sources([s0, s1])]
+        assert keys == [b"a", b"b", b"c", b"d", b"e"]
+
+    def test_duplicate_in_same_priority_keeps_first(self):
+        # Within one source keys are unique by construction, but across
+        # equal-priority duplicates the first popped wins deterministically.
+        s0 = iter([(b"k", b"first")])
+        s1 = iter([(b"k", b"second")])
+        merged = dict(merge_sources([s0, s1]))
+        assert merged[b"k"] == b"first"
+
+
+class TestScanRange:
+    SOURCE = [
+        (b"a", b"\x01A"),
+        (b"b", TOMBSTONE),
+        (b"c", b"\x01C"),
+        (b"d", b"\x01D"),
+    ]
+
+    def test_full_range(self):
+        out = list(scan_range([iter(self.SOURCE)]))
+        assert out == [(b"a", b"A"), (b"c", b"C"), (b"d", b"D")]
+
+    def test_start_bound_inclusive(self):
+        out = list(scan_range([iter(self.SOURCE)], start=b"c"))
+        assert out == [(b"c", b"C"), (b"d", b"D")]
+
+    def test_end_bound_exclusive(self):
+        out = list(scan_range([iter(self.SOURCE)], end=b"d"))
+        assert out == [(b"a", b"A"), (b"c", b"C")]
+
+    def test_tombstone_shadows_older_value(self):
+        newer = iter([(b"c", TOMBSTONE)])
+        older = iter([(b"c", b"\x01old"), (b"x", b"\x01X")])
+        out = list(scan_range([newer, older]))
+        assert out == [(b"x", b"X")]
+
+    def test_include_tombstones(self):
+        out = list(scan_range([iter(self.SOURCE)], include_tombstones=True))
+        assert (b"b", b"") in out
+
+    def test_empty_window(self):
+        out = list(scan_range([iter(self.SOURCE)], start=b"x", end=b"y"))
+        assert out == []

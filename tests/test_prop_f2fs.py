@@ -1,0 +1,88 @@
+"""Property-based tests for the F2FS-like filesystem and SSTable codec."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.f2fs import CleanerConfig, F2fs, F2fsConfig, fsck
+from repro.flash import NandGeometry, NullBlkDevice, ZnsConfig, ZnsSsd
+from repro.lsm.block import DataBlock, DataBlockBuilder
+from repro.sim import SimClock
+from repro.units import KIB, MIB
+
+PAGE = 4 * KIB
+
+
+def make_fs() -> F2fs:
+    clock = SimClock()
+    geometry = NandGeometry(page_size=PAGE, pages_per_block=8, num_blocks=96)
+    zns = ZnsSsd(clock, ZnsConfig(geometry=geometry, zone_size=4 * geometry.block_size))
+    meta = NullBlkDevice(clock, capacity_bytes=4 * MIB)
+    fs = F2fs(
+        clock, zns, meta,
+        F2fsConfig(provision_ratio=0.25, checkpoint_interval_blocks=1 << 30),
+        CleanerConfig(low_watermark=3, pace_blocks=8),
+    )
+    fs.mkfs()
+    return fs
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 60), st.integers(0, 255), st.integers(1, 3)),
+        max_size=120,
+    )
+)
+def test_f2fs_agrees_with_model_and_stays_consistent(ops):
+    """Random block writes: the FS must agree with a model dict and pass
+    fsck afterwards, regardless of cleaning activity."""
+    fs = make_fs()
+    handle = fs.create("f")
+    model = {}
+    for block_index, tag, extent in ops:
+        payload = bytes([tag]) * (PAGE * extent)
+        handle.pwrite(block_index * PAGE, payload)
+        for i in range(extent):
+            model[block_index + i] = bytes([tag]) * PAGE
+    for block_index, expected in model.items():
+        assert handle.pread(block_index * PAGE, PAGE) == expected
+    report = fsck(fs)
+    assert report.clean, report.errors[:3]
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    entries=st.dictionaries(
+        st.binary(min_size=1, max_size=24),
+        st.binary(max_size=64),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_datablock_roundtrip(entries):
+    builder = DataBlockBuilder(target_size=1 << 20)
+    ordered = sorted(entries.items())
+    for key, value in ordered:
+        builder.add(key, value)
+    block = DataBlock(builder.finish())
+    assert len(block) == len(ordered)
+    for key, value in ordered:
+        assert block.get(key) == value
+    assert block.get(b"\xff" * 30) is None
+    assert block.entries() == ordered
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    keys=st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=200,
+                  unique=True)
+)
+def test_bloom_no_false_negatives_property(keys):
+    from repro.lsm.bloom import BloomFilter
+
+    bloom = BloomFilter.for_keys(keys)
+    assert all(bloom.may_contain(k) for k in keys)
+    restored = BloomFilter.from_bytes(bloom.to_bytes())
+    assert all(restored.may_contain(k) for k in keys)

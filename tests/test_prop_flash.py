@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the flash substrate.
+
+Invariants checked:
+
+* FTL: any sequence of writes/discards preserves a bijective mapping for
+  live pages, never maps two logical pages to one physical slot, and
+  media writes >= host writes.
+* Block SSD: read-back equals last write, for arbitrary page sequences.
+* ZNS: write pointers never exceed zone bounds, and the set of states is
+  always legal; host/media write equality (WA == 1) holds under any legal
+  op sequence.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.flash import BlockSsd, BlockSsdConfig, FtlConfig, NandGeometry, ZnsConfig, ZnsSsd
+from repro.flash.ftl import PageMappedFtl
+from repro.flash.zone import ZoneState
+from repro.sim import SimClock
+from repro.units import KIB
+
+PAGE = 4 * KIB
+
+SMALL_GEO = NandGeometry(page_size=PAGE, pages_per_block=8, num_blocks=32)
+
+
+def make_ftl() -> PageMappedFtl:
+    return PageMappedFtl(SMALL_GEO, FtlConfig(0.25, 2, 4))
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 100)),
+        max_size=300,
+    )
+)
+def test_ftl_mapping_stays_consistent(ops):
+    ftl = make_ftl()
+    live = set()
+    for is_write, lpn in ops:
+        lpn %= ftl.logical_pages
+        if is_write:
+            ftl.write_pages([lpn])
+            live.add(lpn)
+        else:
+            ftl.discard_pages([lpn])
+            live.discard(lpn)
+    locations = {}
+    for lpn in range(ftl.logical_pages):
+        loc = ftl.physical_of(lpn)
+        if lpn in live:
+            assert loc is not None, f"live page {lpn} lost its mapping"
+            assert loc not in locations.values(), "two pages share a slot"
+            locations[lpn] = loc
+    assert ftl.total_host_pages + ftl.total_moved_pages >= ftl.total_host_pages
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    writes=st.lists(st.tuples(st.integers(0, 60), st.integers(0, 255)), max_size=120)
+)
+def test_blockssd_readback_matches_last_write(writes):
+    ssd = BlockSsd(
+        SimClock(),
+        BlockSsdConfig(geometry=SMALL_GEO, ftl=FtlConfig(0.25, 2, 4)),
+    )
+    pages = ssd.capacity_bytes // PAGE
+    expected = {}
+    for lpn, tag in writes:
+        lpn %= pages
+        payload = bytes([tag]) * PAGE
+        ssd.write(lpn * PAGE, payload)
+        expected[lpn] = payload
+    for lpn, payload in expected.items():
+        assert ssd.read(lpn * PAGE, PAGE).data == payload
+
+
+def _legal_states():
+    return {
+        ZoneState.EMPTY,
+        ZoneState.IMPLICIT_OPEN,
+        ZoneState.EXPLICIT_OPEN,
+        ZoneState.CLOSED,
+        ZoneState.FULL,
+    }
+
+
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["write", "append", "reset", "finish", "close"]),
+                  st.integers(0, 7)),
+        max_size=150,
+    )
+)
+def test_zns_invariants_under_random_ops(ops):
+    zns = ZnsSsd(
+        SimClock(),
+        ZnsConfig(
+            geometry=SMALL_GEO,
+            zone_size=4 * SMALL_GEO.block_size,
+            max_open_zones=3,
+            max_active_zones=5,
+        ),
+    )
+    payload = b"\x5a" * PAGE
+    for op, zone_idx in ops:
+        zone_idx %= zns.num_zones
+        zone = zns.zones[zone_idx]
+        try:
+            if op == "write":
+                zns.write(zone.write_pointer, payload)
+            elif op == "append":
+                zns.append(zone_idx, payload)
+            elif op == "reset":
+                zns.reset_zone(zone_idx)
+            elif op == "finish":
+                zns.finish_zone(zone_idx)
+            elif op == "close":
+                zns.close_zone(zone_idx)
+        except Exception:
+            # Illegal transitions are expected; invariants must hold anyway.
+            pass
+        for z in zns.zones:
+            assert z.start <= z.write_pointer <= z.end
+            assert z.state in _legal_states()
+        assert zns.open_zone_count <= zns.config.max_open_zones
+        assert zns.active_zone_count <= zns.config.max_active_zones
+    assert zns.stats.media_write_bytes == zns.stats.host_write_bytes

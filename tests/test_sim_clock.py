@@ -1,0 +1,83 @@
+"""Unit tests for the simulated clock and resource timeline."""
+
+import pytest
+
+from repro.sim.clock import ResourceTimeline, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_custom_start(self):
+        assert SimClock(start_ns=100).now == 100
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start_ns=-1)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(10) == 10
+        assert clock.now == 10
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(50)
+        assert clock.now == 50
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(start_ns=100)
+        clock.advance_to(50)
+        assert clock.now == 100
+
+    def test_now_seconds(self):
+        clock = SimClock()
+        clock.advance(2_500_000_000)
+        assert clock.now_seconds == pytest.approx(2.5)
+
+
+class TestResourceTimeline:
+    def test_idle_resource_no_wait(self):
+        line = ResourceTimeline()
+        done = line.acquire(now_ns=0, service_ns=100)
+        assert done == 100
+        assert line.total_wait_ns == 0
+
+    def test_busy_resource_queues(self):
+        line = ResourceTimeline()
+        line.acquire(0, 100)
+        done = line.acquire(50, 10)
+        assert done == 110
+        assert line.total_wait_ns == 50
+
+    def test_wait_time_observation(self):
+        line = ResourceTimeline()
+        line.acquire(0, 100)
+        assert line.wait_time(30) == 70
+        assert line.wait_time(200) == 0
+
+    def test_background_reservation_delays_foreground(self):
+        line = ResourceTimeline()
+        line.reserve_background(0, 1000)
+        done = line.acquire(100, 10)
+        assert done == 1010
+        # Background reservation itself charges no wait.
+        assert line.total_wait_ns == 900
+
+    def test_negative_service_rejected(self):
+        line = ResourceTimeline()
+        with pytest.raises(ValueError):
+            line.acquire(0, -5)
+        with pytest.raises(ValueError):
+            line.reserve_background(0, -5)
+
+    def test_busy_accounting(self):
+        line = ResourceTimeline()
+        line.acquire(0, 100)
+        line.acquire(0, 50)
+        assert line.total_busy_ns == 150

@@ -1,0 +1,107 @@
+"""Edge-case tests across the simulation substrate that the main test
+modules do not cover."""
+
+import pytest
+
+from repro.flash import (
+    BlockSsd,
+    BlockSsdConfig,
+    FtlConfig,
+    NandGeometry,
+    NandTiming,
+    ZnsConfig,
+    ZnsSsd,
+)
+from repro.sim import SimClock
+from repro.units import KIB
+
+
+class TestBlockSsdMaintenance:
+    def make(self, interval_bytes, maintenance_ns=1_000_000):
+        clock = SimClock()
+        geometry = NandGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=64)
+        return (
+            BlockSsd(
+                clock,
+                BlockSsdConfig(
+                    geometry=geometry,
+                    ftl=FtlConfig(0.25),
+                    maintenance_interval_bytes=interval_bytes,
+                    maintenance_ns=maintenance_ns,
+                ),
+            ),
+            clock,
+        )
+
+    def test_maintenance_disabled(self):
+        ssd, _ = self.make(interval_bytes=0)
+        latencies = [
+            ssd.write(i * 4096, b"\x01" * 4096).latency_ns for i in range(64)
+        ]
+        assert max(latencies) == min(latencies)
+
+    def test_maintenance_stalls_after_write_volume(self):
+        ssd, _ = self.make(interval_bytes=16 * 4096, maintenance_ns=50_000_000)
+        latencies = [
+            ssd.write(i * 4096, b"\x01" * 4096).latency_ns for i in range(64)
+        ]
+        # A few writes queued behind maintenance bursts.
+        assert max(latencies) > 10 * min(latencies)
+
+    def test_maintenance_scales_with_bytes_not_ops(self):
+        ssd, _ = self.make(interval_bytes=1024 * 4096, maintenance_ns=50_000_000)
+        # Few bytes → no maintenance regardless of op count.
+        for _ in range(200):
+            ssd.read(0, 4096)
+        stats = ssd.stats.read_latency
+        assert stats.max() < 1_000_000
+
+
+class TestZnsAppendAndLimits:
+    def make(self):
+        clock = SimClock()
+        geometry = NandGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=64)
+        return ZnsSsd(
+            clock,
+            ZnsConfig(geometry=geometry, zone_size=4 * geometry.block_size,
+                      max_open_zones=2, max_active_zones=3),
+        )
+
+    def test_append_interleaves_zones(self):
+        zns = self.make()
+        a = zns.append(0, b"\x01" * 4096)
+        b = zns.append(1, b"\x02" * 4096)
+        c = zns.append(0, b"\x03" * 4096)
+        assert a.offset == 0
+        assert b.offset == zns.zone_size
+        assert c.offset == 4096
+
+    def test_background_write_skips_latency_stats(self):
+        zns = self.make()
+        zns.write(0, b"\x01" * 4096, background=True)
+        assert zns.stats.write_latency.count == 0
+        assert zns.stats.host_write_bytes == 4096
+
+    def test_timing_parallelism_parameter(self):
+        fast = NandTiming(page_program_ns=100, bus_ns_per_byte=0, command_overhead_ns=0)
+        assert fast.program_ns(16, 0, parallelism=16) == 100
+        assert fast.program_ns(16, 0, parallelism=1) == 1600
+
+
+class TestDeviceStatsSnapshot:
+    def test_snapshot_fields(self):
+        clock = SimClock()
+        geometry = NandGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=64)
+        ssd = BlockSsd(clock, BlockSsdConfig(geometry=geometry))
+        ssd.write(0, b"\x01" * 4096)
+        ssd.read(0, 4096)
+        snap = ssd.stats.snapshot()
+        for key in (
+            "host_read_bytes",
+            "host_write_bytes",
+            "media_write_bytes",
+            "write_amplification",
+            "read_p99_ns",
+        ):
+            assert key in snap
+        assert snap["host_write_bytes"] == 4096

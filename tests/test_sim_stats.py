@@ -1,0 +1,109 @@
+"""Unit tests for statistics primitives."""
+
+import pytest
+
+from repro.sim.stats import Counter, LatencyRecorder, RatioStat
+
+
+class TestCounter:
+    def test_default_zero(self):
+        assert Counter().value == 0
+
+    def test_add(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(5)
+        assert counter.value == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+    def test_reset(self):
+        counter = Counter()
+        counter.add(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestRatioStat:
+    def test_empty_ratio_is_zero(self):
+        assert RatioStat().ratio == 0.0
+
+    def test_ratio(self):
+        stat = RatioStat()
+        for hit in (True, True, False, True):
+            stat.record(hit)
+        assert stat.hits == 3
+        assert stat.misses == 1
+        assert stat.ratio == pytest.approx(0.75)
+
+    def test_reset(self):
+        stat = RatioStat()
+        stat.record(True)
+        stat.reset()
+        assert stat.total == 0
+
+
+class TestLatencyRecorder:
+    def test_empty_percentile_is_zero(self):
+        rec = LatencyRecorder()
+        assert rec.p50() == 0
+        assert rec.p99() == 0
+        assert rec.mean() == 0.0
+
+    def test_single_sample(self):
+        rec = LatencyRecorder()
+        rec.record(42)
+        assert rec.p50() == 42
+        assert rec.p99() == 42
+        assert rec.max() == 42
+        assert rec.min() == 42
+
+    def test_percentiles_nearest_rank(self):
+        rec = LatencyRecorder()
+        for value in range(1, 101):
+            rec.record(value)
+        assert rec.p50() == 50
+        assert rec.p99() == 99
+        assert rec.percentile(100) == 100
+
+    def test_percentile_after_more_samples(self):
+        """The sorted cache must invalidate when new samples arrive."""
+        rec = LatencyRecorder()
+        rec.record(10)
+        assert rec.p50() == 10
+        rec.record(1)
+        assert rec.p50() == 1
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1)
+
+    def test_invalid_percentile_rejected(self):
+        rec = LatencyRecorder()
+        rec.record(1)
+        with pytest.raises(ValueError):
+            rec.percentile(0)
+        with pytest.raises(ValueError):
+            rec.percentile(101)
+
+    def test_mean(self):
+        rec = LatencyRecorder()
+        rec.record(10)
+        rec.record(20)
+        assert rec.mean() == pytest.approx(15.0)
+
+    def test_snapshot_keys(self):
+        rec = LatencyRecorder()
+        rec.record(5)
+        snap = rec.snapshot()
+        assert snap["count"] == 1
+        assert snap["p99_ns"] == 5
+
+    def test_reset(self):
+        rec = LatencyRecorder()
+        rec.record(5)
+        rec.reset()
+        assert rec.count == 0
+        assert rec.p50() == 0

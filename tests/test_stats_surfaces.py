@@ -1,0 +1,72 @@
+"""Fast unit tests for the stats/report surfaces used by the harness."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.f2fs.fs import F2fsStats
+from repro.units import SEC
+from repro.workloads.cachebench import WorkloadResult
+from repro.ztl.layer import ZtlStats
+
+
+class TestCacheStats:
+    def test_throughput_over_window(self):
+        stats = CacheStats(started_at_ns=0)
+        stats.lookups.record(True)
+        stats.sets += 1
+        stats.finished_at_ns = 2 * SEC
+        assert stats.operations == 2
+        assert stats.throughput_ops() == pytest.approx(1.0)
+
+    def test_zero_window_throughput(self):
+        stats = CacheStats(started_at_ns=5, finished_at_ns=5)
+        assert stats.throughput_ops() == 0.0
+
+    def test_snapshot_keys(self):
+        stats = CacheStats()
+        stats.lookups.record(False)
+        snap = stats.snapshot()
+        for key in ("operations", "hit_ratio", "throughput_ops", "get_p99_ns"):
+            assert key in snap
+
+
+class TestZtlStats:
+    def test_waf_identity_with_no_writes(self):
+        assert ZtlStats().app_write_amplification == 1.0
+
+    def test_waf_formula(self):
+        stats = ZtlStats(host_region_writes=100, migrated_region_writes=30)
+        assert stats.app_write_amplification == pytest.approx(1.3)
+
+
+class TestF2fsStats:
+    def test_waf_identity_with_no_writes(self):
+        assert F2fsStats().write_amplification == 1.0
+
+    def test_waf_includes_metadata(self):
+        stats = F2fsStats(
+            host_write_bytes=1000, data_write_bytes=1100, meta_write_bytes=100
+        )
+        assert stats.write_amplification == pytest.approx(1.2)
+
+
+class TestWorkloadResult:
+    def make(self, **kwargs):
+        defaults = dict(
+            scheme="X",
+            operations=600,
+            sim_seconds=1.0,
+            throughput_ops_per_sec=600.0,
+            hit_ratio=0.9,
+            waf_app=1.2,
+            waf_device=1.1,
+        )
+        defaults.update(kwargs)
+        return WorkloadResult(**defaults)
+
+    def test_ops_per_minute_conversion(self):
+        result = self.make(throughput_ops_per_sec=1_000_000 / 60)
+        assert result.ops_per_minute_m == pytest.approx(1.0)
+
+    def test_total_waf(self):
+        assert self.make().waf_total == pytest.approx(1.32)

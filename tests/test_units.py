@@ -1,0 +1,73 @@
+"""Unit tests for repro.units helpers."""
+
+import pytest
+
+from repro.units import (
+    GIB,
+    KIB,
+    MIB,
+    align_down,
+    align_up,
+    format_size,
+    is_aligned,
+    msec,
+    sec,
+    to_seconds,
+    usec,
+)
+
+
+class TestSizeConstants:
+    def test_progression(self):
+        assert KIB == 1024
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+
+
+class TestTimeConversions:
+    def test_usec(self):
+        assert usec(1) == 1_000
+
+    def test_usec_fractional(self):
+        assert usec(2.5) == 2_500
+
+    def test_msec(self):
+        assert msec(3) == 3_000_000
+
+    def test_sec_roundtrip(self):
+        assert to_seconds(sec(4.5)) == pytest.approx(4.5)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(4097, 4096) == 4096
+
+    def test_align_down_exact(self):
+        assert align_down(8192, 4096) == 8192
+
+    def test_align_up(self):
+        assert align_up(4097, 4096) == 8192
+
+    def test_align_up_exact(self):
+        assert align_up(8192, 4096) == 8192
+
+    def test_is_aligned(self):
+        assert is_aligned(8192, 4096)
+        assert not is_aligned(8191, 4096)
+
+    @pytest.mark.parametrize("func", [align_down, align_up, is_aligned])
+    def test_rejects_nonpositive_alignment(self, func):
+        with pytest.raises(ValueError):
+            func(100, 0)
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert format_size(512) == "512B"
+
+    def test_mib(self):
+        assert format_size(16 * MIB) == "16.0MiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-1)

@@ -1,0 +1,230 @@
+"""Integration-level tests for the region translation layer on a ZNS SSD."""
+
+import random
+
+import pytest
+
+from repro.errors import RegionNotMappedError, TranslationFullError
+from repro.flash import NandGeometry, ZnsConfig, ZnsSsd
+from repro.sim import SimClock
+from repro.units import KIB
+from repro.ztl import GcConfig, RegionTranslationLayer, ZtlConfig
+from repro.ztl.allocator import ZoneBook, ZoneUse
+
+REGION = 64 * KIB
+
+
+def make_layer(
+    num_blocks=256,
+    zone_blocks=4,
+    region_size=REGION,
+    min_empty=4,
+    threshold=0.2,
+    usable_zones=0,
+    hint=None,
+    on_drop=None,
+):
+    clock = SimClock()
+    geometry = NandGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=num_blocks)
+    zns = ZnsSsd(clock, ZnsConfig(geometry=geometry, zone_size=zone_blocks * geometry.block_size))
+    layer = RegionTranslationLayer(
+        zns,
+        ZtlConfig(
+            region_size=region_size,
+            host_open_zones=2,
+            usable_zones=usable_zones,
+            gc=GcConfig(min_empty_zones=min_empty, victim_valid_threshold=threshold),
+        ),
+        migration_hint=hint,
+        on_drop=on_drop,
+    )
+    return layer
+
+
+def payload(region_id: int, size: int = REGION) -> bytes:
+    return bytes([region_id % 256]) * size
+
+
+class TestZtlBasics:
+    def test_write_read_roundtrip(self):
+        layer = make_layer()
+        layer.write_region(1, payload(1))
+        assert layer.read_region(1).data == payload(1)
+
+    def test_partial_read_with_offset(self):
+        layer = make_layer()
+        layer.write_region(1, payload(1))
+        result = layer.read_region(1, offset=4096, length=4096)
+        assert result.data == payload(1)[4096:8192]
+
+    def test_read_unmapped_raises(self):
+        layer = make_layer()
+        with pytest.raises(RegionNotMappedError):
+            layer.read_region(99)
+
+    def test_read_beyond_region_rejected(self):
+        layer = make_layer()
+        layer.write_region(1, payload(1))
+        with pytest.raises(ValueError):
+            layer.read_region(1, offset=REGION - 4096, length=8192)
+
+    def test_wrong_size_write_rejected(self):
+        layer = make_layer()
+        with pytest.raises(ValueError):
+            layer.write_region(1, b"small")
+
+    def test_rewrite_replaces_data(self):
+        layer = make_layer()
+        layer.write_region(1, payload(1))
+        layer.write_region(1, payload(2))
+        assert layer.read_region(1).data == payload(2)
+        assert layer.live_regions == 1
+
+    def test_invalidate(self):
+        layer = make_layer()
+        layer.write_region(1, payload(1))
+        assert layer.invalidate_region(1)
+        assert not layer.has_region(1)
+        assert not layer.invalidate_region(1)
+
+    def test_region_size_must_divide_zone(self):
+        with pytest.raises(ValueError):
+            make_layer(region_size=48 * KIB)  # zone is 256 KiB
+
+    def test_fills_multiple_zones_round_robin(self):
+        layer = make_layer()
+        for region_id in range(8):
+            layer.write_region(region_id, payload(region_id))
+        zones_used = {layer.map.lookup(r).zone_index for r in range(8)}
+        assert len(zones_used) >= 2  # concurrent open zones
+
+
+class TestZtlGc:
+    def churn(self, layer, live=180, steps=1500, seed=3):
+        rng = random.Random(seed)
+        for region_id in range(live):
+            layer.write_region(region_id, payload(region_id))
+        for _ in range(steps):
+            region_id = rng.randrange(live)
+            layer.write_region(region_id, payload(region_id))
+        return live
+
+    def test_gc_reclaims_zones(self):
+        layer = make_layer()
+        self.churn(layer)
+        assert layer.gc.zones_collected > 0
+        assert layer.book.empty_count >= 1
+
+    def test_data_survives_gc(self):
+        layer = make_layer()
+        live = self.churn(layer)
+        for region_id in range(live):
+            assert layer.read_region(region_id).data == payload(region_id)
+
+    def test_device_wa_stays_one(self):
+        layer = make_layer()
+        self.churn(layer)
+        assert layer.device.stats.write_amplification == 1.0
+
+    def test_app_waf_above_one_under_churn(self):
+        layer = make_layer()
+        self.churn(layer)
+        assert layer.stats.app_write_amplification > 1.0
+
+    def test_lower_utilization_lower_waf(self):
+        """More OP (fewer live regions) → less migration → lower app WAF."""
+        low = make_layer()
+        self.churn(low, live=120)
+        high = make_layer()
+        self.churn(high, live=200)
+        assert (
+            low.stats.app_write_amplification < high.stats.app_write_amplification
+        )
+
+    def test_migration_hint_drops_regions(self):
+        dropped = []
+        layer = make_layer(hint=lambda region_id: False, on_drop=dropped.append)
+        self.churn(layer, live=200, steps=800)
+        assert layer.gc.regions_dropped > 0
+        assert layer.gc.regions_migrated == 0
+        assert dropped
+        assert layer.stats.app_write_amplification == pytest.approx(1.0)
+
+    def test_dropped_regions_unmapped(self):
+        layer = make_layer(hint=lambda region_id: False)
+        live = self.churn(layer, live=200, steps=800)
+        # Some regions were dropped by GC: they must be unmapped, not stale.
+        assert layer.live_regions < live
+        for region_id in range(live):
+            if layer.has_region(region_id):
+                assert layer.read_region(region_id).data == payload(region_id)
+
+    def test_full_layer_raises_when_gc_cannot_help(self):
+        layer = make_layer(min_empty=1)
+        with pytest.raises(TranslationFullError):
+            # All regions unique and live: GC has nothing to reclaim.
+            for region_id in range(layer.total_slots + 8):
+                layer.write_region(region_id, payload(region_id))
+
+    def test_usable_zones_restricts_capacity(self):
+        layer = make_layer(usable_zones=10)
+        assert layer.num_zones == 10
+        assert layer.capacity_bytes == 10 * layer.zone_size
+
+
+class TestZoneBook:
+    def test_roles_progress(self):
+        book = ZoneBook(num_zones=4, slots_per_zone=2, host_open_target=1)
+        record = book.allocate_host_slot()
+        assert record.use == ZoneUse.HOST_OPEN
+        book.note_slot_written(record)
+        book.note_slot_written(record)
+        assert record.use == ZoneUse.FINISHED
+        assert record.zone_index in book.finished_zones
+
+    def test_mark_empty_returns_to_pool(self):
+        book = ZoneBook(num_zones=4, slots_per_zone=2, host_open_target=1)
+        record = book.allocate_host_slot()
+        book.note_slot_written(record)
+        book.note_slot_written(record)
+        before = book.empty_count
+        book.mark_empty(record.zone_index)
+        assert book.empty_count == before + 1
+        assert record.use == ZoneUse.EMPTY
+        assert record.next_slot == 0
+
+    def test_gc_stream_is_separate(self):
+        book = ZoneBook(num_zones=4, slots_per_zone=2, host_open_target=1)
+        host = book.allocate_host_slot()
+        gc = book.allocate_gc_slot()
+        assert host.zone_index != gc.zone_index
+        assert gc.use == ZoneUse.GC_OPEN
+
+    def test_exhaustion_raises(self):
+        book = ZoneBook(
+            num_zones=2, slots_per_zone=1, host_open_target=2, reserved_for_gc=0
+        )
+        for _ in range(2):
+            record = book.allocate_host_slot()
+            book.note_slot_written(record)
+        with pytest.raises(TranslationFullError):
+            book.allocate_host_slot()
+
+    def test_gc_reserve_withheld_from_host(self):
+        book = ZoneBook(
+            num_zones=2, slots_per_zone=1, host_open_target=2, reserved_for_gc=1
+        )
+        record = book.allocate_host_slot()
+        book.note_slot_written(record)
+        # The last empty zone is reserved for the GC stream.
+        with pytest.raises(TranslationFullError):
+            book.allocate_host_slot()
+        assert book.allocate_gc_slot() is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZoneBook(1, 1, 1)
+        with pytest.raises(ValueError):
+            ZoneBook(4, 0, 1)
+        with pytest.raises(ValueError):
+            ZoneBook(4, 1, 0)
