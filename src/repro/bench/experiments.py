@@ -38,7 +38,7 @@ def _run_mix(
     if populate:
         _populate(driver, stack)
     result = driver.run(stack.cache)
-    return {
+    row = {
         "scheme": stack.name,
         "throughput_mops_per_min": result.ops_per_minute_m,
         "hit_ratio": result.hit_ratio,
@@ -48,6 +48,31 @@ def _run_mix(
         "get_p99_us": result.get_p99_ns / 1000,
         "set_p99_us": result.set_p99_ns / 1000,
         "cache_mib": stack.cache_bytes / MIB,
+    }
+    row.update(_device_columns(stack))
+    return row
+
+
+def _device_columns(stack: SchemeStack) -> Dict[str, object]:
+    """Per-layer device latency / pool-parallelism columns (EXPERIMENTS.md).
+
+    Read straight off the scheme's primary device pipeline: device-level
+    P99s separate queueing seen at the cache API from queueing inside the
+    device, and the pool counters show how busy/contended the media was.
+    """
+    device = stack.substrate.get("device")
+    if device is None:
+        return {}
+    stats = device.stats
+    pool = device.pipeline.pool
+    return {
+        "dev_read_p99_us": stats.read_latency.p99() / 1000,
+        "dev_write_p99_us": stats.write_latency.p99() / 1000,
+        "dev_wait_ms": pool.total_wait_ns / 1e6,
+        "dev_busy_ms": pool.total_busy_ns / 1e6,
+        "dev_util": pool.utilization(stack.clock.now),
+        "io_channels": pool.config.channels,
+        "io_queue_depth": pool.config.queue_depth,
     }
 
 

@@ -6,7 +6,7 @@ Dependency-free rendering so the CLI can show the *shape* of each figure
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 BAR_CHAR = "█"
 HALF_CHAR = "▌"

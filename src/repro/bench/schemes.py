@@ -12,7 +12,7 @@ paper's zone:region ratio (1077 MiB : 16 MiB ≈ 67 : 1 → 64 : 1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.cache.backends import (
@@ -32,6 +32,7 @@ from repro.flash.nand import NandGeometry, NandTiming
 from repro.flash.nullblk import NullBlkDevice
 from repro.flash.znsssd import ZnsConfig, ZnsSsd
 from repro.sim.clock import SimClock
+from repro.sim.io import IoTracer, PoolConfig
 from repro.units import KIB, MIB
 from repro.ztl.gc import GcConfig
 from repro.ztl.layer import RegionTranslationLayer, ZtlConfig
@@ -53,6 +54,10 @@ class SchemeScale:
     parallelism: int = 8
     ram_bytes: int = 2 * MIB
     timing: NandTiming = field(default_factory=NandTiming)
+    # Device I/O pool shape.  The default serial pool reproduces the
+    # original single-timeline behaviour exactly; raising ``channels`` or
+    # ``queue_depth`` lets batched submissions overlap (EXPERIMENTS.md).
+    io: PoolConfig = field(default_factory=PoolConfig)
 
     def geometry_for(self, media_bytes: int) -> NandGeometry:
         block_size = self.page_size * self.pages_per_block
@@ -107,6 +112,8 @@ def build_block_cache(
             timing=scale.timing,
             ftl=FtlConfig(op_ratio=ftl_op_ratio),
         ),
+        io=scale.io,
+        tracer=IoTracer(),
     )
     num_regions = min(cache_bytes, device.capacity_bytes) // scale.region_size
     store = BlockRegionStore(device, scale.region_size, num_regions)
@@ -131,6 +138,8 @@ def build_zone_cache(
     device = ZnsSsd(
         clock,
         ZnsConfig(geometry=geometry, timing=scale.timing, zone_size=scale.zone_size),
+        io=scale.io,
+        tracer=IoTracer(),
     )
     if cache_bytes is None:
         num_regions = device.num_zones
@@ -160,6 +169,8 @@ def build_region_cache(
     device = ZnsSsd(
         clock,
         ZnsConfig(geometry=geometry, timing=scale.timing, zone_size=scale.zone_size),
+        io=scale.io,
+        tracer=IoTracer(),
     )
     if gc is None:
         # The empty-zone watermark scales with the device: the paper's
@@ -201,8 +212,17 @@ def build_file_cache(
     device = ZnsSsd(
         clock,
         ZnsConfig(geometry=geometry, timing=scale.timing, zone_size=scale.zone_size),
+        io=scale.io,
+        tracer=IoTracer(),
     )
-    meta = NullBlkDevice(clock, capacity_bytes=meta_bytes, block_size=scale.page_size)
+    # The metadata device shares the data device's tracer so one trace
+    # shows the whole stack (journal writes included).
+    meta = NullBlkDevice(
+        clock,
+        capacity_bytes=meta_bytes,
+        block_size=scale.page_size,
+        tracer=device.tracer,
+    )
     fs = F2fs(
         clock,
         device,

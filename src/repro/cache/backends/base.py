@@ -15,6 +15,9 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+from repro.errors import OutOfRangeError
+from repro.sim.io import NULL_TRACER, IoTracer
+
 
 @dataclass(frozen=True)
 class WafBreakdown:
@@ -93,14 +96,24 @@ class RegionStore(abc.ABC):
         """Human-readable scheme label used in benchmark tables."""
         return type(self).__name__
 
+    @property
+    def tracer(self) -> IoTracer:
+        """The I/O tracer of this store's stack (never-recording default).
+
+        Backends with a real device underneath override this to expose
+        the device pipeline's tracer, so the engine can open spans on the
+        same bus its device commands are reported to.
+        """
+        return NULL_TRACER
+
     def check_region_id(self, region_id: int) -> None:
         if not 0 <= region_id < self.num_regions:
-            raise IndexError(
+            raise OutOfRangeError(
                 f"region {region_id} outside [0, {self.num_regions})"
             )
 
 
-def aligned_window(offset: int, length: int, alignment: int) -> tuple:
+def aligned_window(offset: int, length: int, alignment: int) -> tuple[int, int, int]:
     """Expand (offset, length) to device alignment.
 
     Returns ``(aligned_offset, aligned_length, slice_start)`` where

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.cache.backends.base import RegionStore, WafBreakdown, WafRaw, aligned_window
 from repro.flash.blockssd import BlockSsd
+from repro.sim.io import IoTracer
 
 
 class BlockRegionStore(RegionStore):
@@ -49,13 +50,18 @@ class BlockRegionStore(RegionStore):
     def scheme_name(self) -> str:
         return "Block-Cache"
 
+    @property
+    def tracer(self) -> IoTracer:
+        return self.device.tracer
+
     def write_region(self, region_id: int, payload: bytes) -> int:
         self.check_region_id(region_id)
         if len(payload) != self._region_size:
             raise ValueError(
                 f"payload must be exactly {self._region_size}B, got {len(payload)}"
             )
-        return self.device.write(region_id * self._region_size, payload).latency_ns
+        with self.tracer.span("backend", "write_region", length=len(payload)):
+            return self.device.write(region_id * self._region_size, payload).latency_ns
 
     def read(self, region_id: int, offset: int, length: int) -> bytes:
         self.check_region_id(region_id)
@@ -63,7 +69,8 @@ class BlockRegionStore(RegionStore):
         aligned_offset, aligned_length, skip = aligned_window(
             offset, length, self.device.block_size
         )
-        data = self.device.read(base + aligned_offset, aligned_length).data
+        with self.tracer.span("backend", "read", offset=offset, length=length):
+            data = self.device.read(base + aligned_offset, aligned_length).data
         return data[skip : skip + length]
 
     def invalidate_region(self, region_id: int) -> None:

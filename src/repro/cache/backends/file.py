@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.cache.backends.base import RegionStore, WafBreakdown, WafRaw, aligned_window
 from repro.f2fs.file import F2fsFile
 from repro.f2fs.fs import F2fs
+from repro.sim.io import IoTracer
 
 
 class FileRegionStore(RegionStore):
@@ -56,13 +57,18 @@ class FileRegionStore(RegionStore):
     def scheme_name(self) -> str:
         return "File-Cache"
 
+    @property
+    def tracer(self) -> IoTracer:
+        return self.fs.tracer
+
     def write_region(self, region_id: int, payload: bytes) -> int:
         self.check_region_id(region_id)
         if len(payload) != self._region_size:
             raise ValueError(
                 f"payload must be exactly {self._region_size}B, got {len(payload)}"
             )
-        return self.file.pwrite(region_id * self._region_size, payload)
+        with self.tracer.span("backend", "write_region", length=len(payload)):
+            return self.file.pwrite(region_id * self._region_size, payload)
 
     def read(self, region_id: int, offset: int, length: int) -> bytes:
         self.check_region_id(region_id)
@@ -70,7 +76,8 @@ class FileRegionStore(RegionStore):
         aligned_offset, aligned_length, skip = aligned_window(
             offset, length, self.fs.layout.block_size
         )
-        data = self.file.pread(base + aligned_offset, aligned_length)
+        with self.tracer.span("backend", "read", offset=offset, length=length):
+            data = self.file.pread(base + aligned_offset, aligned_length)
         return data[skip : skip + length]
 
     def invalidate_region(self, region_id: int) -> None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.cache.backends.base import RegionStore, WafBreakdown, WafRaw, aligned_window
 from repro.errors import CacheConfigError
+from repro.sim.io import IoTracer
 from repro.ztl.layer import RegionTranslationLayer
 
 
@@ -49,9 +50,14 @@ class ZtlRegionStore(RegionStore):
     def scheme_name(self) -> str:
         return "Region-Cache"
 
+    @property
+    def tracer(self) -> IoTracer:
+        return self.layer.tracer
+
     def write_region(self, region_id: int, payload: bytes) -> int:
         self.check_region_id(region_id)
-        return self.layer.write_region(region_id, payload).latency_ns
+        with self.tracer.span("backend", "write_region", length=len(payload)):
+            return self.layer.write_region(region_id, payload).latency_ns
 
     def read(self, region_id: int, offset: int, length: int) -> bytes:
         self.check_region_id(region_id)
@@ -59,7 +65,10 @@ class ZtlRegionStore(RegionStore):
             offset, length, self.layer.device.block_size
         )
         aligned_length = min(aligned_length, self.region_size - aligned_offset)
-        data = self.layer.read_region(region_id, aligned_offset, aligned_length).data
+        with self.tracer.span("backend", "read", offset=offset, length=length):
+            data = self.layer.read_region(
+                region_id, aligned_offset, aligned_length
+            ).data
         return data[skip : skip + length]
 
     def invalidate_region(self, region_id: int) -> None:

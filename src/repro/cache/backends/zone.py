@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.cache.backends.base import RegionStore, WafBreakdown, WafRaw, aligned_window
 from repro.flash.zone import ZoneState
 from repro.flash.znsssd import ZnsSsd
+from repro.sim.io import IoTracer
 
 
 class ZoneRegionStore(RegionStore):
@@ -45,6 +46,10 @@ class ZoneRegionStore(RegionStore):
     def scheme_name(self) -> str:
         return "Zone-Cache"
 
+    @property
+    def tracer(self) -> IoTracer:
+        return self.device.tracer
+
     def write_region(self, region_id: int, payload: bytes) -> int:
         """Reset the zone (if dirty) and write the whole region into it."""
         self.check_region_id(region_id)
@@ -52,12 +57,13 @@ class ZoneRegionStore(RegionStore):
             raise ValueError(
                 f"payload must be exactly {self.region_size}B, got {len(payload)}"
             )
-        latency = 0
-        zone = self.device.zones[region_id]
-        if zone.state != ZoneState.EMPTY:
-            latency += self.device.reset_zone(region_id).latency_ns
-            self.zone_resets += 1
-        latency += self.device.write(zone.start, payload).latency_ns
+        with self.tracer.span("backend", "write_region", length=len(payload)):
+            latency = 0
+            zone = self.device.zones[region_id]
+            if zone.state != ZoneState.EMPTY:
+                latency += self.device.reset_zone(region_id).latency_ns
+                self.zone_resets += 1
+            latency += self.device.write(zone.start, payload).latency_ns
         return latency
 
     def read(self, region_id: int, offset: int, length: int) -> bytes:
@@ -66,7 +72,8 @@ class ZoneRegionStore(RegionStore):
         aligned_offset, aligned_length, skip = aligned_window(
             offset, length, self.device.block_size
         )
-        data = self.device.read(zone.start + aligned_offset, aligned_length).data
+        with self.tracer.span("backend", "read", offset=offset, length=length):
+            data = self.device.read(zone.start + aligned_offset, aligned_length).data
         return data[skip : skip + length]
 
     def invalidate_region(self, region_id: int) -> None:

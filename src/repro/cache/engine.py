@@ -84,33 +84,34 @@ class HybridCache:
         Expired items (TTL) read as misses and are purged on access.
         """
         start_ns = self._clock.now
-        self._clock.advance(self.config.cpu.get_ns)
-        if self._is_expired(key):
-            self._purge_expired(key)
+        with self.store.tracer.span("engine", "get"):
+            self._clock.advance(self.config.cpu.get_ns)
+            if self._is_expired(key):
+                self._purge_expired(key)
+                self.stats.ram_lookups.record(False)
+                self._finish_lookup(start_ns, hit=False)
+                return None
+            value = self.ram.get(key)
+            if value is not None:
+                self.stats.ram_lookups.record(True)
+                self._finish_lookup(start_ns, hit=True)
+                return value
             self.stats.ram_lookups.record(False)
-            self._finish_lookup(start_ns, hit=False)
-            return None
-        value = self.ram.get(key)
-        if value is not None:
-            self.stats.ram_lookups.record(True)
+            location = self.index.get(key)
+            if location is None:
+                self._finish_lookup(start_ns, hit=False)
+                return None
+            value = self._read_entry(key, location)
+            if value is None:
+                self.stats.flash_lookups.record(False)
+                self._finish_lookup(start_ns, hit=False)
+                return None
+            self.stats.flash_lookups.record(True)
+            self.regions.touch(location.region_id)
+            if self.config.populate_ram_on_flash_hit:
+                self.ram.put(key, value)
             self._finish_lookup(start_ns, hit=True)
             return value
-        self.stats.ram_lookups.record(False)
-        location = self.index.get(key)
-        if location is None:
-            self._finish_lookup(start_ns, hit=False)
-            return None
-        value = self._read_entry(key, location)
-        if value is None:
-            self.stats.flash_lookups.record(False)
-            self._finish_lookup(start_ns, hit=False)
-            return None
-        self.stats.flash_lookups.record(True)
-        self.regions.touch(location.region_id)
-        if self.config.populate_ram_on_flash_hit:
-            self.ram.put(key, value)
-        self._finish_lookup(start_ns, hit=True)
-        return value
 
     def set(self, key: bytes, value: bytes, ttl_seconds: Optional[float] = None) -> bool:
         """Insert/replace an item; returns True if it reached flash.
@@ -119,40 +120,41 @@ class HybridCache:
         expired items read as misses.
         """
         start_ns = self._clock.now
-        self._clock.advance(self.config.cpu.set_per_item_ns)
-        self.stats.sets += 1
-        entry_size = EntryCodec.entry_size(key, value)
-        if entry_size > self.config.region_size:
-            raise ObjectTooLargeError(
-                f"entry of {entry_size}B exceeds region size "
-                f"{self.config.region_size}"
+        with self.store.tracer.span("engine", "set"):
+            self._clock.advance(self.config.cpu.set_per_item_ns)
+            self.stats.sets += 1
+            entry_size = EntryCodec.entry_size(key, value)
+            if entry_size > self.config.region_size:
+                raise ObjectTooLargeError(
+                    f"entry of {entry_size}B exceeds region size "
+                    f"{self.config.region_size}"
+                )
+            expiry_ns = 0
+            if ttl_seconds is not None:
+                if ttl_seconds <= 0:
+                    raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
+                expiry_ns = self._clock.now + int(ttl_seconds * 1e9)
+                self._expiry[key] = expiry_ns
+            else:
+                self._expiry.pop(key, None)
+            self.ram.put(key, value)
+            if not self.admission.admit(key, value):
+                self._drop_flash_copy(key)
+                self._finish_mutation(start_ns, self.stats.set_latency)
+                return False
+            if not self._buffer.fits(entry_size):
+                self._seal_and_rotate()
+            self._clock.advance(
+                self.config.cpu.buffer_copy_ns_per_kib * (entry_size // 1024)
             )
-        expiry_ns = 0
-        if ttl_seconds is not None:
-            if ttl_seconds <= 0:
-                raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
-            expiry_ns = self._clock.now + int(ttl_seconds * 1e9)
-            self._expiry[key] = expiry_ns
-        else:
-            self._expiry.pop(key, None)
-        self.ram.put(key, value)
-        if not self.admission.admit(key, value):
-            self._drop_flash_copy(key)
+            location = self._buffer.append(key, value, expiry_ns)
+            old = self.index.put(key, location)
+            if old is not None and old.region_id != self._buffer.region_id:
+                self.regions.note_key_removed(old.region_id, key)
+            self._open_keys.add(key)
+            self.stats.sets_admitted += 1
             self._finish_mutation(start_ns, self.stats.set_latency)
-            return False
-        if not self._buffer.fits(entry_size):
-            self._seal_and_rotate()
-        self._clock.advance(
-            self.config.cpu.buffer_copy_ns_per_kib * (entry_size // 1024)
-        )
-        location = self._buffer.append(key, value, expiry_ns)
-        old = self.index.put(key, location)
-        if old is not None and old.region_id != self._buffer.region_id:
-            self.regions.note_key_removed(old.region_id, key)
-        self._open_keys.add(key)
-        self.stats.sets_admitted += 1
-        self._finish_mutation(start_ns, self.stats.set_latency)
-        return True
+            return True
 
     def delete(self, key: bytes) -> bool:
         """Remove a key from every tier; returns True if it existed."""

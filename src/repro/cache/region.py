@@ -12,7 +12,7 @@ entries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Set
+from typing import Set
 
 from repro.cache.item import EntryCodec, EntryLocation
 

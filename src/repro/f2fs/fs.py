@@ -32,6 +32,7 @@ from repro.f2fs.sit import SegmentInfoTable
 from repro.flash.device import BlockDevice
 from repro.flash.znsssd import ZnsSsd
 from repro.sim.clock import SimClock
+from repro.sim.io import IoTracer
 
 
 @dataclass
@@ -84,6 +85,7 @@ class F2fs:
             migrate_block=self._migrate_block,
             release_section=self._reset_section_zone,
         )
+        self.cleaner.tracer = self.tracer
         self.stats = F2fsStats()
         self._meta_pending_updates = 0
         self._meta_cursor_block = 1  # block 0 is the superblock
@@ -93,6 +95,11 @@ class F2fs:
         # area; node blocks are invalidated and rewritten when any data
         # block they index is remapped.
         self._node_addr: dict = {}
+
+    @property
+    def tracer(self) -> IoTracer:
+        """The I/O tracer shared with the main-area (data) device."""
+        return self.data_device.tracer
 
     # --- lifecycle ------------------------------------------------------------------
 
@@ -190,32 +197,33 @@ class F2fs:
                 f"{self.free_bytes // block_size} remain"
             )
         start_ns = self._clock.now
-        # Indexing CPU cost (block-granular mapping, the File-Cache tax).
-        self._clock.advance(self.config.cpu_ns_per_block * num_blocks)
-        addresses = self._allocate_with_cleaning(LogStream.HOT_DATA, num_blocks)
-        self._write_blocks(addresses, data)
-        for i, block_addr in enumerate(addresses):
-            file_block = first_block + i
-            old = self.nat.set_block(file_id, file_block, block_addr)
-            if old is not None:
-                self.sit.mark_invalid(old)
-            self.sit.mark_valid(block_addr, (file_id, file_block))
-            self.cleaner.note_section_written(
-                self.layout.section_of_block(block_addr)
-            )
-        self.nat.update_size(file_id, offset + len(data))
-        touched_groups = {
-            (first_block + i) // self.config.blocks_per_node
-            for i in range(num_blocks)
-        }
-        for group in touched_groups:
-            self._write_node_block(file_id, group)
-        self.stats.host_write_bytes += len(data)
-        self._note_meta_updates(num_blocks)
-        self._blocks_since_checkpoint += num_blocks
-        if self._blocks_since_checkpoint >= self.config.checkpoint_interval_blocks:
-            self.checkpoint()
-        self.cleaner.background_step()
+        with self.tracer.span("f2fs", "pwrite", offset=offset, length=len(data)):
+            # Indexing CPU cost (block-granular mapping, the File-Cache tax).
+            self._clock.advance(self.config.cpu_ns_per_block * num_blocks)
+            addresses = self._allocate_with_cleaning(LogStream.HOT_DATA, num_blocks)
+            self._write_blocks(addresses, data)
+            for i, block_addr in enumerate(addresses):
+                file_block = first_block + i
+                old = self.nat.set_block(file_id, file_block, block_addr)
+                if old is not None:
+                    self.sit.mark_invalid(old)
+                self.sit.mark_valid(block_addr, (file_id, file_block))
+                self.cleaner.note_section_written(
+                    self.layout.section_of_block(block_addr)
+                )
+            self.nat.update_size(file_id, offset + len(data))
+            touched_groups = {
+                (first_block + i) // self.config.blocks_per_node
+                for i in range(num_blocks)
+            }
+            for group in touched_groups:
+                self._write_node_block(file_id, group)
+            self.stats.host_write_bytes += len(data)
+            self._note_meta_updates(num_blocks)
+            self._blocks_since_checkpoint += num_blocks
+            if self._blocks_since_checkpoint >= self.config.checkpoint_interval_blocks:
+                self.checkpoint()
+            self.cleaner.background_step()
         return self._clock.now - start_ns
 
     def pread(self, file_id: int, offset: int, length: int) -> bytes:
@@ -229,17 +237,18 @@ class F2fs:
             )
         if length <= 0:
             return b""
-        self._clock.advance(self.config.cpu_ns_per_block * (length // block_size))
-        # Node/NAT lookup touches the metadata device (block-granular
-        # indexing is not free — §3.1's "additional mapping overhead").
-        self.meta_device.read(0, self.meta_device.block_size)
-        chunks: List[bytes] = []
-        for run_addr, run_len, is_hole in self._runs(file_id, offset, length):
-            if is_hole:
-                chunks.append(b"\x00" * run_len)
-            else:
-                device_offset = self.layout.device_offset(run_addr)
-                chunks.append(self.data_device.read(device_offset, run_len).data)
+        with self.tracer.span("f2fs", "pread", offset=offset, length=length):
+            self._clock.advance(self.config.cpu_ns_per_block * (length // block_size))
+            # Node/NAT lookup touches the metadata device (block-granular
+            # indexing is not free — §3.1's "additional mapping overhead").
+            self.meta_device.read(0, self.meta_device.block_size)
+            chunks: List[bytes] = []
+            for run_addr, run_len, is_hole in self._runs(file_id, offset, length):
+                if is_hole:
+                    chunks.append(b"\x00" * run_len)
+                else:
+                    device_offset = self.layout.device_offset(run_addr)
+                    chunks.append(self.data_device.read(device_offset, run_len).data)
         self.stats.host_read_bytes += length
         return b"".join(chunks)
 
@@ -286,8 +295,15 @@ class F2fs:
             return self.logs.allocate_blocks(stream, count)
 
     def _write_blocks(self, addresses: List[int], data: bytes) -> None:
-        """Write payload to allocated blocks, coalescing contiguous runs."""
+        """Write payload to allocated blocks, coalescing contiguous runs.
+
+        The coalesced runs are submitted as one batch: on a serial device
+        pool this is identical to writing them one by one, but a pool
+        with multiple channels or queue depth overlaps the runs — the
+        flush of one ``pwrite`` becomes a single pipelined submission.
+        """
         block_size = self.layout.block_size
+        items: List[Tuple[int, bytes]] = []
         i = 0
         while i < len(addresses):
             j = i
@@ -296,9 +312,10 @@ class F2fs:
             run = addresses[i : j + 1]
             device_offset = self.layout.device_offset(run[0])
             payload = data[i * block_size : (j + 1) * block_size]
-            self.data_device.write(device_offset, payload)
+            items.append((device_offset, payload))
             self.stats.data_write_bytes += len(payload)
             i = j + 1
+        self.data_device.write_many(items)
 
     def _write_node_block(self, file_id: int, group: int) -> None:
         """Write (or rewrite) the node block indexing one group of data

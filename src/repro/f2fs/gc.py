@@ -25,6 +25,7 @@ from typing import Callable, List, Optional
 from repro.f2fs.layout import F2fsLayout
 from repro.f2fs.segment import LogManager
 from repro.f2fs.sit import SegmentInfoTable
+from repro.sim.io import NULL_TRACER, IoTracer
 
 
 class VictimPolicy(enum.Enum):
@@ -82,6 +83,9 @@ class Cleaner:
         self._tick = 0
         self.sections_cleaned = 0
         self.blocks_migrated = 0
+        # The filesystem points this at the data device's tracer so each
+        # cleaning step appears as an "f2fs.gc" span in I/O traces.
+        self.tracer: IoTracer = NULL_TRACER
 
     # --- hooks from the filesystem ----------------------------------------------------
 
@@ -119,13 +123,14 @@ class Cleaner:
                 return 0
             self._pending = list(self.sit.valid_blocks(self._victim))
         moved = 0
-        while self._pending and moved < budget:
-            block_addr = self._pending.pop()
-            if not self.sit.is_valid(block_addr):
-                continue  # invalidated since the list was built
-            self._migrate_block(block_addr)
-            moved += 1
-            self.blocks_migrated += 1
+        with self.tracer.span("f2fs.gc", "clean", zone=self._victim):
+            while self._pending and moved < budget:
+                block_addr = self._pending.pop()
+                if not self.sit.is_valid(block_addr):
+                    continue  # invalidated since the list was built
+                self._migrate_block(block_addr)
+                moved += 1
+                self.blocks_migrated += 1
         if not self._pending:
             section = self._victim
             self._victim = None

@@ -8,7 +8,7 @@ update that must eventually reach the conventional metadata device.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional
 
 
 class NodeAddressTable:

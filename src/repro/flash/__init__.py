@@ -18,8 +18,9 @@ All devices share one :class:`~repro.sim.SimClock` and account host vs
 media writes so write amplification can be measured exactly.
 """
 
+from repro.sim.io import IoCompletion, IoTracer, PoolConfig
 from repro.flash.nand import NandGeometry, NandTiming
-from repro.flash.device import BlockDevice, DeviceStats, IoResult
+from repro.flash.device import BlockDevice, DeviceStats
 from repro.flash.blockssd import BlockSsd, BlockSsdConfig
 from repro.flash.ftl import PageMappedFtl, FtlConfig
 from repro.flash.zone import Zone, ZoneState
@@ -33,7 +34,9 @@ __all__ = [
     "NandTiming",
     "BlockDevice",
     "DeviceStats",
-    "IoResult",
+    "IoCompletion",
+    "IoTracer",
+    "PoolConfig",
     "BlockSsd",
     "BlockSsdConfig",
     "PageMappedFtl",

@@ -1,22 +1,26 @@
 """Conventional block-interface SSD (the paper's "regular SSD").
 
 Combines :class:`~repro.flash.ftl.PageMappedFtl` with the shared NAND
-timing model and a serial :class:`~repro.sim.clock.ResourceTimeline`.
-GC relocation and erases are charged to the timeline *before* the host
+timing model and an :class:`~repro.sim.io.IoPipeline`.  GC relocation and
+erases are charged to the pipeline's resource pool *before* the host
 command that triggered them is serviced, so a host write that lands
 during device GC observes the multi-millisecond stall that produces the
-paper's Block-Cache P99 spike (Figure 5d).
+paper's Block-Cache P99 spike (Figure 5d).  With the default serial pool
+(``channels=1, queue_depth=1``) the timing is identical to the original
+single-timeline model; wider pools let host commands slip past
+background work on other channels.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
 
-from repro.flash.device import BlockDevice, DeviceStats, IoResult, check_alignment
+from repro.flash.device import BlockDevice, DeviceStats, check_alignment
 from repro.flash.ftl import FtlConfig, PageMappedFtl
 from repro.flash.nand import NandGeometry, NandTiming
-from repro.sim.clock import ResourceTimeline, SimClock
+from repro.sim.clock import SimClock
+from repro.sim.io import IoCompletion, IoOp, IoPipeline, IoRequest, IoTracer, PoolConfig
 
 
 @dataclass(frozen=True)
@@ -47,11 +51,17 @@ class BlockSsdConfig:
 class BlockSsd(BlockDevice):
     """Page-mapped conventional SSD with over-provisioning and device GC."""
 
-    def __init__(self, clock: SimClock, config: BlockSsdConfig = BlockSsdConfig()) -> None:
+    def __init__(
+        self,
+        clock: SimClock,
+        config: BlockSsdConfig = BlockSsdConfig(),
+        io: PoolConfig = PoolConfig(),
+        tracer: Optional[IoTracer] = None,
+    ) -> None:
         self._clock = clock
         self.config = config
         self._ftl = PageMappedFtl(config.geometry, config.ftl)
-        self._timeline = ResourceTimeline("blockssd")
+        self.pipeline = IoPipeline(clock, "blockssd", io, tracer)
         self._stats = DeviceStats()
         self._pages: Dict[int, bytes] = {}
         self._bytes_since_maintenance = 0
@@ -75,7 +85,7 @@ class BlockSsd(BlockDevice):
         """The FTL, exposed for inspection in tests and benchmarks."""
         return self._ftl
 
-    def read(self, offset: int, length: int) -> IoResult:
+    def read(self, offset: int, length: int) -> IoCompletion:
         check_alignment(offset, length, self.block_size, self.capacity_bytes)
         page_size = self.config.geometry.page_size
         first = offset // page_size
@@ -86,14 +96,66 @@ class BlockSsd(BlockDevice):
         service = self.config.timing.read_ns(
             count, length, self.config.geometry.parallelism
         ) + self.config.ftl_cpu_ns_per_page * count
-        latency = self._complete(service)
+        completion = self.pipeline.submit(
+            IoRequest(IoOp.READ, offset, length, layer="block"), service
+        )
         self._stats.host_read_bytes += length
         self._stats.media_read_bytes += length
-        self._stats.read_latency.record(latency)
-        return IoResult(latency_ns=latency, data=b"".join(chunks))
+        self._stats.read_latency.record(completion.latency_ns)
+        completion.data = b"".join(chunks)
+        return completion
 
-    def write(self, offset: int, data: bytes) -> IoResult:
+    def write(self, offset: int, data: bytes) -> IoCompletion:
         check_alignment(offset, len(data), self.block_size, self.capacity_bytes)
+        self._store_pages(offset, data)
+        service = self._write_service_ns(offset, len(data))
+        completion = self.pipeline.submit(
+            IoRequest(IoOp.WRITE, offset, len(data), layer="block"), service
+        )
+        self._stats.write_latency.record(completion.latency_ns)
+        return completion
+
+    def write_many(self, items: List[Tuple[int, bytes]]) -> List[IoCompletion]:
+        """Pipelined batch write: one submission, overlapped across channels.
+
+        FTL bookkeeping (mapping updates, GC triggers, maintenance debt)
+        still happens per extent, in order, before the batch is queued —
+        the GC/maintenance reservations land on the pool first, exactly
+        as in the synchronous path, so a serial pool reproduces the
+        synchronous loop bit for bit.
+        """
+        batch: List[Tuple[IoRequest, int]] = []
+        for offset, data in items:
+            check_alignment(offset, len(data), self.block_size, self.capacity_bytes)
+            self._store_pages(offset, data)
+            service = self._write_service_ns(offset, len(data))
+            batch.append(
+                (IoRequest(IoOp.WRITE, offset, len(data), layer="block"), service)
+            )
+        completions = self.pipeline.submit_many(batch)
+        for completion in completions:
+            self._stats.write_latency.record(completion.latency_ns)
+        return completions
+
+    def discard(self, offset: int, length: int) -> IoCompletion:
+        """TRIM a range so the FTL stops relocating its dead pages."""
+        check_alignment(offset, length, self.block_size, self.capacity_bytes)
+        page_size = self.config.geometry.page_size
+        first = offset // page_size
+        count = length // page_size
+        lpns = list(range(first, first + count))
+        self._ftl.discard_pages(lpns)
+        for lpn in lpns:
+            self._pages.pop(lpn, None)
+        return self.pipeline.submit(
+            IoRequest(IoOp.DISCARD, offset, length, layer="block"),
+            self.config.timing.command_overhead_ns,
+        )
+
+    # --- internals ---------------------------------------------------------------
+
+    def _store_pages(self, offset: int, data: bytes) -> None:
+        """FTL mapping update + page store + background GC/maintenance debt."""
         page_size = self.config.geometry.page_size
         first = offset // page_size
         count = len(data) // page_size
@@ -113,45 +175,28 @@ class BlockSsd(BlockDevice):
                 report.moved_pages * page_size,
                 self.config.geometry.parallelism,
             ) + self.config.timing.erase_ns(report.erased_blocks)
-            self._timeline.reserve_background(self._clock.now, gc_service)
+            self.pipeline.submit(
+                IoRequest(
+                    IoOp.GC,
+                    offset,
+                    report.moved_pages * page_size,
+                    layer="ftl.gc",
+                    background=True,
+                ),
+                gc_service,
+            )
             self._stats.media_read_bytes += report.moved_pages * page_size
             self._stats.gc_runs += report.gc_runs
-        service = self.config.timing.program_ns(
-            count, len(data), self.config.geometry.parallelism
-        ) + self.config.ftl_cpu_ns_per_page * count
         self._note_host_write(len(data))
-        latency = self._complete(service)
         self._stats.host_write_bytes += len(data)
         self._stats.media_write_bytes += report.media_pages * page_size
         self._stats.erase_count += report.erased_blocks
-        self._stats.write_latency.record(latency)
-        return IoResult(latency_ns=latency)
 
-    def discard(self, offset: int, length: int) -> IoResult:
-        """TRIM a range so the FTL stops relocating its dead pages."""
-        check_alignment(offset, length, self.block_size, self.capacity_bytes)
-        page_size = self.config.geometry.page_size
-        first = offset // page_size
-        count = length // page_size
-        lpns = list(range(first, first + count))
-        self._ftl.discard_pages(lpns)
-        for lpn in lpns:
-            self._pages.pop(lpn, None)
-        return IoResult(latency_ns=self.config.timing.command_overhead_ns)
-
-    # --- internals ---------------------------------------------------------------
-
-    def _complete(self, service_ns: int) -> int:
-        """Queue behind the device timeline and return total latency.
-
-        I/O is synchronous: the shared clock is advanced to the completion
-        time, so a command that queues behind device GC both *observes*
-        and *spends* the stall.
-        """
-        start = self._clock.now
-        done = self._timeline.acquire(start, service_ns)
-        self._clock.advance_to(done)
-        return done - start
+    def _write_service_ns(self, offset: int, length: int) -> int:
+        count = length // self.config.geometry.page_size
+        return self.config.timing.program_ns(
+            count, length, self.config.geometry.parallelism
+        ) + self.config.ftl_cpu_ns_per_page * count
 
     def _note_host_write(self, num_bytes: int) -> None:
         """Accrue background maintenance debt proportional to write load."""
@@ -160,8 +205,9 @@ class BlockSsd(BlockDevice):
         self._bytes_since_maintenance += num_bytes
         while self._bytes_since_maintenance >= self.config.maintenance_interval_bytes:
             self._bytes_since_maintenance -= self.config.maintenance_interval_bytes
-            self._timeline.reserve_background(
-                self._clock.now, self.config.maintenance_ns
+            self.pipeline.submit(
+                IoRequest(IoOp.MAINTENANCE, layer="ftl", background=True),
+                self.config.maintenance_ns,
             )
 
     def __repr__(self) -> str:

@@ -11,29 +11,22 @@ Two interfaces exist, mirroring the two device classes in the paper:
   close); there is no pretence of a common superclass because the whole
   point of the paper is that the interfaces differ.
 
-All implementations share :class:`DeviceStats` so write amplification
-(``media_write_bytes / host_write_bytes``) is computed uniformly.
+Every implementation routes its media traffic through a
+:class:`~repro.sim.io.IoPipeline` and returns the pipeline's typed
+:class:`~repro.sim.io.IoCompletion` records (which replaced the old bare
+``IoResult``).  All implementations share :class:`DeviceStats` so write
+amplification (``media_write_bytes / host_write_bytes``) is computed
+uniformly.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Tuple
 
+from repro.sim.io import IoCompletion, IoPipeline, IoTracer
 from repro.sim.stats import LatencyRecorder
-
-
-@dataclass
-class IoResult:
-    """Outcome of a single device command.
-
-    ``latency_ns`` is the modelled service time *including* any queueing
-    behind background work; ``data`` is present for reads.
-    """
-
-    latency_ns: int
-    data: Optional[bytes] = None
 
 
 @dataclass
@@ -78,6 +71,9 @@ class DeviceStats:
 class BlockDevice(abc.ABC):
     """Random-access block device: read/write anywhere, device hides GC."""
 
+    # Every concrete device assigns its IoPipeline here in __init__.
+    pipeline: IoPipeline
+
     @property
     @abc.abstractmethod
     def capacity_bytes(self) -> int:
@@ -94,12 +90,26 @@ class BlockDevice(abc.ABC):
         """Cumulative device statistics."""
 
     @abc.abstractmethod
-    def read(self, offset: int, length: int) -> IoResult:
+    def read(self, offset: int, length: int) -> IoCompletion:
         """Read ``length`` bytes at ``offset``.  Unwritten space reads as zeros."""
 
     @abc.abstractmethod
-    def write(self, offset: int, data: bytes) -> IoResult:
+    def write(self, offset: int, data: bytes) -> IoCompletion:
         """Write ``data`` at ``offset`` (must be block-aligned)."""
+
+    def write_many(self, items: List[Tuple[int, bytes]]) -> List[IoCompletion]:
+        """Write several extents as one submission batch.
+
+        The default is a synchronous loop; devices whose pipeline can
+        overlap commands (see :meth:`~repro.sim.io.IoPipeline.submit_many`)
+        override this to pipeline the batch across channels.
+        """
+        return [self.write(offset, data) for offset, data in items]
+
+    @property
+    def tracer(self) -> IoTracer:
+        """The tracer shared by this device's pipeline."""
+        return self.pipeline.tracer
 
 
 def check_alignment(offset: int, length: int, block_size: int, capacity: int) -> None:

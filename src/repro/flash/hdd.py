@@ -5,17 +5,22 @@ that secondary-cache hit ratio dominates throughput — an HDD miss costs
 milliseconds while a flash-cache hit costs microseconds.  The model
 captures exactly what matters for that experiment: seek distance,
 rotational latency, sequential-access detection, and transfer rate.
+
+The actuator is modelled as the device's :class:`~repro.sim.io.ResourcePool`
+— a single mechanical arm, so the pool stays serial regardless of the
+configured channel count (an HDD cannot overlap seeks).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional
 
-from repro.flash.device import BlockDevice, DeviceStats, IoResult, check_alignment
-from repro.sim.clock import ResourceTimeline, SimClock
+from repro.flash.device import BlockDevice, DeviceStats, check_alignment
+from repro.sim.clock import SimClock
+from repro.sim.io import IoCompletion, IoOp, IoPipeline, IoRequest, IoTracer, PoolConfig
 from repro.sim.rng import make_rng
 from repro.units import GIB, KIB, msec
-from typing import Dict
 
 
 @dataclass(frozen=True)
@@ -38,12 +43,20 @@ class HddConfig:
 class HddDevice(BlockDevice):
     """Seek + rotation + transfer latency model over a RAM data store."""
 
-    def __init__(self, clock: SimClock, config: HddConfig = HddConfig(), seed: int = 7) -> None:
+    def __init__(
+        self,
+        clock: SimClock,
+        config: HddConfig = HddConfig(),
+        seed: int = 7,
+        tracer: Optional[IoTracer] = None,
+    ) -> None:
         self._clock = clock
         self.config = config
         self._stats = DeviceStats()
         self._blocks: Dict[int, bytes] = {}
-        self._timeline = ResourceTimeline("hdd")
+        # One actuator: always a serial pool, whatever the scheme's
+        # io PoolConfig says about its flash devices.
+        self.pipeline = IoPipeline(clock, "hdd", PoolConfig(), tracer)
         self._head_pos = 0
         self._rng = make_rng(seed, "hdd.rotation")
 
@@ -59,7 +72,7 @@ class HddDevice(BlockDevice):
     def stats(self) -> DeviceStats:
         return self._stats
 
-    def read(self, offset: int, length: int) -> IoResult:
+    def read(self, offset: int, length: int) -> IoCompletion:
         check_alignment(offset, length, self.block_size, self.capacity_bytes)
         first = offset // self.block_size
         count = length // self.block_size
@@ -67,28 +80,35 @@ class HddDevice(BlockDevice):
             self._blocks.get(i, b"\x00" * self.block_size)
             for i in range(first, first + count)
         ]
-        latency = self._service(offset, length)
+        completion = self.pipeline.submit(
+            IoRequest(IoOp.READ, offset, length, layer="hdd"),
+            self._service_ns(offset, length),
+        )
         self._stats.host_read_bytes += length
         self._stats.media_read_bytes += length
-        self._stats.read_latency.record(latency)
-        return IoResult(latency_ns=latency, data=b"".join(chunks))
+        self._stats.read_latency.record(completion.latency_ns)
+        completion.data = b"".join(chunks)
+        return completion
 
-    def write(self, offset: int, data: bytes) -> IoResult:
+    def write(self, offset: int, data: bytes) -> IoCompletion:
         check_alignment(offset, len(data), self.block_size, self.capacity_bytes)
         first = offset // self.block_size
         for i in range(len(data) // self.block_size):
             self._blocks[first + i] = bytes(
                 data[i * self.block_size : (i + 1) * self.block_size]
             )
-        latency = self._service(offset, len(data))
+        completion = self.pipeline.submit(
+            IoRequest(IoOp.WRITE, offset, len(data), layer="hdd"),
+            self._service_ns(offset, len(data)),
+        )
         self._stats.host_write_bytes += len(data)
         self._stats.media_write_bytes += len(data)
-        self._stats.write_latency.record(latency)
-        return IoResult(latency_ns=latency)
+        self._stats.write_latency.record(completion.latency_ns)
+        return completion
 
     # --- internals ---------------------------------------------------------------
 
-    def _service(self, offset: int, length: int) -> int:
+    def _service_ns(self, offset: int, length: int) -> int:
         """Mechanical positioning plus transfer, serialized on the actuator."""
         cfg = self.config
         distance = abs(offset - self._head_pos)
@@ -105,7 +125,4 @@ class HddDevice(BlockDevice):
             positioning = seek + rotation
         transfer = int(length / cfg.transfer_bytes_per_ns)
         self._head_pos = offset + length
-        start = self._clock.now
-        done = self._timeline.acquire(start, positioning + transfer)
-        self._clock.advance_to(done)
-        return done - start
+        return positioning + transfer

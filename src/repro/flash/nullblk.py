@@ -8,10 +8,11 @@ constant sub-NAND latency, no write amplification, no GC.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
-from repro.flash.device import BlockDevice, DeviceStats, IoResult, check_alignment
+from repro.flash.device import BlockDevice, DeviceStats, check_alignment
 from repro.sim.clock import SimClock
+from repro.sim.io import IoCompletion, IoOp, IoPipeline, IoRequest, IoTracer, PoolConfig
 from repro.units import KIB, MIB, usec
 
 
@@ -24,6 +25,7 @@ class NullBlkDevice(BlockDevice):
         capacity_bytes: int = 64 * MIB,
         block_size: int = 4 * KIB,
         latency_ns: int = usec(12),
+        tracer: Optional[IoTracer] = None,
     ) -> None:
         if capacity_bytes <= 0 or capacity_bytes % block_size != 0:
             raise ValueError(
@@ -36,6 +38,7 @@ class NullBlkDevice(BlockDevice):
         self._latency_ns = latency_ns
         self._stats = DeviceStats()
         self._blocks: Dict[int, bytes] = {}
+        self.pipeline = IoPipeline(clock, "nullblk", PoolConfig(), tracer)
 
     @property
     def capacity_bytes(self) -> int:
@@ -49,7 +52,7 @@ class NullBlkDevice(BlockDevice):
     def stats(self) -> DeviceStats:
         return self._stats
 
-    def read(self, offset: int, length: int) -> IoResult:
+    def read(self, offset: int, length: int) -> IoCompletion:
         check_alignment(offset, length, self._block_size, self._capacity)
         first = offset // self._block_size
         count = length // self._block_size
@@ -57,21 +60,26 @@ class NullBlkDevice(BlockDevice):
             self._blocks.get(i, b"\x00" * self._block_size)
             for i in range(first, first + count)
         ]
-        self._clock.advance(self._latency_ns)
+        completion = self.pipeline.submit(
+            IoRequest(IoOp.READ, offset, length, layer="nullblk"), self._latency_ns
+        )
         self._stats.host_read_bytes += length
         self._stats.media_read_bytes += length
-        self._stats.read_latency.record(self._latency_ns)
-        return IoResult(latency_ns=self._latency_ns, data=b"".join(chunks))
+        self._stats.read_latency.record(completion.latency_ns)
+        completion.data = b"".join(chunks)
+        return completion
 
-    def write(self, offset: int, data: bytes) -> IoResult:
+    def write(self, offset: int, data: bytes) -> IoCompletion:
         check_alignment(offset, len(data), self._block_size, self._capacity)
         first = offset // self._block_size
         for i in range(len(data) // self._block_size):
             self._blocks[first + i] = bytes(
                 data[i * self._block_size : (i + 1) * self._block_size]
             )
-        self._clock.advance(self._latency_ns)
+        completion = self.pipeline.submit(
+            IoRequest(IoOp.WRITE, offset, len(data), layer="nullblk"), self._latency_ns
+        )
         self._stats.host_write_bytes += len(data)
         self._stats.media_write_bytes += len(data)
-        self._stats.write_latency.record(self._latency_ns)
-        return IoResult(latency_ns=self._latency_ns)
+        self._stats.write_latency.record(completion.latency_ns)
+        return completion

@@ -5,8 +5,11 @@ benchmarks: the access pattern a cache scheme produces (sequential
 region writes vs scattered block updates) is exactly what the paper's
 analysis hinges on.
 
-``TracingBlockDevice`` wraps any :class:`~repro.flash.device.BlockDevice`;
-the ZNS device accepts a tracer directly (``zns.tracer = IoTrace()``).
+``TracingBlockDevice`` wraps any :class:`~repro.flash.device.BlockDevice`.
+It predates the pipeline-level :class:`~repro.sim.io.IoTracer` (which
+captures cross-layer causality, not just device commands) and is kept
+for flat offset/length trace analysis — see
+``examples/io_trace_analysis.py``.
 """
 
 from __future__ import annotations
@@ -14,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.flash.device import BlockDevice, DeviceStats, IoResult
+from repro.flash.device import BlockDevice, DeviceStats
+from repro.sim.io import IoCompletion
 
 
 @dataclass(frozen=True)
@@ -97,14 +101,14 @@ class TracingBlockDevice(BlockDevice):
         clock = getattr(self.inner, "_clock", None)
         return clock.now if clock is not None else 0
 
-    def read(self, offset: int, length: int) -> IoResult:
+    def read(self, offset: int, length: int) -> IoCompletion:
         result = self.inner.read(offset, length)
         self.trace.record(
             IoEvent(self._now(), "read", offset, length, result.latency_ns)
         )
         return result
 
-    def write(self, offset: int, data: bytes) -> IoResult:
+    def write(self, offset: int, data: bytes) -> IoCompletion:
         result = self.inner.write(offset, data)
         self.trace.record(
             IoEvent(self._now(), "write", offset, len(data), result.latency_ns)

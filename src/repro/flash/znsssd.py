@@ -7,18 +7,23 @@ open/close with max-open / max-active limits.  Because the host performs
 all cleaning, the device never relocates data — ``media_write_bytes``
 always equals ``host_write_bytes`` and device WA is exactly 1.0, the
 property the paper's Zone-Cache exploits (§3.2).
+
+All media traffic flows through an :class:`~repro.sim.io.IoPipeline`;
+``read_many``/``write_many`` expose batched submission so the ZTL's GC
+copy loop and region flushes pipeline across pool channels.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import AlignmentError, OutOfRangeError, ZoneResourceError
-from repro.flash.device import DeviceStats, IoResult
+from repro.flash.device import DeviceStats
 from repro.flash.nand import NandGeometry, NandTiming
-from repro.flash.zone import Zone, ZoneState
-from repro.sim.clock import ResourceTimeline, SimClock
+from repro.flash.zone import Zone
+from repro.sim.clock import SimClock
+from repro.sim.io import IoCompletion, IoOp, IoPipeline, IoRequest, IoTracer, PoolConfig
 
 
 @dataclass(frozen=True)
@@ -45,7 +50,13 @@ class ZnsConfig:
 class ZnsSsd:
     """ZNS SSD exposing the zone command set over simulated NAND."""
 
-    def __init__(self, clock: SimClock, config: ZnsConfig = ZnsConfig()) -> None:
+    def __init__(
+        self,
+        clock: SimClock,
+        config: ZnsConfig = ZnsConfig(),
+        io: PoolConfig = PoolConfig(),
+        tracer: Optional[IoTracer] = None,
+    ) -> None:
         self._clock = clock
         self.config = config
         zone_size = config.resolved_zone_size()
@@ -64,7 +75,7 @@ class ZnsSsd:
             Zone(index=i, start=i * zone_size, size=zone_size)
             for i in range(self.num_zones)
         ]
-        self._timeline = ResourceTimeline("znsssd")
+        self.pipeline = IoPipeline(clock, "znsssd", io, tracer)
         self._stats = DeviceStats()
         self._pages: Dict[int, bytes] = {}
 
@@ -83,6 +94,11 @@ class ZnsSsd:
     @property
     def stats(self) -> DeviceStats:
         return self._stats
+
+    @property
+    def tracer(self) -> IoTracer:
+        """The tracer shared by this device's pipeline."""
+        return self.pipeline.tracer
 
     @property
     def open_zone_count(self) -> int:
@@ -104,52 +120,101 @@ class ZnsSsd:
 
     # --- I/O -----------------------------------------------------------------------
 
-    def read(self, offset: int, length: int, background: bool = False) -> IoResult:
+    def read(self, offset: int, length: int, background: bool = False) -> IoCompletion:
         """Random read; unwritten space reads back as zeros.
 
         ``background=True`` models an internal housekeeping thread (e.g.
-        the middle layer's GC): the transfer occupies the device timeline
+        the middle layer's GC): the transfer occupies the device pool
         — later foreground commands queue behind it — but the caller is
         not blocked and the shared clock does not advance.
         """
-        self._check_aligned(offset, length)
-        if offset + length > self.capacity_bytes:
-            raise OutOfRangeError(
-                f"read (offset={offset}, length={length}) exceeds capacity"
-            )
-        page_size = self.block_size
-        first = offset // page_size
-        count = length // page_size
-        chunks = [
-            self._pages.get(ppn, b"\x00" * page_size)
-            for ppn in range(first, first + count)
-        ]
-        service = self.config.timing.read_ns(
-            count, length, self.config.geometry.parallelism
+        data = self._load(offset, length)
+        completion = self.pipeline.submit(
+            IoRequest(IoOp.READ, offset, length, layer="zns", background=background),
+            self._read_service_ns(length),
         )
-        if background:
-            self._timeline.reserve_background(self._clock.now, service)
-            latency = 0
-        else:
-            latency = self._complete(service)
-            self._stats.read_latency.record(latency)
+        if not background:
+            self._stats.read_latency.record(completion.latency_ns)
         self._stats.host_read_bytes += length
         self._stats.media_read_bytes += length
-        return IoResult(latency_ns=latency, data=b"".join(chunks))
+        completion.data = data
+        return completion
 
-    def write(self, offset: int, data: bytes, background: bool = False) -> IoResult:
+    def read_many(
+        self, extents: List[Tuple[int, int]], background: bool = False
+    ) -> List[IoCompletion]:
+        """Batched reads: one submission, overlapped across pool channels."""
+        batch: List[Tuple[IoRequest, int]] = []
+        payloads: List[bytes] = []
+        for offset, length in extents:
+            payloads.append(self._load(offset, length))
+            batch.append(
+                (
+                    IoRequest(
+                        IoOp.READ, offset, length, layer="zns", background=background
+                    ),
+                    self._read_service_ns(length),
+                )
+            )
+        completions = self.pipeline.submit_many(batch)
+        for completion, (offset, length), data in zip(completions, extents, payloads):
+            if not background:
+                self._stats.read_latency.record(completion.latency_ns)
+            self._stats.host_read_bytes += length
+            self._stats.media_read_bytes += length
+            completion.data = data
+        return completions
+
+    def write(self, offset: int, data: bytes, background: bool = False) -> IoCompletion:
         """Sequential write: must land exactly on the zone's write pointer.
 
         ``background=True`` behaves as for :meth:`read`: the program time
-        is reserved on the device timeline without blocking the caller.
+        is reserved on the device pool without blocking the caller.
         """
-        self._check_aligned(offset, len(data))
-        zone = self.zone_of(offset)
-        zone.check_writable(offset, len(data))
-        self._ensure_open_budget(zone)
-        self._store(offset, data)
-        zone.advance(len(data))
-        return self._account_write(len(data), background=background)
+        self._prepare_write(offset, data)
+        completion = self.pipeline.submit(
+            IoRequest(
+                IoOp.WRITE,
+                offset,
+                len(data),
+                zone=offset // self.zone_size,
+                layer="zns",
+                background=background,
+            ),
+            self._write_service_ns(len(data)),
+        )
+        self._account_write(len(data), completion, background)
+        return completion
+
+    def write_many(
+        self, items: List[Tuple[int, bytes]], background: bool = False
+    ) -> List[IoCompletion]:
+        """Batched sequential writes: one submission across pool channels.
+
+        Write-pointer checks and data stores happen per extent, in order,
+        before the batch is queued — an invalid extent raises before any
+        media time is charged for it.
+        """
+        batch: List[Tuple[IoRequest, int]] = []
+        for offset, data in items:
+            self._prepare_write(offset, data)
+            batch.append(
+                (
+                    IoRequest(
+                        IoOp.WRITE,
+                        offset,
+                        len(data),
+                        zone=offset // self.zone_size,
+                        layer="zns",
+                        background=background,
+                    ),
+                    self._write_service_ns(len(data)),
+                )
+            )
+        completions = self.pipeline.submit_many(batch)
+        for completion, (offset, data) in zip(completions, items):
+            self._account_write(len(data), completion, background)
+        return completions
 
     def append(self, zone_index: int, data: bytes) -> "AppendResult":
         """Zone Append: device picks the offset (the current write pointer)."""
@@ -161,10 +226,24 @@ class ZnsSsd:
         self._ensure_open_budget(zone)
         self._store(offset, data)
         zone.advance(len(data))
-        result = self._account_write(len(data))
-        return AppendResult(latency_ns=result.latency_ns, offset=offset)
+        completion = self.pipeline.submit(
+            IoRequest(IoOp.APPEND, offset, len(data), zone=zone_index, layer="zns"),
+            self._write_service_ns(len(data)),
+        )
+        self._account_write(len(data), completion, background=False)
+        return AppendResult(
+            latency_ns=completion.latency_ns,
+            request=completion.request,
+            submitted_ns=completion.submitted_ns,
+            started_ns=completion.started_ns,
+            completed_ns=completion.completed_ns,
+            wait_ns=completion.wait_ns,
+            service_ns=completion.service_ns,
+            channel=completion.channel,
+            offset=offset,
+        )
 
-    def reset_zone(self, zone_index: int) -> IoResult:
+    def reset_zone(self, zone_index: int) -> IoCompletion:
         """Reset: discard zone contents, write pointer back to start."""
         self._check_zone_index(zone_index)
         zone = self.zones[zone_index]
@@ -176,40 +255,76 @@ class ZnsSsd:
             self._pages.pop(ppn, None)
         # The reset command itself is fast; the media erase proceeds in the
         # background and *later* commands queue behind it.
-        latency = self._complete(self.config.timing.command_overhead_ns)
+        completion = self.pipeline.submit(
+            IoRequest(IoOp.RESET, zone.start, zone=zone_index, layer="zns"),
+            self.config.timing.command_overhead_ns,
+        )
         if had_data:
             blocks = self.zone_size // self.config.geometry.block_size
-            self._timeline.reserve_background(
-                self._clock.now, self.config.timing.erase_ns(blocks)
+            self.pipeline.submit(
+                IoRequest(
+                    IoOp.ERASE,
+                    zone.start,
+                    self.zone_size,
+                    zone=zone_index,
+                    layer="zns",
+                    background=True,
+                ),
+                self.config.timing.erase_ns(blocks),
             )
             self._stats.erase_count += blocks
-        return IoResult(latency_ns=latency)
+        return completion
 
-    def finish_zone(self, zone_index: int) -> IoResult:
+    def finish_zone(self, zone_index: int) -> IoCompletion:
         """Finish: write pointer jumps to the zone end; state becomes FULL."""
         self._check_zone_index(zone_index)
         self.zones[zone_index].finish()
-        latency = self._complete(self.config.timing.command_overhead_ns)
-        return IoResult(latency_ns=latency)
+        return self._zone_command(IoOp.FINISH, zone_index)
 
-    def open_zone(self, zone_index: int) -> IoResult:
+    def open_zone(self, zone_index: int) -> IoCompletion:
         """Explicitly open a zone (counts against max-open)."""
         self._check_zone_index(zone_index)
         zone = self.zones[zone_index]
         if not zone.is_open:
             self._ensure_open_budget(zone)
         zone.open_explicit()
-        latency = self._complete(self.config.timing.command_overhead_ns)
-        return IoResult(latency_ns=latency)
+        return self._zone_command(IoOp.OPEN, zone_index)
 
-    def close_zone(self, zone_index: int) -> IoResult:
+    def close_zone(self, zone_index: int) -> IoCompletion:
         """Close an open zone (frees an open slot, keeps an active slot)."""
         self._check_zone_index(zone_index)
         self.zones[zone_index].close()
-        latency = self._complete(self.config.timing.command_overhead_ns)
-        return IoResult(latency_ns=latency)
+        return self._zone_command(IoOp.CLOSE, zone_index)
 
     # --- internals -------------------------------------------------------------------
+
+    def _zone_command(self, op: IoOp, zone_index: int) -> IoCompletion:
+        return self.pipeline.submit(
+            IoRequest(op, self.zones[zone_index].start, zone=zone_index, layer="zns"),
+            self.config.timing.command_overhead_ns,
+        )
+
+    def _load(self, offset: int, length: int) -> bytes:
+        self._check_aligned(offset, length)
+        if offset + length > self.capacity_bytes:
+            raise OutOfRangeError(
+                f"read (offset={offset}, length={length}) exceeds capacity"
+            )
+        page_size = self.block_size
+        first = offset // page_size
+        count = length // page_size
+        return b"".join(
+            self._pages.get(ppn, b"\x00" * page_size)
+            for ppn in range(first, first + count)
+        )
+
+    def _prepare_write(self, offset: int, data: bytes) -> None:
+        self._check_aligned(offset, len(data))
+        zone = self.zone_of(offset)
+        zone.check_writable(offset, len(data))
+        self._ensure_open_budget(zone)
+        self._store(offset, data)
+        zone.advance(len(data))
 
     def _store(self, offset: int, data: bytes) -> None:
         page_size = self.block_size
@@ -217,20 +332,25 @@ class ZnsSsd:
         for i in range(len(data) // page_size):
             self._pages[first + i] = bytes(data[i * page_size : (i + 1) * page_size])
 
-    def _account_write(self, length: int, background: bool = False) -> IoResult:
+    def _read_service_ns(self, length: int) -> int:
         count = length // self.block_size
-        service = self.config.timing.program_ns(
+        return self.config.timing.read_ns(
             count, length, self.config.geometry.parallelism
         )
-        if background:
-            self._timeline.reserve_background(self._clock.now, service)
-            latency = 0
-        else:
-            latency = self._complete(service)
-            self._stats.write_latency.record(latency)
+
+    def _write_service_ns(self, length: int) -> int:
+        count = length // self.block_size
+        return self.config.timing.program_ns(
+            count, length, self.config.geometry.parallelism
+        )
+
+    def _account_write(
+        self, length: int, completion: IoCompletion, background: bool
+    ) -> None:
+        if not background:
+            self._stats.write_latency.record(completion.latency_ns)
         self._stats.host_write_bytes += length
         self._stats.media_write_bytes += length  # no device GC: WA == 1.0
-        return IoResult(latency_ns=latency)
 
     def _ensure_open_budget(self, zone: Zone) -> None:
         """Enforce max-open/max-active before a zone becomes (implicitly) open."""
@@ -262,13 +382,6 @@ class ZnsSsd:
         if length <= 0:
             raise AlignmentError(f"I/O length must be positive, got {length}")
 
-    def _complete(self, service_ns: int) -> int:
-        """Synchronous completion: advances the shared clock (see BlockSsd)."""
-        start = self._clock.now
-        done = self._timeline.acquire(start, service_ns)
-        self._clock.advance_to(done)
-        return done - start
-
     def __repr__(self) -> str:
         return (
             f"ZnsSsd(zones={self.num_zones}, zone_size={self.zone_size}, "
@@ -277,7 +390,7 @@ class ZnsSsd:
 
 
 @dataclass
-class AppendResult(IoResult):
+class AppendResult(IoCompletion):
     """Result of a Zone Append: includes the device-chosen offset."""
 
     offset: int = -1

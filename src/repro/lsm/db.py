@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Tuple
 
-from repro.errors import DbClosedError, LsmError
+from repro.errors import DbClosedError
 from repro.flash.device import BlockDevice
 from repro.lsm.block import DataBlock
 from repro.lsm.block_cache import BlockCache, SecondaryCache

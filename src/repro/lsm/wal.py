@@ -13,7 +13,7 @@ the block is sync padding.
 from __future__ import annotations
 
 import struct
-from typing import Iterator, List
+from typing import Iterator
 
 from repro.errors import LsmError
 from repro.flash.device import BlockDevice

@@ -1,18 +1,46 @@
-"""Simulation kernel: virtual clock, deterministic RNG, and statistics.
+"""Simulation kernel: virtual clock, I/O pipeline, RNG, and statistics.
 
 Every device, filesystem, and cache component in this reproduction is
 driven by a single shared :class:`SimClock`.  Devices *advance* the clock
 by their modelled service time; the workload drivers read the clock to
 compute throughput, so all reported numbers are deterministic functions of
 the configuration and seed.
+
+Device traffic is carried by the unified I/O pipeline in
+:mod:`repro.sim.io`: typed :class:`IoRequest`/:class:`IoCompletion`
+records, an N-channel :class:`ResourcePool`, and the :class:`IoTracer`
+hook bus that links one cache operation to every device command it
+caused.
 """
 
-from repro.sim.clock import SimClock
-from repro.sim.stats import LatencyRecorder, Counter, RatioStat
+from repro.sim.clock import ResourceTimeline, SimClock, check_service_time
+from repro.sim.io import (
+    IoCompletion,
+    IoOp,
+    IoPipeline,
+    IoRequest,
+    IoTracer,
+    NULL_TRACER,
+    PoolConfig,
+    ResourcePool,
+    TraceRecord,
+)
 from repro.sim.rng import make_rng
+from repro.sim.stats import Counter, LatencyRecorder, RatioStat
 
 __all__ = [
     "SimClock",
+    "ResourceTimeline",
+    "check_service_time",
+    "IoOp",
+    "IoRequest",
+    "IoCompletion",
+    "IoPipeline",
+    "IoTracer",
+    "NULL_TRACER",
+    "PoolConfig",
+    "ResourcePool",
+    "TraceRecord",
     "LatencyRecorder",
     "Counter",
     "RatioStat",

@@ -51,6 +51,12 @@ class SimClock:
         return f"SimClock(now={self._now}ns)"
 
 
+def check_service_time(service_ns: int) -> None:
+    """Shared validation for every resource occupancy in the simulation."""
+    if service_ns < 0:
+        raise ValueError(f"service_ns must be non-negative, got {service_ns}")
+
+
 class ResourceTimeline:
     """Serial resource that turns overlapping demands into queueing delay.
 
@@ -59,6 +65,11 @@ class ResourceTimeline:
     completion time: if the resource is still busy from earlier work the
     request waits, which is how background GC inflates foreground tail
     latency in this simulation.
+
+    Data-path device traffic now flows through the N-channel
+    :class:`~repro.sim.io.ResourcePool`; this serial primitive remains
+    the single-resource building block (and the reference semantics a
+    one-channel pool must reproduce).
     """
 
     def __init__(self, name: str = "resource") -> None:
@@ -81,13 +92,7 @@ class ResourceTimeline:
 
         Returns the completion timestamp (wait + service).
         """
-        if service_ns < 0:
-            raise ValueError(f"service_ns must be non-negative, got {service_ns}")
-        start = max(now_ns, self._busy_until)
-        self.total_wait_ns += start - now_ns
-        self._busy_until = start + service_ns
-        self.total_busy_ns += service_ns
-        return self._busy_until
+        return self._occupy(now_ns, service_ns, charge_wait=True)
 
     def reserve_background(self, now_ns: int, service_ns: int) -> int:
         """Schedule background work without a requester waiting on it.
@@ -96,9 +101,13 @@ class ResourceTimeline:
         ``total_wait_ns`` (nobody is blocked *issuing* it); foreground
         requests that arrive while it runs still queue behind it.
         """
-        if service_ns < 0:
-            raise ValueError(f"service_ns must be non-negative, got {service_ns}")
+        return self._occupy(now_ns, service_ns, charge_wait=False)
+
+    def _occupy(self, now_ns: int, service_ns: int, charge_wait: bool) -> int:
+        check_service_time(service_ns)
         start = max(now_ns, self._busy_until)
+        if charge_wait:
+            self.total_wait_ns += start - now_ns
         self._busy_until = start + service_ns
         self.total_busy_ns += service_ns
         return self._busy_until

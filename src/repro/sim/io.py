@@ -1,0 +1,542 @@
+"""Unified I/O request pipeline shared by every simulated layer.
+
+Every byte of device traffic in the reproduction — cache flushes,
+filesystem cleaning, middle-layer GC migrations, FTL relocations, even
+metadata journal writes — flows through one submission path built from
+three pieces:
+
+* :class:`IoRequest` / :class:`IoCompletion` — typed request records
+  carrying the op kind, address, length, the layer that originated the
+  request, and a parent id linking it to the higher-level operation that
+  caused it.
+* :class:`ResourcePool` — N parallel channels (dies) with a configurable
+  per-channel queue depth, generalizing the old single serial
+  ``ResourceTimeline``.  With ``channels=1, queue_depth=1`` it is
+  bit-for-bit identical to the serial timeline, so the seed's latency
+  and WAF numbers are preserved; wider configurations model the
+  intra-device parallelism that ZNS characterization studies show
+  dominates throughput and tail latency.
+* :class:`IoTracer` — a span/record hook bus.  Layers open *spans*
+  (engine → backend → ztl/f2fs/ftl) and device requests submitted inside
+  a span are parented to it, so one cache ``set()`` yields a causally
+  linked chain down to the NAND commands it produced.  Cross-layer WAF
+  and tail-latency attribution become queries over one record stream.
+
+:class:`IoPipeline` ties the three together per device and adds batched
+submission (:meth:`IoPipeline.submit_many`): a batch is dispatched at one
+virtual instant and pipelined across the pool's channels, which is how
+region-sized flushes and GC copy loops become one pipelined batch instead
+of a loop of synchronous calls.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.clock import SimClock, check_service_time
+
+
+class IoOp(enum.Enum):
+    """Typed command kinds understood by the pipeline."""
+
+    READ = "read"
+    WRITE = "write"
+    APPEND = "append"
+    RESET = "reset"
+    FINISH = "finish"
+    OPEN = "open"
+    CLOSE = "close"
+    DISCARD = "discard"
+    ERASE = "erase"
+    GC = "gc"
+    MAINTENANCE = "maintenance"
+    SPAN = "span"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class IoRequest:
+    """One unit of device traffic.
+
+    ``layer`` names the layer of origin (``"zns"``, ``"ftl.gc"``, …);
+    ``parent_id`` links the request to the enclosing tracer span (filled
+    in automatically at submission when a span is open).  ``background``
+    requests occupy the pool without blocking the submitter — the model
+    for GC/maintenance work the host never waits on directly.
+    """
+
+    op: IoOp
+    offset: int = 0
+    length: int = 0
+    zone: Optional[int] = None
+    layer: str = "device"
+    parent_id: Optional[int] = None
+    background: bool = False
+    request_id: int = -1
+
+
+@dataclass
+class IoCompletion:
+    """Outcome of a submitted request (successor of the old ``IoResult``).
+
+    ``latency_ns`` is what the *submitter* observed: queueing plus
+    service for foreground requests, 0 for background reservations.  The
+    remaining timestamps describe what actually happened on the media so
+    traces can attribute wait vs service per layer.
+    """
+
+    latency_ns: int
+    data: Optional[bytes] = None
+    request: Optional[IoRequest] = None
+    submitted_ns: int = 0
+    started_ns: int = 0
+    completed_ns: int = 0
+    wait_ns: int = 0
+    service_ns: int = 0
+    channel: int = 0
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Shape of a device's parallel command resources.
+
+    ``channels`` models independent die groups; ``queue_depth`` is the
+    number of commands one channel can have in flight (NVMe-style slot
+    model).  ``stripe_bytes`` > 0 routes requests to ``(offset //
+    stripe_bytes) % channels`` so addresses map to dies the way real
+    flash striping does; 0 picks the earliest-free channel instead.
+    """
+
+    channels: int = 1
+    queue_depth: int = 1
+    stripe_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ValueError(f"channels must be >= 1, got {self.channels}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.stripe_bytes < 0:
+            raise ValueError(f"stripe_bytes must be >= 0, got {self.stripe_bytes}")
+
+    @property
+    def total_slots(self) -> int:
+        return self.channels * self.queue_depth
+
+
+class ResourcePool:
+    """N-channel, queue-depth-aware generalization of ``ResourceTimeline``.
+
+    Each channel owns ``queue_depth`` command slots; a request occupies
+    the earliest-free slot of its channel, so overlapping demands turn
+    into queueing delay only once every slot is busy.  With one channel
+    and one slot the arithmetic reduces exactly to the serial timeline,
+    which is what keeps the seed's golden numbers stable.
+    """
+
+    def __init__(self, name: str = "pool", config: PoolConfig = PoolConfig()) -> None:
+        self.name = name
+        self.config = config
+        self._slots: List[List[int]] = [
+            [0] * config.queue_depth for _ in range(config.channels)
+        ]
+        self.total_busy_ns = 0
+        self.total_wait_ns = 0
+        self.per_channel_busy_ns: List[int] = [0] * config.channels
+        self.requests_served = 0
+
+    @property
+    def busy_until(self) -> int:
+        """Virtual time at which the whole pool becomes idle."""
+        return max(max(slots) for slots in self._slots)
+
+    def wait_time(self, now_ns: int) -> int:
+        """Queueing delay a request issued at ``now_ns`` would observe."""
+        earliest = min(min(slots) for slots in self._slots)
+        return max(0, earliest - now_ns)
+
+    def acquire(
+        self,
+        now_ns: int,
+        service_ns: int,
+        offset: Optional[int] = None,
+        charge_wait: bool = True,
+    ) -> Tuple[int, int, int]:
+        """Occupy a slot for ``service_ns``; returns (done, wait, channel).
+
+        ``charge_wait=False`` is the background-reservation path: the
+        pool fills up the same way but nobody is blocked issuing the
+        request, so the wait is not charged to ``total_wait_ns``.
+        """
+        check_service_time(service_ns)
+        channel = self._channel_for(offset)
+        slots = self._slots[channel]
+        slot = min(range(len(slots)), key=slots.__getitem__)
+        start = max(now_ns, slots[slot])
+        wait = start - now_ns
+        slots[slot] = start + service_ns
+        self.total_busy_ns += service_ns
+        self.per_channel_busy_ns[channel] += service_ns
+        self.requests_served += 1
+        if charge_wait:
+            self.total_wait_ns += wait
+        return start + service_ns, wait, channel
+
+    def reserve_background(
+        self, now_ns: int, service_ns: int, offset: Optional[int] = None
+    ) -> Tuple[int, int, int]:
+        """Schedule background work without a requester waiting on it."""
+        return self.acquire(now_ns, service_ns, offset, charge_wait=False)
+
+    def utilization(self, now_ns: int) -> float:
+        """Mean fraction of channel-time spent servicing, up to ``now_ns``."""
+        if now_ns <= 0:
+            return 0.0
+        return self.total_busy_ns / (now_ns * self.config.channels)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary dict used by the benchmark reports."""
+        return {
+            "channels": self.config.channels,
+            "queue_depth": self.config.queue_depth,
+            "requests": self.requests_served,
+            "total_busy_ns": self.total_busy_ns,
+            "total_wait_ns": self.total_wait_ns,
+        }
+
+    def _channel_for(self, offset: Optional[int]) -> int:
+        config = self.config
+        if config.channels == 1:
+            return 0
+        if config.stripe_bytes > 0 and offset is not None:
+            return (offset // config.stripe_bytes) % config.channels
+        return min(
+            range(config.channels), key=lambda c: min(self._slots[c])
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ResourcePool({self.name!r}, channels={self.config.channels}, "
+            f"qd={self.config.queue_depth}, busy_until={self.busy_until})"
+        )
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One entry on the trace stream: a span or a device request."""
+
+    record_id: int
+    parent_id: Optional[int]
+    layer: str
+    op: str
+    offset: int
+    length: int
+    zone: Optional[int]
+    background: bool
+    submitted_ns: int
+    completed_ns: int
+    wait_ns: int
+    service_ns: int
+    channel: int
+
+    @property
+    def latency_ns(self) -> int:
+        return self.completed_ns - self.submitted_ns
+
+
+# Reusable no-op context for disabled tracers: span() on a disabled
+# tracer must cost one attribute check, not a generator frame.
+_NULL_SPAN = contextlib.nullcontext()
+
+
+class IoTracer:
+    """Hook bus every layer can tag and observe requests through.
+
+    Disabled by default (zero overhead beyond one flag check); call
+    :meth:`enable` to capture records, or :meth:`subscribe` to stream
+    them to a callback.  Span ids and request ids share one counter, so
+    parent links are unambiguous across layers and devices that share a
+    tracer instance.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self._clock = clock
+        self.records: List[TraceRecord] = []
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+        self._stack: List[int] = []
+        self._next_id = 0
+        self._capture = False
+
+    # --- lifecycle ------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._capture or bool(self._subscribers)
+
+    def enable(self) -> "IoTracer":
+        """Start capturing records (returns self for chaining)."""
+        self._capture = True
+        return self
+
+    def disable(self) -> None:
+        self._capture = False
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Stream every record to ``callback`` (independent of capture)."""
+        self._subscribers.append(callback)
+
+    def bind_clock(self, clock: SimClock) -> None:
+        """Attach the simulation clock (first binding wins)."""
+        if self._clock is None:
+            self._clock = clock
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # --- spans ----------------------------------------------------------------
+
+    @property
+    def current_parent(self) -> Optional[int]:
+        """Id of the innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def allocate_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def span(
+        self,
+        layer: str,
+        op: str,
+        offset: int = 0,
+        length: int = 0,
+        zone: Optional[int] = None,
+    ):
+        """Context manager marking a layer-level operation.
+
+        Requests submitted (and spans opened) inside are parented to it.
+        On a disabled tracer this returns a shared no-op context.
+        """
+        if not self.enabled or self._clock is None:
+            return _NULL_SPAN
+        return self._span(layer, op, offset, length, zone)
+
+    @contextlib.contextmanager
+    def _span(
+        self, layer: str, op: str, offset: int, length: int, zone: Optional[int]
+    ):
+        record_id = self.allocate_id()
+        parent_id = self.current_parent
+        self._stack.append(record_id)
+        start_ns = self._clock.now
+        try:
+            yield record_id
+        finally:
+            self._stack.pop()
+            end_ns = self._clock.now
+            self._emit(
+                TraceRecord(
+                    record_id=record_id,
+                    parent_id=parent_id,
+                    layer=layer,
+                    op=op,
+                    offset=offset,
+                    length=length,
+                    zone=zone,
+                    background=False,
+                    submitted_ns=start_ns,
+                    completed_ns=end_ns,
+                    wait_ns=0,
+                    service_ns=end_ns - start_ns,
+                    channel=-1,
+                )
+            )
+
+    def on_completion(self, completion: IoCompletion) -> None:
+        """Record a finished device request (called by the pipeline)."""
+        request = completion.request
+        assert request is not None
+        self._emit(
+            TraceRecord(
+                record_id=request.request_id,
+                parent_id=request.parent_id,
+                layer=request.layer,
+                op=request.op.value,
+                offset=request.offset,
+                length=request.length,
+                zone=request.zone,
+                background=request.background,
+                submitted_ns=completion.submitted_ns,
+                completed_ns=completion.completed_ns,
+                wait_ns=completion.wait_ns,
+                service_ns=completion.service_ns,
+                channel=completion.channel,
+            )
+        )
+
+    def _emit(self, record: TraceRecord) -> None:
+        if self._capture:
+            self.records.append(record)
+        for callback in self._subscribers:
+            callback(record)
+
+    # --- queries --------------------------------------------------------------
+
+    def find(
+        self, layer: Optional[str] = None, op: Optional[str] = None
+    ) -> List[TraceRecord]:
+        """Captured records filtered by layer prefix and/or op."""
+        out = []
+        for record in self.records:
+            if layer is not None and not record.layer.startswith(layer):
+                continue
+            if op is not None and record.op != op:
+                continue
+            out.append(record)
+        return out
+
+    def record_by_id(self, record_id: int) -> Optional[TraceRecord]:
+        for record in self.records:
+            if record.record_id == record_id:
+                return record
+        return None
+
+    def chain(self, record_id: int) -> List[TraceRecord]:
+        """Ancestry of a record, root span first, the record itself last."""
+        by_id = {record.record_id: record for record in self.records}
+        out: List[TraceRecord] = []
+        cursor = by_id.get(record_id)
+        while cursor is not None:
+            out.append(cursor)
+            cursor = (
+                by_id.get(cursor.parent_id) if cursor.parent_id is not None else None
+            )
+        out.reverse()
+        return out
+
+    def layer_chain(self, record_id: int) -> List[str]:
+        """Layer names along the ancestry, root first (duplicates merged)."""
+        layers: List[str] = []
+        for record in self.chain(record_id):
+            if not layers or layers[-1] != record.layer:
+                layers.append(record.layer)
+        return layers
+
+    def bytes_written_by_layer(self) -> Dict[str, int]:
+        """Media write bytes attributed to the layer that originated them.
+
+        This is cross-layer WAF attribution as a query: host writes show
+        up under the device layer, relocation traffic under ``*.gc``.
+        """
+        out: Dict[str, int] = {}
+        for record in self.records:
+            if record.op in ("write", "append", "gc"):
+                out[record.layer] = out.get(record.layer, 0) + record.length
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"IoTracer(records={len(self.records)}, enabled={self.enabled})"
+
+
+# Shared disabled tracer for components wired without one.  Never enable
+# it: everything that did not get an explicit tracer reports here.
+NULL_TRACER = IoTracer()
+
+
+class IoPipeline:
+    """Per-device submission path: clock + resource pool + tracer.
+
+    Multiple devices in one stack may share a tracer (so request ids and
+    parent links form one stream) while keeping their own pools.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        name: str = "device",
+        config: PoolConfig = PoolConfig(),
+        tracer: Optional[IoTracer] = None,
+    ) -> None:
+        self.clock = clock
+        self.name = name
+        self.pool = ResourcePool(name, config)
+        self.tracer = tracer if tracer is not None else IoTracer()
+        self.tracer.bind_clock(clock)
+
+    def submit(self, request: IoRequest, service_ns: int) -> IoCompletion:
+        """Submit one request synchronously (or reserve, if background).
+
+        Foreground submissions advance the shared clock to the completion
+        time — the command both observes and spends any queueing delay.
+        """
+        completion = self._dispatch(request, service_ns, self.clock.now)
+        if not request.background:
+            self.clock.advance_to(completion.completed_ns)
+        if self.tracer.enabled:
+            self.tracer.on_completion(completion)
+        return completion
+
+    def submit_many(
+        self, batch: Iterable[Tuple[IoRequest, int]]
+    ) -> List[IoCompletion]:
+        """Submit a batch at one virtual instant, pipelined across the pool.
+
+        All requests are queued at the current time; the pool spreads
+        them over its channels/slots, so a region-sized flush or a GC
+        copy loop overlaps across dies instead of serializing.  The
+        clock advances to the last *foreground* completion (the batch
+        barrier); per-request latencies include intra-batch queueing.
+        With a serial pool this is arithmetically identical to a loop of
+        synchronous submissions.
+        """
+        now = self.clock.now
+        completions: List[IoCompletion] = []
+        barrier = now
+        for request, service_ns in batch:
+            completion = self._dispatch(request, service_ns, now)
+            if not request.background:
+                barrier = max(barrier, completion.completed_ns)
+            completions.append(completion)
+            if self.tracer.enabled:
+                self.tracer.on_completion(completion)
+        self.clock.advance_to(barrier)
+        return completions
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"name": self.name, **self.pool.snapshot()}
+
+    def _dispatch(
+        self, request: IoRequest, service_ns: int, now: int
+    ) -> IoCompletion:
+        request.request_id = self.tracer.allocate_id()
+        if request.parent_id is None:
+            request.parent_id = self.tracer.current_parent
+        if request.background:
+            done, wait, channel = self.pool.reserve_background(
+                now, service_ns, request.offset
+            )
+            observed = 0
+        else:
+            done, wait, channel = self.pool.acquire(now, service_ns, request.offset)
+            observed = done - now
+        return IoCompletion(
+            latency_ns=observed,
+            request=request,
+            submitted_ns=now,
+            started_ns=done - service_ns,
+            completed_ns=done,
+            wait_ns=wait,
+            service_ns=service_ns,
+            channel=channel,
+        )
+
+    def __repr__(self) -> str:
+        return f"IoPipeline({self.name!r}, {self.pool!r})"

@@ -11,7 +11,7 @@ minute), hit ratio, WAF breakdown, and latency percentiles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.cache.engine import HybridCache
 from repro.sim.rng import make_rng

@@ -78,10 +78,12 @@ class ZoneGarbageCollector:
         reset: Callable[[int], None],
         migration_hint: Optional[MigrationHint] = None,
         on_drop: Optional[DropCallback] = None,
+        migrate_many: Optional[Callable[[List[int]], None]] = None,
     ) -> None:
         self._book = book
         self.config = config
         self._migrate = migrate
+        self._migrate_many = migrate_many
         self._reset = reset
         self.migration_hint = migration_hint
         self.on_drop = on_drop
@@ -154,6 +156,7 @@ class ZoneGarbageCollector:
             self._pending = list(record.bitmap.valid_slots())
         record = self._book.record(self._victim)
         processed = 0
+        survivors: List[int] = []
         while self._pending and processed < budget:
             slot = self._pending.pop()
             if not record.bitmap.is_set(slot):
@@ -166,14 +169,22 @@ class ZoneGarbageCollector:
             if self.migration_hint is not None:
                 keep = self.migration_hint(region_id)
             if keep:
-                target = self._book.allocate_gc_slot()
-                self._migrate(region_id, target)
+                if self._migrate_many is not None:
+                    # Batched path: the layer allocates targets itself so
+                    # it can submit the copy loop as one pipelined batch.
+                    survivors.append(region_id)
+                else:
+                    target = self._book.allocate_gc_slot()
+                    self._migrate(region_id, target)
                 self.regions_migrated += 1
             else:
                 self.regions_dropped += 1
                 self._drop(region_id)
             record.bitmap.clear(slot)
             processed += 1
+        if survivors:
+            assert self._migrate_many is not None
+            self._migrate_many(survivors)
         if not self._pending:
             victim = self._victim
             self._victim = None

@@ -10,7 +10,6 @@ from repro.flash import (
     BlockSsdConfig,
     FtlConfig,
     NandGeometry,
-    NandTiming,
     ZnsConfig,
     ZnsSsd,
 )

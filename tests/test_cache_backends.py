@@ -1,6 +1,8 @@
 """Unit tests for the four RegionStore backends and shared helpers."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.cache.backends import (
     BlockRegionStore,
@@ -10,7 +12,7 @@ from repro.cache.backends import (
     ZtlRegionStore,
 )
 from repro.cache.backends.base import aligned_window
-from repro.errors import CacheConfigError
+from repro.errors import CacheConfigError, OutOfRangeError
 from repro.f2fs import CleanerConfig, F2fs, F2fsConfig
 from repro.flash import (
     BlockSsd,
@@ -52,6 +54,28 @@ class TestAlignedWindow:
         assert offset == 0
         assert length == 8192
         assert skip == 4000
+
+    @given(
+        offset=st.integers(min_value=0, max_value=1 << 40),
+        length=st.integers(min_value=1, max_value=1 << 24),
+        alignment=st.sampled_from([512, 4096, 16384, 1 << 20]),
+    )
+    def test_window_properties(self, offset, length, alignment):
+        aligned_offset, aligned_length, skip = aligned_window(
+            offset, length, alignment
+        )
+        aligned_end = aligned_offset + aligned_length
+        # Both edges land on alignment boundaries.
+        assert aligned_offset % alignment == 0
+        assert aligned_length % alignment == 0
+        # The window covers the requested range...
+        assert aligned_offset <= offset
+        assert aligned_end >= offset + length
+        # ...with minimal slack on both sides (never a full spare block).
+        assert offset - aligned_offset < alignment
+        assert aligned_end - (offset + length) < alignment
+        # slice_start points at the requested bytes inside the window.
+        assert skip == offset - aligned_offset
 
 
 class TestWafRaw:
@@ -128,11 +152,11 @@ class TestRegionStoreContract:
         assert store.read(0, 0, 64) == payload(2, 64)
 
     def test_bad_region_id(self, store):
-        with pytest.raises(IndexError):
+        with pytest.raises(OutOfRangeError):
             store.write_region(store.num_regions, payload(1, store.region_size))
-        with pytest.raises(IndexError):
+        with pytest.raises(OutOfRangeError):
             store.read(-1, 0, 16)
-        with pytest.raises(IndexError):
+        with pytest.raises(OutOfRangeError):
             store.invalidate_region(store.num_regions)
 
     def test_wrong_payload_size(self, store):

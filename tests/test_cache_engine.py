@@ -14,7 +14,7 @@ from repro.cache.backends import BlockRegionStore
 from repro.errors import CacheConfigError, ObjectTooLargeError
 from repro.flash import BlockSsd, BlockSsdConfig, FtlConfig, NandGeometry
 from repro.sim import SimClock
-from repro.units import KIB, MIB
+from repro.units import KIB
 
 TEST_SCALE = SchemeScale(
     zone_size=256 * KIB,

@@ -1,7 +1,6 @@
 """White-box tests of HybridCache internals: open-buffer behaviour,
 key-set maintenance, region metadata coherence."""
 
-import pytest
 
 from repro.cache import CacheConfig, HybridCache
 from repro.cache.backends import BlockRegionStore

@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import AlignmentError, OutOfRangeError
 from repro.flash import BlockSsd, BlockSsdConfig, FtlConfig
-from repro.sim import SimClock
 from tests.conftest import make_payload
 
 PAGE = 4096

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import AlignmentError, OutOfRangeError
 from repro.flash import HddConfig, HddDevice, NullBlkDevice
 from repro.sim import SimClock
-from repro.units import KIB, MIB
+from repro.units import MIB
 from tests.conftest import make_payload
 
 PAGE = 4096

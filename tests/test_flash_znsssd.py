@@ -11,7 +11,6 @@ from repro.errors import (
 )
 from repro.flash import ZnsConfig, ZnsSsd
 from repro.flash.zone import ZoneState
-from repro.sim import SimClock
 from tests.conftest import make_payload
 
 PAGE = 4096

@@ -1,7 +1,6 @@
 """Cross-layer integration tests: each scheme's full stack under load,
 with substrate-level invariants checked afterwards."""
 
-import pytest
 
 from repro.bench.experiments import _populate
 from repro.bench.schemes import (
@@ -12,7 +11,6 @@ from repro.bench.schemes import (
     build_zone_cache,
 )
 from repro.f2fs import fsck
-from repro.flash.zone import ZoneState
 from repro.sim import SimClock
 from repro.units import KIB
 from repro.workloads import CacheBenchConfig, CacheBenchDriver

@@ -1,6 +1,5 @@
 """Edge cases for the LSM merge iterator and scans across levels."""
 
-import pytest
 
 from repro.lsm.compaction import TOMBSTONE
 from repro.lsm.iterator import merge_sources, scan_range

@@ -81,3 +81,21 @@ class TestResourceTimeline:
         line.acquire(0, 100)
         line.acquire(0, 50)
         assert line.total_busy_ns == 150
+
+    def test_interleaved_background_and_foreground_wait_charging(self):
+        # Regression for the shared validation/occupancy path: background
+        # reservations and foreground acquisitions interleave on one
+        # timeline, but only foreground waits are charged.
+        line = ResourceTimeline()
+        done = line.acquire(0, 100)  # fg: busy until 100, no wait
+        assert done == 100 and line.total_wait_ns == 0
+        line.reserve_background(40, 200)  # bg queues behind fg: 100..300
+        assert line.busy_until == 300
+        assert line.total_wait_ns == 0  # bg wait (60ns) not charged
+        done = line.acquire(150, 10)  # fg waits behind the bg work
+        assert done == 310
+        assert line.total_wait_ns == 150  # only the fg wait is charged
+        line.reserve_background(310, 50)  # bg with no queueing: no change
+        assert line.total_wait_ns == 150
+        assert line.total_busy_ns == 360
+        assert line.busy_until == 360

@@ -1,7 +1,6 @@
 """Edge-case tests across the simulation substrate that the main test
 modules do not cover."""
 
-import pytest
 
 from repro.flash import (
     BlockSsd,
