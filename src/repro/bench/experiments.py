@@ -50,7 +50,24 @@ def _run_mix(
         "cache_mib": stack.cache_bytes / MIB,
     }
     row.update(_device_columns(stack))
+    row.update(_fault_columns(stack))
     return row
+
+
+def _fault_columns(stack: SchemeStack) -> Dict[str, object]:
+    """Fault-injection / recovery columns (EXPERIMENTS.md).
+
+    Always present so rows stay rectangular: with no injector armed they
+    report zeros, and the pre-existing golden columns are untouched.
+    """
+    faults = stack.substrate.get("faults")
+    stats = stack.cache.stats
+    return {
+        "faults_injected": faults.stats.total_injected if faults is not None else 0,
+        "retries": stats.retries,
+        "quarantined_regions": stats.quarantined_regions,
+        "recovery_ms": stats.recovery_ns / 1e6,
+    }
 
 
 def _device_columns(stack: SchemeStack) -> Dict[str, object]:
@@ -303,6 +320,108 @@ def run_fig5_rocksdb(
                     "p99_ms": result.p99_ns / 1e6,
                 }
             )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Fault sweep — the Figure 2 mix with a seeded fault plan armed
+# --------------------------------------------------------------------------
+
+def run_fault_sweep(
+    scale: Optional[SchemeScale] = None,
+    zones: int = 25,
+    cache_zones: int = 20,
+    file_zones: int = 38,
+    num_ops: int = 20_000,
+    num_keys: Optional[int] = None,
+    seed: int = 7,
+    fault_seed: int = 11,
+    schemes: tuple = ("Region-Cache", "Zone-Cache", "File-Cache", "Block-Cache"),
+) -> List[Dict[str, object]]:
+    """Availability under injected faults (EXPERIMENTS.md "Fault sweep").
+
+    Each scheme runs the Figure 2 mix with the same seeded fault plan:
+    sporadic transient media errors on reads, occasional open-resource
+    exhaustion on writes, rare latency spikes, and one zone flipped
+    READ-ONLY mid-run (ZNS-backed schemes only — a conventional SSD has
+    no zones to kill).  The interesting columns are ``faults_injected``,
+    ``retries``, ``degraded`` misses and ``quarantined_regions``: the
+    cache must keep serving, not crash.
+    """
+    from repro.sim.faults import FaultInjector, FaultKind, FaultRule, ZoneFault
+    from repro.units import SEC
+
+    scale = scale or SchemeScale()
+    media = zones * scale.zone_size
+    cache_bytes = cache_zones * scale.zone_size
+    file_media = file_zones * scale.zone_size
+    if num_keys is None:
+        num_keys = int(1.05 * media / 1568)
+    workload = CacheBenchConfig(
+        num_ops=num_ops,
+        num_keys=num_keys,
+        zipf_theta=1.0,
+        warmup_ops=int(1.2 * num_keys),
+        set_on_miss=True,
+        seed=seed,
+    )
+    navy = {"eviction_policy": "fifo", "reclaim_window": 128}
+
+    def make_injector() -> FaultInjector:
+        return FaultInjector(
+            seed=fault_seed,
+            rules=(
+                FaultRule(
+                    FaultKind.MEDIA_ERROR,
+                    probability=0.002,
+                    op="read",
+                    after_requests=200,
+                ),
+                FaultRule(FaultKind.ZONE_RESOURCE, probability=0.0005, op="write"),
+                FaultRule(
+                    FaultKind.LATENCY,
+                    probability=0.001,
+                    extra_latency_ns=2_000_000,
+                ),
+            ),
+            zone_faults=(
+                ZoneFault(
+                    at_ns=5 * SEC,
+                    zone_index=zones // 2,
+                    kind=FaultKind.ZONE_READONLY,
+                ),
+            ),
+        )
+
+    builders = {
+        "Region-Cache": lambda clk, inj: build_region_cache(
+            clk, scale, media, cache_bytes, faults=inj, **navy
+        ),
+        "Zone-Cache": lambda clk, inj: build_zone_cache(
+            clk, scale, media, eviction_policy="fifo", faults=inj
+        ),
+        "File-Cache": lambda clk, inj: build_file_cache(
+            clk, scale, file_media, cache_bytes, faults=inj, **navy
+        ),
+        "Block-Cache": lambda clk, inj: build_block_cache(
+            clk, scale, media, cache_bytes, faults=inj, **navy
+        ),
+    }
+    rows: List[Dict[str, object]] = []
+    for name in schemes:
+        injector = make_injector()
+        stack = builders[name](SimClock(), injector)
+        row = _run_mix(CacheBenchDriver(workload), stack)
+        stats = stack.cache.stats
+        row.update(
+            {
+                "degraded_misses": stats.degraded_misses,
+                "io_errors": stats.io_errors,
+                "latency_injected_ms": injector.stats.latency_injected_ns / 1e6,
+                "zone_faults": injector.stats.zone_faults_applied,
+            }
+        )
+        rows.append(row)
     return rows
 
 

@@ -32,6 +32,7 @@ from repro.flash.nand import NandGeometry, NandTiming
 from repro.flash.nullblk import NullBlkDevice
 from repro.flash.znsssd import ZnsConfig, ZnsSsd
 from repro.sim.clock import SimClock
+from repro.sim.faults import FaultInjector
 from repro.sim.io import IoTracer, PoolConfig
 from repro.units import KIB, MIB
 from repro.ztl.gc import GcConfig
@@ -101,6 +102,7 @@ def build_block_cache(
     media_bytes: int,
     cache_bytes: int,
     ftl_op_ratio: float = 0.20,
+    faults: Optional[FaultInjector] = None,
     **cache_overrides,
 ) -> SchemeStack:
     """Block-Cache: regions on a conventional SSD with internal OP + GC."""
@@ -114,6 +116,7 @@ def build_block_cache(
         ),
         io=scale.io,
         tracer=IoTracer(),
+        faults=faults,
     )
     num_regions = min(cache_bytes, device.capacity_bytes) // scale.region_size
     store = BlockRegionStore(device, scale.region_size, num_regions)
@@ -122,7 +125,7 @@ def build_block_cache(
         name="Block-Cache",
         cache=HybridCache(clock, store, config),
         clock=clock,
-        substrate={"device": device, "store": store},
+        substrate={"device": device, "store": store, "faults": faults},
     )
 
 
@@ -131,6 +134,7 @@ def build_zone_cache(
     scale: SchemeScale,
     media_bytes: int,
     cache_bytes: Optional[int] = None,
+    faults: Optional[FaultInjector] = None,
     **cache_overrides,
 ) -> SchemeStack:
     """Zone-Cache: one region per zone, no OP — the whole device caches."""
@@ -140,6 +144,7 @@ def build_zone_cache(
         ZnsConfig(geometry=geometry, timing=scale.timing, zone_size=scale.zone_size),
         io=scale.io,
         tracer=IoTracer(),
+        faults=faults,
     )
     if cache_bytes is None:
         num_regions = device.num_zones
@@ -151,7 +156,7 @@ def build_zone_cache(
         name="Zone-Cache",
         cache=HybridCache(clock, store, config),
         clock=clock,
-        substrate={"device": device, "store": store},
+        substrate={"device": device, "store": store, "faults": faults},
     )
 
 
@@ -162,6 +167,7 @@ def build_region_cache(
     cache_bytes: int,
     host_open_zones: int = 2,
     gc: Optional[GcConfig] = None,
+    faults: Optional[FaultInjector] = None,
     **cache_overrides,
 ) -> SchemeStack:
     """Region-Cache: flexible regions through the zone translation layer."""
@@ -171,6 +177,7 @@ def build_region_cache(
         ZnsConfig(geometry=geometry, timing=scale.timing, zone_size=scale.zone_size),
         io=scale.io,
         tracer=IoTracer(),
+        faults=faults,
     )
     if gc is None:
         # The empty-zone watermark scales with the device: the paper's
@@ -194,7 +201,8 @@ def build_region_cache(
         name="Region-Cache",
         cache=HybridCache(clock, store, config),
         clock=clock,
-        substrate={"device": device, "layer": layer, "store": store},
+        substrate={"device": device, "layer": layer, "store": store,
+                   "faults": faults},
     )
 
 
@@ -205,6 +213,7 @@ def build_file_cache(
     cache_bytes: int,
     provision_ratio: float = 0.20,
     meta_bytes: int = 16 * MIB,
+    faults: Optional[FaultInjector] = None,
     **cache_overrides,
 ) -> SchemeStack:
     """File-Cache: regions in one large file on the F2FS-like filesystem."""
@@ -214,6 +223,7 @@ def build_file_cache(
         ZnsConfig(geometry=geometry, timing=scale.timing, zone_size=scale.zone_size),
         io=scale.io,
         tracer=IoTracer(),
+        faults=faults,
     )
     # The metadata device shares the data device's tracer so one trace
     # shows the whole stack (journal writes included).
@@ -222,6 +232,7 @@ def build_file_cache(
         capacity_bytes=meta_bytes,
         block_size=scale.page_size,
         tracer=device.tracer,
+        faults=faults,
     )
     fs = F2fs(
         clock,
@@ -242,7 +253,8 @@ def build_file_cache(
         name="File-Cache",
         cache=HybridCache(clock, store, config),
         clock=clock,
-        substrate={"device": device, "meta": meta, "fs": fs, "store": store},
+        substrate={"device": device, "meta": meta, "fs": fs, "store": store,
+                   "faults": faults},
     )
 
 

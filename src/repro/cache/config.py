@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import CacheConfigError
+from repro.sim.faults import RetryPolicy
 from repro.units import KIB, MIB
 
 
@@ -87,6 +88,14 @@ class CacheConfig:
     index_shards: int = 16
     read_from_buffer: bool = True
     populate_ram_on_flash_hit: bool = True
+    # Per-item CRC32 (generation-salted) appended to every on-flash
+    # entry.  Off by default: the non-checksummed format is what the
+    # golden benchmarks lock.  Required for crash recovery to replay a
+    # torn (power-cut) flush instead of dropping the whole region.
+    checksums: bool = False
+    # Backoff budget for transient device errors (TransientMediaError,
+    # AppendFailedError, ZoneResourceError) on reads and region flushes.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
     cpu: CpuCosts = field(default_factory=CpuCosts)
 
     def __post_init__(self) -> None:

@@ -20,7 +20,7 @@ engine:
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cache.admission import AdmissionPolicy, AdmitAll
 from repro.cache.backends.base import RegionStore, WafBreakdown
@@ -31,8 +31,25 @@ from repro.cache.ram_cache import RamCache
 from repro.cache.region import RegionBuffer, RegionMeta
 from repro.cache.region_manager import RegionManager
 from repro.cache.stats import CacheStats
-from repro.errors import CacheConfigError, ObjectTooLargeError
+from repro.errors import (
+    CacheConfigError,
+    DeviceError,
+    EntryCorruptError,
+    FatalDeviceError,
+    ObjectTooLargeError,
+    PowerCutError,
+    RetryableError,
+    TranslationError,
+)
 from repro.sim.clock import SimClock
+
+# One seal-journal record: (event, region_id, seq, salt).  The journal is
+# the region lifecycle log crash recovery replays: "flush" marks a region
+# flush starting, "seal" that it completed, "invalidate" that the region
+# was evicted, "quarantine" that its media died.  In a real deployment
+# this is the tiny metadata log navy persists; here it lives in memory
+# and the crash harness hands it to :meth:`HybridCache.crash_recover`.
+JournalEntry = Tuple[str, int, int, int]
 
 
 class HybridCache:
@@ -70,6 +87,11 @@ class HybridCache:
         )
         self.stats = CacheStats(started_at_ns=clock.now)
         self._waf_window_start = store.waf_raw()
+        # Region generation counter: each opened buffer gets a fresh
+        # generation, used as the checksum salt (see item.py).
+        self._generation = 0
+        self._journal_seq = 0
+        self.seal_journal: List[JournalEntry] = []
         self._buffer: RegionBuffer = self._open_fresh_region()
         self._open_keys: Set[bytes] = set()
         # TTL bookkeeping for items whose set() carried an expiry; the
@@ -123,7 +145,9 @@ class HybridCache:
         with self.store.tracer.span("engine", "set"):
             self._clock.advance(self.config.cpu.set_per_item_ns)
             self.stats.sets += 1
-            entry_size = EntryCodec.entry_size(key, value)
+            entry_size = EntryCodec.entry_size(
+                key, value, checksum=self.config.checksums
+            )
             if entry_size > self.config.region_size:
                 raise ObjectTooLargeError(
                     f"entry of {entry_size}B exceeds region size "
@@ -220,6 +244,7 @@ class HybridCache:
                     "region_id": rid,
                     "sealed_seq": meta.sealed_seq,
                     "keys": sorted(meta.keys),
+                    "salt": meta.salt,
                 }
             )
         index = {}
@@ -233,6 +258,8 @@ class HybridCache:
             },
             "sealed": sealed,
             "free": list(self.regions._free),
+            "quarantined": sorted(self.regions._quarantined),
+            "generation": self._generation,
             "index": index,
             "expiry": dict(self._expiry),
             "open_region_id": self._buffer.region_id,
@@ -266,16 +293,130 @@ class HybridCache:
         cache.regions._free = [
             rid for rid in state["free"] if rid != state["open_region_id"]
         ]
+        for rid in state.get("quarantined", []):
+            cache.regions.quarantine(rid)
+            cache.stats.quarantined_regions += 1
         for entry in state["sealed"]:
-            meta = RegionMeta(entry["region_id"], keys=set(entry["keys"]))
+            meta = RegionMeta(
+                entry["region_id"],
+                keys=set(entry["keys"]),
+                salt=entry.get("salt", 0),
+            )
             cache.regions.seal(meta)
+        # Generations keep counting up across the restart so the new open
+        # buffer's checksum salt never collides with on-flash entries.
+        cache._generation = max(state.get("generation", 0), cache._generation) + 1
         cache._buffer = RegionBuffer(
-            state["open_region_id"], config.region_size, clock.now
+            state["open_region_id"],
+            config.region_size,
+            clock.now,
+            checksums=config.checksums,
+            salt=cache._generation,
         )
         cache._open_keys = set()
         for key, (region_id, offset, length) in state["index"].items():
             cache.index.put(key, EntryLocation(region_id, offset, length))
         cache._expiry = dict(state["expiry"])
+        return cache
+
+    @classmethod
+    def crash_recover(
+        cls,
+        clock: SimClock,
+        store: RegionStore,
+        config: CacheConfig,
+        journal: Iterable[JournalEntry],
+        admission: Optional[AdmissionPolicy] = None,
+    ) -> "HybridCache":
+        """Rebuild a cache after a power cut from the seal journal.
+
+        Unlike :meth:`warm_restart` there is no trusted shutdown snapshot:
+        only the (tiny, persisted) region lifecycle journal and whatever
+        bytes actually reached the media survive.  Recovery replays the
+        journal's last event per region:
+
+        * ``quarantine`` — the media was dead before the cut; stays dead.
+        * ``invalidate`` — the region was evicted; nothing to recover.
+        * ``seal`` / ``flush`` — scan the on-media region payload and
+          re-insert every entry that decodes cleanly.  With per-item
+          checksums (``config.checksums``) a torn flush recovers its
+          intact prefix and drops the torn tail; without them an
+          unsealed flush cannot be distinguished from a torn one, so
+          only fully sealed regions are replayed.
+
+        The invariant tests assert: a recovered get never serves a torn
+        entry, and never serves a value older than the newest one that
+        was fully persisted for that key.
+        """
+        start_ns = clock.now
+        cache = cls(clock, store, config, admission)
+        effective_window = max(1, min(config.reclaim_window, config.num_regions // 8))
+        cache.regions = RegionManager(
+            config.num_regions, config.eviction_policy, effective_window
+        )
+        cache.index = ShardedIndex(config.index_shards)
+        cache.seal_journal = []
+        cache._journal_seq = 0
+        # Journal entries arrive in seq order; the last event per region
+        # decides its fate (later events supersede earlier lifecycle).
+        last: Dict[int, JournalEntry] = {}
+        for record in journal:
+            last[record[1]] = record
+        key_region: Dict[bytes, int] = {}
+        replayed: List[Tuple[int, int]] = []  # (region_id, salt) sealed again
+        quarantined: List[int] = []
+        for event, rid, _seq, salt in sorted(last.values(), key=lambda r: r[2]):
+            if event == "quarantine":
+                cache.regions.quarantine(rid)
+                cache.stats.quarantined_regions += 1
+                quarantined.append(rid)
+                continue
+            if event == "invalidate":
+                continue
+            if event == "flush" and not config.checksums:
+                # Mid-flush at the cut and no way to verify what landed.
+                continue
+            try:
+                payload = store.read(rid, 0, config.region_size)
+            except (DeviceError, TranslationError):
+                cache.regions.quarantine(rid)
+                cache.stats.quarantined_regions += 1
+                quarantined.append(rid)
+                continue
+            entries, torn = EntryCodec.scan_region(
+                payload, salt=salt, require_checksum=config.checksums
+            )
+            if torn:
+                cache.stats.torn_items_dropped += 1
+            keys: Set[bytes] = set()
+            for offset, length, entry in entries:
+                previous_rid = key_region.get(entry.key)
+                if previous_rid is not None and previous_rid != rid:
+                    cache.regions.note_key_removed(previous_rid, entry.key)
+                cache.index.put(entry.key, EntryLocation(rid, offset, length))
+                key_region[entry.key] = rid
+                keys.add(entry.key)
+                if entry.expiry_ns:
+                    cache._expiry[entry.key] = entry.expiry_ns
+                cache.stats.recovered_items += 1
+            meta = RegionMeta(rid, keys=keys, salt=salt)
+            cache.regions.seal(meta)
+            replayed.append((rid, salt))
+        in_use = {rid for rid, _ in replayed} | set(quarantined)
+        cache.regions._free = [
+            rid for rid in range(config.num_regions) if rid not in in_use
+        ]
+        # Rebuild the journal to describe the recovered layout.
+        for rid, salt in replayed:
+            cache._journal("seal", rid, salt)
+        for rid in quarantined:
+            cache._journal("quarantine", rid)
+        cache._generation = max(
+            [salt for _, salt in replayed] + [cache._generation]
+        )
+        cache._buffer = cache._open_fresh_region()
+        cache._open_keys = set()
+        cache.stats.recovery_ns = clock.now - start_ns
         return cache
 
     # --- internals -----------------------------------------------------------------------
@@ -285,28 +426,136 @@ class HybridCache:
         # that index-teardown stalls show up in region fill times — the
         # Figure 3(a) jump "caused by eviction operations in other threads".
         opened_at = self._clock.now
-        region_id, evicted = self.regions.allocate()
-        self._clock.advance(
-            self.config.cpu.region_alloc_ns
-            + self.config.cpu.buffer_alloc_ns_per_mib
-            * self.config.region_size
-            // (1024 * 1024)
+        while True:
+            region_id, evicted = self.regions.allocate()
+            self._clock.advance(
+                self.config.cpu.region_alloc_ns
+                + self.config.cpu.buffer_alloc_ns_per_mib
+                * self.config.region_size
+                // (1024 * 1024)
+            )
+            if evicted:
+                self._evict_keys(region_id, evicted)
+            # Invalidation may have discovered the region's media is dead
+            # (e.g. the zone refused its reset) — take another one.
+            if not self.regions.is_quarantined(region_id):
+                break
+        self._generation += 1
+        return RegionBuffer(
+            region_id,
+            self.config.region_size,
+            opened_at,
+            checksums=self.config.checksums,
+            salt=self._generation,
         )
-        if evicted:
-            self._evict_keys(region_id, evicted)
-        return RegionBuffer(region_id, self.config.region_size, opened_at)
 
     def _seal_and_rotate(self) -> None:
         buffer = self._buffer
         fill_ns = self._clock.now - buffer.opened_at_ns
         self.stats.region_fill_durations_ns.append(fill_ns)
-        self.store.write_region(buffer.region_id, buffer.finalize())
+        self._journal("flush", buffer.region_id, buffer.salt)
+        region_id = self._flush_payload(buffer.region_id, buffer.finalize())
         self.stats.flushes += 1
-        meta = RegionMeta(buffer.region_id, keys=set(self._open_keys))
+        meta = RegionMeta(region_id, keys=set(self._open_keys), salt=buffer.salt)
         meta.fill_duration_ns = fill_ns
         self.regions.seal(meta)
+        self._journal("seal", region_id, buffer.salt)
         self._open_keys = set()
         self._buffer = self._open_fresh_region()
+
+    def _flush_payload(self, region_id: int, payload: bytes) -> int:
+        """Write a sealed region with retries; returns where it landed.
+
+        Transient errors back off and retry per ``config.retry``.  When
+        the target region's media is gone (fatal error, or transient
+        errors past the budget) the region is quarantined and the
+        in-flight flush re-routes to a freshly allocated region — the
+        graceful-degradation path: the cache shrinks, it does not crash.
+        """
+        last_error: Optional[BaseException] = None
+        for _ in range(4):
+            try:
+                self._write_region_with_retries(region_id, payload)
+                return region_id
+            except PowerCutError:
+                raise
+            except (FatalDeviceError, RetryableError) as error:
+                last_error = error
+                region_id = self._reroute_flush(region_id)
+        assert last_error is not None
+        raise last_error
+
+    def _write_region_with_retries(self, region_id: int, payload: bytes) -> None:
+        policy = self.config.retry
+        attempt = 0
+        while True:
+            try:
+                self.store.write_region(region_id, payload)
+                return
+            except PowerCutError:
+                raise
+            except FatalDeviceError:
+                self.stats.io_errors += 1
+                raise
+            except RetryableError:
+                attempt += 1
+                self.stats.retries += 1
+                if attempt >= policy.max_attempts:
+                    self.stats.io_errors += 1
+                    raise
+                self._clock.advance(policy.backoff_for(attempt - 1))
+
+    def _reroute_flush(self, dead_region_id: int) -> int:
+        """Quarantine a dead flush target and point the open keys at a
+        fresh region id so the retried flush lands somewhere healthy."""
+        self._quarantine_region(dead_region_id)
+        while True:
+            new_region_id, evicted = self.regions.allocate()
+            if evicted:
+                self._evict_keys(new_region_id, evicted)
+            if not self.regions.is_quarantined(new_region_id):
+                break
+        for key in self._open_keys:
+            location = self.index.get(key)
+            if location is not None and location.region_id == dead_region_id:
+                self.index.put(
+                    key,
+                    EntryLocation(new_region_id, location.offset, location.length),
+                )
+        self.store.tracer.emit_event(
+            "engine.fault", "reroute_flush", offset=new_region_id
+        )
+        return new_region_id
+
+    def _quarantine_region(self, region_id: int) -> None:
+        """Permanently retire a region whose media died; drop its items."""
+        if self.regions.is_quarantined(region_id):
+            return
+        meta = self.regions.meta(region_id)
+        if meta is not None:
+            for key in list(meta.keys):
+                location = self.index.get(key)
+                if location is not None and location.region_id == region_id:
+                    self.index.remove(key)
+                    self.stats.dropped_items += 1
+        self.regions.quarantine(region_id)
+        self.stats.quarantined_regions += 1
+        self._journal("quarantine", region_id)
+        self.store.tracer.emit_event("engine.fault", "quarantine", offset=region_id)
+
+    def _purge_region(self, region_id: int) -> None:
+        """Forget a region's items after the backend lost its mapping
+        (e.g. its zone died under GC).  Unlike quarantine, the region id
+        itself stays usable — the store can write it again later."""
+        meta = self.regions.meta(region_id)
+        if meta is None:
+            return
+        for key in list(meta.keys):
+            location = self.index.get(key)
+            if location is not None and location.region_id == region_id:
+                self.index.remove(key)
+                self.stats.dropped_items += 1
+            meta.note_removed(key)
 
     def _evict_keys(self, region_id: int, evicted: Set[bytes]) -> None:
         """Tear down index entries of a reclaimed region (lock-convoy model)."""
@@ -315,7 +564,17 @@ class HybridCache:
             location = self.index.get(key)
             if location is not None and location.region_id == region_id:
                 self.index.remove(key)
-        self.store.invalidate_region(region_id)
+        self._journal("invalidate", region_id)
+        try:
+            self.store.invalidate_region(region_id)
+        except PowerCutError:
+            raise
+        except RetryableError:
+            # Invalidation is advisory (the region will be overwritten
+            # anyway); skip it this round rather than stall the reclaim.
+            self.stats.retries += 1
+        except FatalDeviceError:
+            self._quarantine_region(region_id)
 
     def _read_entry(self, key: bytes, location: EntryLocation) -> Optional[bytes]:
         if (
@@ -323,9 +582,20 @@ class HybridCache:
             and self.config.read_from_buffer
         ):
             blob = self._buffer.read(location.offset, location.length)
+            salt = self._buffer.salt
         else:
-            blob = self.store.read(location.region_id, location.offset, location.length)
-        entry = EntryCodec.decode_entry(blob)
+            blob = self._read_location(location)
+            if blob is None:
+                return None
+            meta = self.regions.meta(location.region_id)
+            salt = meta.salt if meta is not None else 0
+        try:
+            entry = EntryCodec.decode_entry(blob, salt=salt)
+        except (ValueError, EntryCorruptError):
+            # Torn or corrupt on-flash bytes: drop the item, serve a miss.
+            self.stats.corrupt_reads += 1
+            self._drop_flash_copy(key)
+            return None
         if entry.key != key:
             # Stale index entry (should not happen; counted defensively).
             self.stats.stale_index_reads += 1
@@ -336,6 +606,44 @@ class HybridCache:
             self._purge_expired(key)
             return None
         return entry.value
+
+    def _read_location(self, location: EntryLocation) -> Optional[bytes]:
+        """Ranged backend read with retry/degradation; None means miss."""
+        policy = self.config.retry
+        attempt = 0
+        while True:
+            try:
+                return self.store.read(
+                    location.region_id, location.offset, location.length
+                )
+            except PowerCutError:
+                raise
+            except RetryableError:
+                attempt += 1
+                self.stats.retries += 1
+                if attempt >= policy.max_attempts:
+                    # Past the budget: degrade to a miss but keep the
+                    # mapping — a transient fault may yet heal.
+                    self.stats.io_errors += 1
+                    self.stats.degraded_misses += 1
+                    return None
+                self._clock.advance(policy.backoff_for(attempt - 1))
+            except FatalDeviceError:
+                self.stats.io_errors += 1
+                self.stats.degraded_misses += 1
+                self._quarantine_region(location.region_id)
+                return None
+            except TranslationError:
+                # The middle layer dropped the region (its zone died
+                # under GC): purge the stale mappings, count misses.
+                self.stats.io_errors += 1
+                self.stats.degraded_misses += 1
+                self._purge_region(location.region_id)
+                return None
+
+    def _journal(self, event: str, region_id: int, salt: int = 0) -> None:
+        self._journal_seq += 1
+        self.seal_journal.append((event, region_id, self._journal_seq, salt))
 
     def _is_expired(self, key: bytes) -> bool:
         expiry = self._expiry.get(key)

@@ -7,15 +7,28 @@ length) so a get is a single ranged read; the key is stored on flash too
 so reads can verify they decoded the entry they were looking for (guards
 against stale index entries in tests), and the expiry travels with the
 entry exactly as CacheLib keeps it in the item header.
+
+Checksummed entries (``CacheConfig.checksums``) append a CRC32 after the
+value and set the high bit of the stored key length, so the format stays
+self-describing and the default (non-checksummed) layout is byte-for-byte
+unchanged.  The CRC is salted with the owning region's *generation*: a
+torn flush can leave a region holding a valid-looking tail from the
+previous generation, and only a generation-salted checksum can tell the
+two apart during crash recovery (:meth:`EntryCodec.scan_region`).
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Tuple
+
+from repro.errors import EntryCorruptError
 
 _HEADER = struct.Struct("<IIQ")  # key length, value length, expiry (ns, 0=none)
+_CRC = struct.Struct("<I")
+_CHECKSUM_FLAG = 0x8000_0000
 
 
 @dataclass(frozen=True)
@@ -43,15 +56,28 @@ class EntryCodec:
     """Serialize/deserialize cache entries."""
 
     HEADER_SIZE = _HEADER.size
+    CRC_SIZE = _CRC.size
 
     @classmethod
-    def encode(cls, key: bytes, value: bytes, expiry_ns: int = 0) -> bytes:
-        """Pack one entry; total size is ``entry_size(key, value)``."""
-        return _HEADER.pack(len(key), len(value), expiry_ns) + key + value
+    def encode(
+        cls,
+        key: bytes,
+        value: bytes,
+        expiry_ns: int = 0,
+        checksum: bool = False,
+        salt: int = 0,
+    ) -> bytes:
+        """Pack one entry; total size is ``entry_size(key, value, checksum)``."""
+        if not checksum:
+            return _HEADER.pack(len(key), len(value), expiry_ns) + key + value
+        header = _HEADER.pack(len(key) | _CHECKSUM_FLAG, len(value), expiry_ns)
+        crc = cls._crc(key, value, expiry_ns, salt)
+        return header + key + value + _CRC.pack(crc)
 
     @classmethod
-    def entry_size(cls, key: bytes, value: bytes) -> int:
-        return cls.HEADER_SIZE + len(key) + len(value)
+    def entry_size(cls, key: bytes, value: bytes, checksum: bool = False) -> int:
+        size = cls.HEADER_SIZE + len(key) + len(value)
+        return size + cls.CRC_SIZE if checksum else size
 
     @classmethod
     def decode(cls, blob: bytes) -> Tuple[bytes, bytes]:
@@ -60,14 +86,77 @@ class EntryCodec:
         return entry.key, entry.value
 
     @classmethod
-    def decode_entry(cls, blob: bytes) -> DecodedEntry:
-        """Unpack a full :class:`DecodedEntry` including expiry."""
+    def decode_entry(cls, blob: bytes, salt: int = 0) -> DecodedEntry:
+        """Unpack a full :class:`DecodedEntry` including expiry.
+
+        Raises :class:`ValueError` on a truncated blob and
+        :class:`EntryCorruptError` when a checksummed entry fails its
+        salted CRC (torn write or stale previous-generation bytes).
+        """
         if len(blob) < cls.HEADER_SIZE:
             raise ValueError(f"entry blob too short: {len(blob)}B")
-        key_len, value_len, expiry_ns = _HEADER.unpack_from(blob)
+        raw_key_len, value_len, expiry_ns = _HEADER.unpack_from(blob)
+        has_crc = bool(raw_key_len & _CHECKSUM_FLAG)
+        key_len = raw_key_len & ~_CHECKSUM_FLAG
         need = cls.HEADER_SIZE + key_len + value_len
-        if len(blob) < need:
-            raise ValueError(f"entry blob truncated: {len(blob)} < {need}")
+        total = need + cls.CRC_SIZE if has_crc else need
+        if len(blob) < total:
+            raise ValueError(f"entry blob truncated: {len(blob)} < {total}")
         key = blob[cls.HEADER_SIZE : cls.HEADER_SIZE + key_len]
         value = blob[cls.HEADER_SIZE + key_len : need]
+        if has_crc:
+            (stored,) = _CRC.unpack_from(blob, need)
+            if stored != cls._crc(key, value, expiry_ns, salt):
+                raise EntryCorruptError(
+                    f"checksum mismatch for key {key[:24]!r}"
+                )
         return DecodedEntry(key=key, value=value, expiry_ns=expiry_ns)
+
+    @classmethod
+    def scan_region(
+        cls, payload: bytes, salt: int = 0, require_checksum: bool = False
+    ) -> Tuple[List[Tuple[int, int, DecodedEntry]], bool]:
+        """Walk packed entries from offset 0 of a region payload.
+
+        Returns ``(entries, torn)`` where each element of ``entries`` is
+        ``(offset, length, DecodedEntry)``.  The walk stops at zero
+        padding (both stored lengths zero).  ``torn`` is True when the
+        payload ends in a truncated or checksum-failing entry — the
+        crash-recovery signal for a flush interrupted by a power cut.
+        ``require_checksum`` additionally treats non-checksummed bytes
+        as torn (a checksummed cache never writes them, so they must be
+        stale remnants of an earlier life of the region).
+        """
+        entries: List[Tuple[int, int, DecodedEntry]] = []
+        offset = 0
+        size = len(payload)
+        while offset + cls.HEADER_SIZE <= size:
+            raw_key_len, value_len, _ = _HEADER.unpack_from(payload, offset)
+            if raw_key_len == 0 and value_len == 0:
+                return entries, False  # zero padding: clean end of data
+            has_crc = bool(raw_key_len & _CHECKSUM_FLAG)
+            key_len = raw_key_len & ~_CHECKSUM_FLAG
+            length = cls.HEADER_SIZE + key_len + value_len
+            if has_crc:
+                length += cls.CRC_SIZE
+            if offset + length > size:
+                return entries, True  # entry runs off the end: torn
+            if require_checksum and not has_crc:
+                return entries, True
+            try:
+                entry = cls.decode_entry(
+                    payload[offset : offset + length], salt=salt
+                )
+            except (ValueError, EntryCorruptError):
+                return entries, True
+            entries.append((offset, length, entry))
+            offset += length
+        # Ran out of payload mid-header: torn iff the tail is not padding.
+        return entries, any(payload[offset:])
+
+    @staticmethod
+    def _crc(key: bytes, value: bytes, expiry_ns: int, salt: int) -> int:
+        crc = zlib.crc32(salt.to_bytes(8, "little", signed=False))
+        crc = zlib.crc32(_HEADER.pack(len(key), len(value), expiry_ns), crc)
+        crc = zlib.crc32(key, crc)
+        return zlib.crc32(value, crc)

@@ -20,12 +20,23 @@ from repro.cache.item import EntryCodec, EntryLocation
 class RegionBuffer:
     """Append-only buffer for the region currently being filled."""
 
-    def __init__(self, region_id: int, capacity: int, opened_at_ns: int) -> None:
+    def __init__(
+        self,
+        region_id: int,
+        capacity: int,
+        opened_at_ns: int,
+        checksums: bool = False,
+        salt: int = 0,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.region_id = region_id
         self.capacity = capacity
         self.opened_at_ns = opened_at_ns
+        # Per-item CRC protection; ``salt`` is the region generation the
+        # checksums are bound to (see EntryCodec.scan_region).
+        self.checksums = checksums
+        self.salt = salt
         self._buffer = bytearray(capacity)
         self._used = 0
 
@@ -42,7 +53,9 @@ class RegionBuffer:
 
     def append(self, key: bytes, value: bytes, expiry_ns: int = 0) -> EntryLocation:
         """Pack an entry; returns its location within this (open) region."""
-        blob = EntryCodec.encode(key, value, expiry_ns)
+        blob = EntryCodec.encode(
+            key, value, expiry_ns, checksum=self.checksums, salt=self.salt
+        )
         if len(blob) > self.remaining:
             raise ValueError(
                 f"entry of {len(blob)}B does not fit ({self.remaining}B left)"
@@ -71,6 +84,9 @@ class RegionMeta:
     sealed_seq: int = 0
     keys: Set[bytes] = field(default_factory=set)
     fill_duration_ns: int = 0
+    # Generation salt the region's entries were checksummed with (0 when
+    # checksums are off) — needed to verify reads after a warm restart.
+    salt: int = 0
 
     @property
     def valid_items(self) -> int:

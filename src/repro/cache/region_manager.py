@@ -38,6 +38,7 @@ class RegionManager:
         self.reclaim_window = reclaim_window
         self._free: List[int] = list(range(num_regions))
         self._sealed: Dict[int, RegionMeta] = {}
+        self._quarantined: Set[int] = set()
         self._policy = make_eviction_policy(eviction_policy)
         self._rng = make_rng(seed, "reclaim")
         self._seal_seq = 0
@@ -56,6 +57,13 @@ class RegionManager:
 
     def meta(self, region_id: int) -> Optional[RegionMeta]:
         return self._sealed.get(region_id)
+
+    @property
+    def quarantined_count(self) -> int:
+        return len(self._quarantined)
+
+    def is_quarantined(self, region_id: int) -> bool:
+        return region_id in self._quarantined
 
     # --- lifecycle ---------------------------------------------------------------
 
@@ -89,6 +97,21 @@ class RegionManager:
     def touch(self, region_id: int) -> None:
         """Promote on read hit (LRU policy only reacts)."""
         self._policy.touch(region_id)
+
+    def quarantine(self, region_id: int) -> None:
+        """Pull a region out of circulation permanently (dead media).
+
+        The region leaves the free pool and the eviction order; it is
+        never allocated again.  Capacity shrinks — graceful degradation
+        instead of crashing on every flush that lands on bad flash.
+        """
+        if region_id in self._quarantined:
+            return
+        self._quarantined.add(region_id)
+        if region_id in self._free:
+            self._free.remove(region_id)
+        if self._sealed.pop(region_id, None) is not None:
+            self._policy.untrack(region_id)
 
     def _pick_windowed_victim(self) -> Optional[int]:
         if self.reclaim_window == 1:

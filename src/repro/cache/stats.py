@@ -41,6 +41,16 @@ class CacheStats:
     region_fill_durations_ns: List[int] = field(default_factory=list)
     started_at_ns: int = 0
     finished_at_ns: int = 0
+    # --- fault handling and crash recovery ---------------------------------
+    retries: int = 0  # transient-error retries (reads + flushes)
+    io_errors: int = 0  # operations that failed past the retry budget
+    degraded_misses: int = 0  # gets answered as a miss because of I/O errors
+    quarantined_regions: int = 0  # regions pulled from service (dead media)
+    dropped_items: int = 0  # index entries lost to quarantine/purge
+    corrupt_reads: int = 0  # entries dropped on checksum/decode failure
+    torn_items_dropped: int = 0  # torn tails discarded during crash recovery
+    recovered_items: int = 0  # entries replayed into the index by recovery
+    recovery_ns: int = 0  # simulated time crash_recover() spent
 
     @property
     def operations(self) -> int:
@@ -72,4 +82,10 @@ class CacheStats:
             "set_p50_ns": self.set_latency.p50(),
             "set_p99_ns": self.set_latency.p99(),
             "flushes": self.flushes,
+            "retries": self.retries,
+            "io_errors": self.io_errors,
+            "degraded_misses": self.degraded_misses,
+            "quarantined_regions": self.quarantined_regions,
+            "recovered_items": self.recovered_items,
+            "recovery_ns": self.recovery_ns,
         }

@@ -12,11 +12,30 @@ class ReproError(Exception):
     """Base class for every error raised by this library."""
 
 
+class RetryableError(ReproError):
+    """Mixin marking transient failures.
+
+    A handler that sees a ``RetryableError`` may retry the operation
+    after a backoff; the underlying resource is expected to heal.  The
+    class carries no state of its own — concrete errors subclass both
+    this and their layer's base so ``except RetryableError`` composes
+    with the existing hierarchy.
+    """
+
+
 # --- device layer -----------------------------------------------------------
 
 
 class DeviceError(ReproError):
     """Base class for storage-device errors."""
+
+
+class FatalDeviceError(DeviceError):
+    """Permanent device failure: the media under the I/O is gone.
+
+    Retrying cannot succeed; callers must degrade gracefully instead
+    (quarantine the region, re-route the flush, count a miss).
+    """
 
 
 class OutOfRangeError(DeviceError):
@@ -35,8 +54,39 @@ class WritePointerError(ZoneStateError):
     """A zone write did not land exactly on the zone's write pointer."""
 
 
-class ZoneResourceError(DeviceError):
-    """Opening a zone would exceed max-open or max-active zone limits."""
+class ZoneDeadError(ZoneStateError, FatalDeviceError):
+    """The zone transitioned to READ-ONLY or OFFLINE and cannot serve
+    the request.  Subclasses :class:`ZoneStateError` so existing state
+    checks keep working, and :class:`FatalDeviceError` because a dead
+    zone never comes back."""
+
+    def __init__(self, message: str, zone_index: "int | None" = None) -> None:
+        super().__init__(message)
+        self.zone_index = zone_index
+
+
+class ZoneResourceError(DeviceError, RetryableError):
+    """Opening a zone would exceed max-open or max-active zone limits.
+
+    Retryable: closing or finishing another zone frees the budget."""
+
+
+class TransientMediaError(DeviceError, RetryableError):
+    """A command failed on the media but the location is still good
+    (ECC hiccup, temporary die busy) — retry after a backoff."""
+
+
+class AppendFailedError(DeviceError, RetryableError):
+    """A zone-append command failed before assigning an offset; the
+    zone's write pointer is unchanged, so the append can be reissued."""
+
+
+class PowerCutError(DeviceError):
+    """Simulated power loss: every I/O fails until power is restored.
+
+    Deliberately neither retryable nor a :class:`FatalDeviceError` —
+    no recovery action applies mid-cut; the error must propagate to
+    the harness, which restores power and runs crash recovery."""
 
 
 class DeviceFullError(DeviceError):
@@ -90,6 +140,10 @@ class CacheConfigError(CacheError):
 
 class ObjectTooLargeError(CacheError):
     """A value cannot fit in a single region/zone and was rejected."""
+
+
+class EntryCorruptError(CacheError):
+    """An on-flash entry failed its checksum (torn or stale bytes)."""
 
 
 # --- LSM layer ---------------------------------------------------------------

@@ -22,7 +22,13 @@ import pickle
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.errors import AlignmentError, NoSpaceError
+from repro.errors import (
+    AlignmentError,
+    NoSpaceError,
+    PowerCutError,
+    RetryableError,
+    ZoneDeadError,
+)
 from repro.f2fs.file import F2fsFile
 from repro.f2fs.gc import Cleaner, CleanerConfig
 from repro.f2fs.layout import F2fsConfig, F2fsLayout
@@ -44,6 +50,9 @@ class F2fsStats:
     data_write_bytes: int = 0  # all main-area writes incl. cleaning
     meta_write_bytes: int = 0
     checkpoints: int = 0
+    # Fault handling: sections lost to dead zones, transient I/O retries.
+    dead_sections: int = 0
+    io_retries: int = 0
 
     @property
     def write_amplification(self) -> float:
@@ -201,7 +210,12 @@ class F2fs:
             # Indexing CPU cost (block-granular mapping, the File-Cache tax).
             self._clock.advance(self.config.cpu_ns_per_block * num_blocks)
             addresses = self._allocate_with_cleaning(LogStream.HOT_DATA, num_blocks)
-            self._write_blocks(addresses, data)
+            if self.data_device.pipeline.faults is not None:
+                addresses = self._write_blocks_resilient(
+                    LogStream.HOT_DATA, addresses, data
+                )
+            else:
+                self._write_blocks(addresses, data)
             for i, block_addr in enumerate(addresses):
                 file_block = first_block + i
                 old = self.nat.set_block(file_id, file_block, block_addr)
@@ -223,7 +237,14 @@ class F2fs:
             self._blocks_since_checkpoint += num_blocks
             if self._blocks_since_checkpoint >= self.config.checkpoint_interval_blocks:
                 self.checkpoint()
-            self.cleaner.background_step()
+            try:
+                self.cleaner.background_step()
+            except PowerCutError:
+                raise
+            except RetryableError:
+                # Background cleaning hit a transient device error; the
+                # cleaner re-queued the block and will retry next step.
+                self.stats.io_retries += 1
         return self._clock.now - start_ns
 
     def pread(self, file_id: int, offset: int, length: int) -> bytes:
@@ -317,6 +338,50 @@ class F2fs:
             i = j + 1
         self.data_device.write_many(items)
 
+    def _write_blocks_resilient(
+        self, stream: LogStream, addresses: List[int], data: bytes
+    ) -> List[int]:
+        """Fault-tolerant variant of :meth:`_write_blocks`.
+
+        Writes run by run so a fault only costs its own run: a transient
+        error retries the same addresses (the device gates faults before
+        mutating state), a dead zone retires its section and re-allocates
+        the run elsewhere.  Returns the final (possibly remapped) block
+        addresses in file order.
+        """
+        block_size = self.layout.block_size
+        final = list(addresses)
+        i = 0
+        attempts = 0
+        while i < len(final):
+            j = i
+            while j + 1 < len(final) and final[j + 1] == final[j] + 1:
+                j += 1
+            payload = data[i * block_size : (j + 1) * block_size]
+            try:
+                self.data_device.write(self.layout.device_offset(final[i]), payload)
+            except PowerCutError:
+                raise
+            except ZoneDeadError as error:
+                attempts += 1
+                if attempts > 8:
+                    raise
+                zone = error.zone_index
+                if zone is None:
+                    zone = self.layout.section_of_block(final[i])
+                self.retire_section(zone)
+                final[i : j + 1] = self._allocate_with_cleaning(stream, j - i + 1)
+                continue
+            except RetryableError:
+                attempts += 1
+                if attempts > 8:
+                    raise
+                self.stats.io_retries += 1
+                continue
+            self.stats.data_write_bytes += len(payload)
+            i = j + 1
+        return final
+
     def _write_node_block(self, file_id: int, group: int) -> None:
         """Write (or rewrite) the node block indexing one group of data
         blocks.  Node blocks live in the NODE log on the main area, so
@@ -327,7 +392,26 @@ class F2fs:
             self.sit.mark_invalid(old)
         addr = self._allocate_with_cleaning(LogStream.NODE, 1)[0]
         payload = b"\x4e" * self.layout.block_size
-        self.data_device.write(self.layout.device_offset(addr), payload)
+        last_error: Optional[BaseException] = None
+        for _ in range(8):
+            try:
+                self.data_device.write(self.layout.device_offset(addr), payload)
+                break
+            except PowerCutError:
+                raise
+            except ZoneDeadError as error:
+                last_error = error
+                zone = error.zone_index
+                if zone is None:
+                    zone = self.layout.section_of_block(addr)
+                self.retire_section(zone)
+                addr = self._allocate_with_cleaning(LogStream.NODE, 1)[0]
+            except RetryableError as error:
+                last_error = error
+                self.stats.io_retries += 1
+        else:
+            assert last_error is not None
+            raise last_error
         self.stats.data_write_bytes += self.layout.block_size
         # Node ownership is encoded with a negative file id so the cleaner
         # can tell node blocks from data blocks.
@@ -345,32 +429,89 @@ class F2fs:
             self._migrate_node_block(block_addr, -file_id, file_block)
             return
         device_offset = self.layout.device_offset(block_addr)
-        payload = self.data_device.read(device_offset, self.layout.block_size).data
-        new_addr = self.logs.allocate_blocks(LogStream.COLD_DATA, 1)[0]
-        new_offset = self.layout.device_offset(new_addr)
-        self.data_device.write(new_offset, payload)
+        try:
+            payload = self.data_device.read(device_offset, self.layout.block_size).data
+        except ZoneDeadError:
+            # The victim's media died under the cleaner: the block's
+            # bytes are gone.  Drop it so cleaning can finish the section.
+            self.sit.mark_invalid(block_addr)
+            return
+        new_addr = self._write_migration_block(LogStream.COLD_DATA, payload)
         self.stats.data_write_bytes += self.layout.block_size
         self.sit.mark_invalid(block_addr)
         self.nat.set_block(file_id, file_block, new_addr)
         self.sit.mark_valid(new_addr, owner)
         self._note_meta_updates(1)
 
+    def _write_migration_block(self, stream: LogStream, payload: bytes) -> int:
+        """Land one cleaning-migration block, retiring dead target zones.
+
+        Transient errors propagate to the cleaner, which re-queues the
+        source block (nothing was mutated — faults gate before state).
+        """
+        new_addr = self.logs.allocate_blocks(stream, 1)[0]
+        last_error: Optional[BaseException] = None
+        for _ in range(4):
+            try:
+                self.data_device.write(self.layout.device_offset(new_addr), payload)
+                return new_addr
+            except PowerCutError:
+                raise
+            except ZoneDeadError as error:
+                last_error = error
+                zone = error.zone_index
+                if zone is None:
+                    zone = self.layout.section_of_block(new_addr)
+                self.retire_section(zone)
+                new_addr = self.logs.allocate_blocks(stream, 1)[0]
+        assert last_error is not None
+        raise last_error
+
     def _migrate_node_block(self, block_addr: int, file_id: int, group: int) -> None:
         """Relocate a node block during cleaning (SIT + node map update)."""
-        payload = self.data_device.read(
-            self.layout.device_offset(block_addr), self.layout.block_size
-        ).data
-        new_addr = self.logs.allocate_blocks(LogStream.NODE, 1)[0]
-        self.data_device.write(self.layout.device_offset(new_addr), payload)
+        try:
+            payload = self.data_device.read(
+                self.layout.device_offset(block_addr), self.layout.block_size
+            ).data
+        except ZoneDeadError:
+            # Node block lost with its zone; drop it (it will be
+            # rewritten the next time its data group is updated).
+            self.sit.mark_invalid(block_addr)
+            self._node_addr.pop((file_id, group), None)
+            return
+        new_addr = self._write_migration_block(LogStream.NODE, payload)
         self.stats.data_write_bytes += self.layout.block_size
         self.sit.mark_invalid(block_addr)
         self.sit.mark_valid(new_addr, (-file_id, group))
         self._node_addr[(file_id, group)] = new_addr
         self._note_meta_updates(1)
 
+    def retire_section(self, section: int) -> None:
+        """Take a dead zone's section permanently out of service."""
+        if self.logs.is_retired(section):
+            return
+        self.logs.retire_section(section)
+        self.stats.dead_sections += 1
+        self.tracer.emit_event("f2fs.fault", "retire_section", zone=section)
+
     def _reset_section_zone(self, section: int) -> None:
         """Cleaner callback: a fully-migrated section maps to a zone reset."""
-        self.data_device.reset_zone(section)
+        for _ in range(5):
+            try:
+                self.data_device.reset_zone(section)
+                return
+            except PowerCutError:
+                raise
+            except ZoneDeadError:
+                # The victim died before its reset: keep it out of the
+                # free pool instead of handing out an unresettable zone.
+                self.retire_section(section)
+                return
+            except RetryableError:
+                self.stats.io_retries += 1
+        # The reset never landed; reusing an unreset zone would wedge the
+        # write pointer, so retire the section defensively.
+        self.retire_section(section)
 
     def _note_meta_updates(self, count: int) -> None:
         """Batch NAT/SIT journal updates into metadata-device block writes."""

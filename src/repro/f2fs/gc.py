@@ -22,6 +22,7 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.errors import PowerCutError, RetryableError
 from repro.f2fs.layout import F2fsLayout
 from repro.f2fs.segment import LogManager
 from repro.f2fs.sit import SegmentInfoTable
@@ -83,6 +84,7 @@ class Cleaner:
         self._tick = 0
         self.sections_cleaned = 0
         self.blocks_migrated = 0
+        self.io_retries = 0
         # The filesystem points this at the data device's tracer so each
         # cleaning step appears as an "f2fs.gc" span in I/O traces.
         self.tracer: IoTracer = NULL_TRACER
@@ -112,7 +114,11 @@ class Cleaner:
         """
         before = self.sections_cleaned
         self._step(self.layout.blocks_per_section + 1)
-        while self._victim is not None:
+        # Bounded: a persistently faulting device must not livelock the
+        # foreground path (each retry-triggered early return costs one).
+        for _ in range(self.layout.blocks_per_section + 8):
+            if self._victim is None:
+                break
             self._step(self.layout.blocks_per_section + 1)
         return self.sections_cleaned > before
 
@@ -128,7 +134,16 @@ class Cleaner:
                 block_addr = self._pending.pop()
                 if not self.sit.is_valid(block_addr):
                     continue  # invalidated since the list was built
-                self._migrate_block(block_addr)
+                try:
+                    self._migrate_block(block_addr)
+                except PowerCutError:
+                    raise
+                except RetryableError:
+                    # Transient device error: put the block back and give
+                    # up this step — it stays valid, nothing was mutated.
+                    self._pending.append(block_addr)
+                    self.io_retries += 1
+                    return moved
                 moved += 1
                 self.blocks_migrated += 1
         if not self._pending:
@@ -145,7 +160,9 @@ class Cleaner:
         candidates = [
             section
             for section in range(self.layout.num_sections)
-            if section not in open_sections and not self.logs.is_free(section)
+            if section not in open_sections
+            and not self.logs.is_free(section)
+            and not self.logs.is_retired(section)
         ]
         if not candidates:
             return None

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.errors import NoSpaceError
 from repro.f2fs.layout import F2fsLayout
@@ -46,6 +46,9 @@ class LogManager:
         self._heads: Dict[LogStream, _LogHead] = {
             stream: _LogHead(stream) for stream in LogStream
         }
+        # Sections whose zone the device declared dead: out of every pool
+        # forever (the filesystem shrinks instead of crashing).
+        self._retired: Set[int] = set()
         self.sections_opened = 0
 
     # --- pool state -----------------------------------------------------------------
@@ -66,8 +69,31 @@ class LogManager:
     def is_free(self, section: int) -> bool:
         return section in self._free
 
+    def is_retired(self, section: int) -> bool:
+        return section in self._retired
+
+    @property
+    def retired_count(self) -> int:
+        return len(self._retired)
+
+    def retire_section(self, section: int) -> None:
+        """Permanently remove a dead section from circulation.
+
+        Any log head currently parked on it is forced to roll to a fresh
+        section at its next allocation.
+        """
+        self._retired.add(section)
+        if section in self._free:
+            self._free.remove(section)
+        for head in self._heads.values():
+            if head.section == section:
+                head.section = None
+                head.next_offset = 0
+
     def release_section(self, section: int) -> None:
         """Return a cleaned section to the free pool."""
+        if section in self._retired:
+            return  # dead sections never come back
         if section in self._free:
             raise ValueError(f"section {section} is already free")
         self._free.append(section)
@@ -111,6 +137,7 @@ class LogManager:
     def to_state(self) -> dict:
         return {
             "free": list(self._free),
+            "retired": sorted(self._retired),
             "heads": {
                 stream.value: {"section": head.section, "next_offset": head.next_offset}
                 for stream, head in self._heads.items()
@@ -121,6 +148,7 @@ class LogManager:
     def from_state(cls, state: dict, layout: F2fsLayout) -> "LogManager":
         manager = cls(layout)
         manager._free = list(state["free"])
+        manager._retired = set(state.get("retired", []))
         for stream_value, head_state in state["heads"].items():
             head = manager._heads[LogStream(stream_value)]
             head.section = head_state["section"]

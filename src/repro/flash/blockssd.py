@@ -20,6 +20,7 @@ from repro.flash.device import BlockDevice, DeviceStats, check_alignment
 from repro.flash.ftl import FtlConfig, PageMappedFtl
 from repro.flash.nand import NandGeometry, NandTiming
 from repro.sim.clock import SimClock
+from repro.sim.faults import FaultInjector
 from repro.sim.io import IoCompletion, IoOp, IoPipeline, IoRequest, IoTracer, PoolConfig
 
 
@@ -57,11 +58,12 @@ class BlockSsd(BlockDevice):
         config: BlockSsdConfig = BlockSsdConfig(),
         io: PoolConfig = PoolConfig(),
         tracer: Optional[IoTracer] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self._clock = clock
         self.config = config
         self._ftl = PageMappedFtl(config.geometry, config.ftl)
-        self.pipeline = IoPipeline(clock, "blockssd", io, tracer)
+        self.pipeline = IoPipeline(clock, "blockssd", io, tracer, faults=faults)
         self._stats = DeviceStats()
         self._pages: Dict[int, bytes] = {}
         self._bytes_since_maintenance = 0
@@ -107,11 +109,14 @@ class BlockSsd(BlockDevice):
 
     def write(self, offset: int, data: bytes) -> IoCompletion:
         check_alignment(offset, len(data), self.block_size, self.capacity_bytes)
-        self._store_pages(offset, data)
+        request = IoRequest(IoOp.WRITE, offset, len(data), layer="block")
         service = self._write_service_ns(offset, len(data))
-        completion = self.pipeline.submit(
-            IoRequest(IoOp.WRITE, offset, len(data), layer="block"), service
-        )
+        # Gate before the FTL mutates its mapping: an injected fault
+        # leaves the device untouched and the write can be retried.
+        self.pipeline.fault_gate(request, service)
+        self._maybe_tear(offset, data, service)
+        self._store_pages(offset, data)
+        completion = self.pipeline.submit(request, service)
         self._stats.write_latency.record(completion.latency_ns)
         return completion
 
@@ -125,13 +130,16 @@ class BlockSsd(BlockDevice):
         synchronous loop bit for bit.
         """
         batch: List[Tuple[IoRequest, int]] = []
+        virtual_now = self._clock.now
         for offset, data in items:
             check_alignment(offset, len(data), self.block_size, self.capacity_bytes)
-            self._store_pages(offset, data)
+            request = IoRequest(IoOp.WRITE, offset, len(data), layer="block")
             service = self._write_service_ns(offset, len(data))
-            batch.append(
-                (IoRequest(IoOp.WRITE, offset, len(data), layer="block"), service)
-            )
+            self.pipeline.fault_gate(request, service)
+            self._maybe_tear(offset, data, service, now=virtual_now, batch=batch)
+            virtual_now += service
+            self._store_pages(offset, data)
+            batch.append((request, service))
         completions = self.pipeline.submit_many(batch)
         for completion in completions:
             self._stats.write_latency.record(completion.latency_ns)
@@ -153,6 +161,32 @@ class BlockSsd(BlockDevice):
         )
 
     # --- internals ---------------------------------------------------------------
+
+    def _maybe_tear(
+        self,
+        offset: int,
+        data: bytes,
+        service_ns: int,
+        now: Optional[int] = None,
+        batch: Optional[List[Tuple[IoRequest, int]]] = None,
+    ) -> None:
+        """Power-cut landing inside this write: persist the page-aligned
+        prefix, submit any already-validated batch, and raise."""
+        faults = self.pipeline.faults
+        if faults is None:
+            return
+        if now is None:
+            now = self._clock.now
+        keep = faults.torn_write_bytes(now, service_ns, len(data), self.block_size)
+        if keep is None:
+            return
+        if keep:
+            self._store_pages(offset, data[:keep])
+        if batch:
+            completions = self.pipeline.submit_many(batch)
+            for completion in completions:
+                self._stats.write_latency.record(completion.latency_ns)
+        faults.trip_power()
 
     def _store_pages(self, offset: int, data: bytes) -> None:
         """FTL mapping update + page store + background GC/maintenance debt."""

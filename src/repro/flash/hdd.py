@@ -18,6 +18,7 @@ from typing import Dict, Optional
 
 from repro.flash.device import BlockDevice, DeviceStats, check_alignment
 from repro.sim.clock import SimClock
+from repro.sim.faults import FaultInjector
 from repro.sim.io import IoCompletion, IoOp, IoPipeline, IoRequest, IoTracer, PoolConfig
 from repro.sim.rng import make_rng
 from repro.units import GIB, KIB, msec
@@ -49,6 +50,7 @@ class HddDevice(BlockDevice):
         config: HddConfig = HddConfig(),
         seed: int = 7,
         tracer: Optional[IoTracer] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self._clock = clock
         self.config = config
@@ -56,7 +58,7 @@ class HddDevice(BlockDevice):
         self._blocks: Dict[int, bytes] = {}
         # One actuator: always a serial pool, whatever the scheme's
         # io PoolConfig says about its flash devices.
-        self.pipeline = IoPipeline(clock, "hdd", PoolConfig(), tracer)
+        self.pipeline = IoPipeline(clock, "hdd", PoolConfig(), tracer, faults=faults)
         self._head_pos = 0
         self._rng = make_rng(seed, "hdd.rotation")
 

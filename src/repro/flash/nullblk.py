@@ -12,6 +12,7 @@ from typing import Dict, Optional
 
 from repro.flash.device import BlockDevice, DeviceStats, check_alignment
 from repro.sim.clock import SimClock
+from repro.sim.faults import FaultInjector
 from repro.sim.io import IoCompletion, IoOp, IoPipeline, IoRequest, IoTracer, PoolConfig
 from repro.units import KIB, MIB, usec
 
@@ -26,6 +27,7 @@ class NullBlkDevice(BlockDevice):
         block_size: int = 4 * KIB,
         latency_ns: int = usec(12),
         tracer: Optional[IoTracer] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if capacity_bytes <= 0 or capacity_bytes % block_size != 0:
             raise ValueError(
@@ -38,7 +40,7 @@ class NullBlkDevice(BlockDevice):
         self._latency_ns = latency_ns
         self._stats = DeviceStats()
         self._blocks: Dict[int, bytes] = {}
-        self.pipeline = IoPipeline(clock, "nullblk", PoolConfig(), tracer)
+        self.pipeline = IoPipeline(clock, "nullblk", PoolConfig(), tracer, faults=faults)
 
     @property
     def capacity_bytes(self) -> int:

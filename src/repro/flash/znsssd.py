@@ -18,11 +18,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import AlignmentError, OutOfRangeError, ZoneResourceError
+from repro.errors import (
+    AlignmentError,
+    OutOfRangeError,
+    ZoneDeadError,
+    ZoneResourceError,
+)
 from repro.flash.device import DeviceStats
 from repro.flash.nand import NandGeometry, NandTiming
-from repro.flash.zone import Zone
+from repro.flash.zone import Zone, ZoneState
 from repro.sim.clock import SimClock
+from repro.sim.faults import FaultInjector, FaultKind
 from repro.sim.io import IoCompletion, IoOp, IoPipeline, IoRequest, IoTracer, PoolConfig
 
 
@@ -56,6 +62,7 @@ class ZnsSsd:
         config: ZnsConfig = ZnsConfig(),
         io: PoolConfig = PoolConfig(),
         tracer: Optional[IoTracer] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self._clock = clock
         self.config = config
@@ -75,7 +82,7 @@ class ZnsSsd:
             Zone(index=i, start=i * zone_size, size=zone_size)
             for i in range(self.num_zones)
         ]
-        self.pipeline = IoPipeline(clock, "znsssd", io, tracer)
+        self.pipeline = IoPipeline(clock, "znsssd", io, tracer, faults=faults)
         self._stats = DeviceStats()
         self._pages: Dict[int, bytes] = {}
 
@@ -128,6 +135,8 @@ class ZnsSsd:
         — later foreground commands queue behind it — but the caller is
         not blocked and the shared clock does not advance.
         """
+        self._poll_zone_faults()
+        self._check_readable(offset, length)
         data = self._load(offset, length)
         completion = self.pipeline.submit(
             IoRequest(IoOp.READ, offset, length, layer="zns", background=background),
@@ -144,9 +153,11 @@ class ZnsSsd:
         self, extents: List[Tuple[int, int]], background: bool = False
     ) -> List[IoCompletion]:
         """Batched reads: one submission, overlapped across pool channels."""
+        self._poll_zone_faults()
         batch: List[Tuple[IoRequest, int]] = []
         payloads: List[bytes] = []
         for offset, length in extents:
+            self._check_readable(offset, length)
             payloads.append(self._load(offset, length))
             batch.append(
                 (
@@ -171,18 +182,10 @@ class ZnsSsd:
         ``background=True`` behaves as for :meth:`read`: the program time
         is reserved on the device pool without blocking the caller.
         """
+        self._poll_zone_faults()
+        request, service_ns = self._gate_write(offset, data, background)
         self._prepare_write(offset, data)
-        completion = self.pipeline.submit(
-            IoRequest(
-                IoOp.WRITE,
-                offset,
-                len(data),
-                zone=offset // self.zone_size,
-                layer="zns",
-                background=background,
-            ),
-            self._write_service_ns(len(data)),
-        )
+        completion = self.pipeline.submit(request, service_ns)
         self._account_write(len(data), completion, background)
         return completion
 
@@ -195,41 +198,42 @@ class ZnsSsd:
         before the batch is queued — an invalid extent raises before any
         media time is charged for it.
         """
+        self._poll_zone_faults()
         batch: List[Tuple[IoRequest, int]] = []
+        stored: List[Tuple[int, bytes]] = []
+        # For torn-write modelling the extents service back-to-back, so
+        # extent k's media window starts after the preceding services.
+        virtual_now = self._clock.now
         for offset, data in items:
-            self._prepare_write(offset, data)
-            batch.append(
-                (
-                    IoRequest(
-                        IoOp.WRITE,
-                        offset,
-                        len(data),
-                        zone=offset // self.zone_size,
-                        layer="zns",
-                        background=background,
-                    ),
-                    self._write_service_ns(len(data)),
-                )
+            request, service_ns = self._gate_write(
+                offset, data, background, virtual_now=virtual_now, batch=batch,
+                stored=stored,
             )
+            self._prepare_write(offset, data)
+            virtual_now += service_ns
+            batch.append((request, service_ns))
+            stored.append((offset, data))
         completions = self.pipeline.submit_many(batch)
-        for completion, (offset, data) in zip(completions, items):
+        for completion, (offset, data) in zip(completions, stored):
             self._account_write(len(data), completion, background)
         return completions
 
     def append(self, zone_index: int, data: bytes) -> "AppendResult":
         """Zone Append: device picks the offset (the current write pointer)."""
+        self._poll_zone_faults()
         self._check_zone_index(zone_index)
         self._check_aligned(0, len(data))
         zone = self.zones[zone_index]
         offset = zone.write_pointer
+        request = IoRequest(IoOp.APPEND, offset, len(data), zone=zone_index, layer="zns")
+        service_ns = self._write_service_ns(len(data))
+        self.pipeline.fault_gate(request, service_ns)
         zone.check_writable(offset, len(data))
         self._ensure_open_budget(zone)
+        self._maybe_tear(zone, offset, data, service_ns)
         self._store(offset, data)
         zone.advance(len(data))
-        completion = self.pipeline.submit(
-            IoRequest(IoOp.APPEND, offset, len(data), zone=zone_index, layer="zns"),
-            self._write_service_ns(len(data)),
-        )
+        completion = self.pipeline.submit(request, service_ns)
         self._account_write(len(data), completion, background=False)
         return AppendResult(
             latency_ns=completion.latency_ns,
@@ -245,9 +249,12 @@ class ZnsSsd:
 
     def reset_zone(self, zone_index: int) -> IoCompletion:
         """Reset: discard zone contents, write pointer back to start."""
+        self._poll_zone_faults()
         self._check_zone_index(zone_index)
         zone = self.zones[zone_index]
         had_data = zone.written_bytes > 0
+        request = IoRequest(IoOp.RESET, zone.start, zone=zone_index, layer="zns")
+        self.pipeline.fault_gate(request, self.config.timing.command_overhead_ns)
         zone.reset()
         page_size = self.block_size
         first = zone.start // page_size
@@ -256,7 +263,7 @@ class ZnsSsd:
         # The reset command itself is fast; the media erase proceeds in the
         # background and *later* commands queue behind it.
         completion = self.pipeline.submit(
-            IoRequest(IoOp.RESET, zone.start, zone=zone_index, layer="zns"),
+            request,
             self.config.timing.command_overhead_ns,
         )
         if had_data:
@@ -277,12 +284,14 @@ class ZnsSsd:
 
     def finish_zone(self, zone_index: int) -> IoCompletion:
         """Finish: write pointer jumps to the zone end; state becomes FULL."""
+        self._poll_zone_faults()
         self._check_zone_index(zone_index)
         self.zones[zone_index].finish()
         return self._zone_command(IoOp.FINISH, zone_index)
 
     def open_zone(self, zone_index: int) -> IoCompletion:
         """Explicitly open a zone (counts against max-open)."""
+        self._poll_zone_faults()
         self._check_zone_index(zone_index)
         zone = self.zones[zone_index]
         if not zone.is_open:
@@ -295,6 +304,108 @@ class ZnsSsd:
         self._check_zone_index(zone_index)
         self.zones[zone_index].close()
         return self._zone_command(IoOp.CLOSE, zone_index)
+
+    # --- fault handling --------------------------------------------------------------
+
+    def _poll_zone_faults(self) -> None:
+        """Apply scheduled zone-state flips that have come due."""
+        faults = self.pipeline.faults
+        if faults is None:
+            return
+        for event in faults.due_zone_faults(self._clock.now):
+            if not 0 <= event.zone_index < self.num_zones:
+                continue
+            state = (
+                ZoneState.OFFLINE
+                if event.kind is FaultKind.ZONE_OFFLINE
+                else ZoneState.READ_ONLY
+            )
+            self.zones[event.zone_index].die(state)
+            faults.note_zone_fault(event)
+
+    def _check_readable(self, offset: int, length: int) -> None:
+        """OFFLINE zones fail reads too (READ_ONLY zones still serve them)."""
+        if length <= 0:
+            return
+        first = self.zone_of(offset)
+        last = self.zone_of(offset + length - 1)
+        for zone in (first, last):
+            if zone.state is ZoneState.OFFLINE:
+                raise ZoneDeadError(
+                    f"zone {zone.index} is offline; reads fail",
+                    zone_index=zone.index,
+                )
+
+    def _gate_write(
+        self,
+        offset: int,
+        data: bytes,
+        background: bool,
+        virtual_now: Optional[int] = None,
+        batch: Optional[List[Tuple[IoRequest, int]]] = None,
+        stored: Optional[List[Tuple[int, bytes]]] = None,
+    ) -> Tuple[IoRequest, int]:
+        """Build + fault-gate a write request before any state mutation.
+
+        A raised fault (typed error or power cut) leaves the zone
+        untouched, so the caller can retry safely.  On a power cut the
+        torn prefix is persisted first, and any already-validated batch
+        extents are submitted so their media time is charged.
+        """
+        self._check_aligned(offset, len(data))
+        zone = self.zone_of(offset)
+        request = IoRequest(
+            IoOp.WRITE,
+            offset,
+            len(data),
+            zone=zone.index,
+            layer="zns",
+            background=background,
+        )
+        service_ns = self._write_service_ns(len(data))
+        self.pipeline.fault_gate(request, service_ns)
+        zone.check_writable(offset, len(data))
+        self._ensure_open_budget(zone)
+        if self.pipeline.faults is not None:
+            now = self._clock.now if virtual_now is None else virtual_now
+            torn = self._maybe_tear(zone, offset, data, service_ns, now=now,
+                                    flush=(batch, stored, background))
+            assert not torn  # _maybe_tear raises when the cut hits
+        return request, service_ns
+
+    def _maybe_tear(
+        self,
+        zone: Zone,
+        offset: int,
+        data: bytes,
+        service_ns: int,
+        now: Optional[int] = None,
+        flush: Optional[tuple] = None,
+    ) -> bool:
+        """If the power cut lands inside this write's media window,
+        persist the aligned prefix, flush any pending batch, and trip
+        the power (raises :class:`PowerCutError`)."""
+        faults = self.pipeline.faults
+        if faults is None:
+            return False
+        if now is None:
+            now = self._clock.now
+        keep = faults.torn_write_bytes(now, service_ns, len(data), self.block_size)
+        if keep is None:
+            return False
+        if keep:
+            self._store(offset, data[:keep])
+            zone.advance(keep)
+            self._stats.host_write_bytes += keep
+            self._stats.media_write_bytes += keep
+        if flush is not None:
+            batch, stored, background = flush
+            if batch:
+                completions = self.pipeline.submit_many(batch)
+                for completion, (_, done_data) in zip(completions, stored):
+                    self._account_write(len(done_data), completion, background)
+        faults.trip_power()
+        return True  # pragma: no cover - trip_power always raises
 
     # --- internals -------------------------------------------------------------------
 

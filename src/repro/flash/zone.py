@@ -10,7 +10,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.errors import WritePointerError, ZoneStateError
+from repro.errors import WritePointerError, ZoneDeadError, ZoneStateError
 
 
 class ZoneState(enum.Enum):
@@ -28,6 +28,7 @@ class ZoneState(enum.Enum):
 
 OPEN_STATES = (ZoneState.IMPLICIT_OPEN, ZoneState.EXPLICIT_OPEN)
 ACTIVE_STATES = OPEN_STATES + (ZoneState.CLOSED,)
+DEAD_STATES = (ZoneState.READ_ONLY, ZoneState.OFFLINE)
 
 
 @dataclass
@@ -72,9 +73,24 @@ class Zone:
 
     # --- transitions ------------------------------------------------------------
 
+    @property
+    def is_dead(self) -> bool:
+        return self.state in DEAD_STATES
+
+    def die(self, state: ZoneState) -> None:
+        """Failure injection: force the zone to READ_ONLY or OFFLINE."""
+        if state not in DEAD_STATES:
+            raise ValueError(f"die() takes READ_ONLY or OFFLINE, got {state}")
+        self.state = state
+
     def check_writable(self, offset: int, length: int) -> None:
         """Validate a write of ``length`` bytes at ``offset``."""
-        if self.state in (ZoneState.FULL, ZoneState.READ_ONLY, ZoneState.OFFLINE):
+        if self.state in DEAD_STATES:
+            raise ZoneDeadError(
+                f"zone {self.index} is {self.state.value}; writes not allowed",
+                zone_index=self.index,
+            )
+        if self.state == ZoneState.FULL:
             raise ZoneStateError(
                 f"zone {self.index} is {self.state.value}; writes not allowed"
             )
@@ -98,22 +114,29 @@ class Zone:
             self.state = ZoneState.IMPLICIT_OPEN
 
     def reset(self) -> None:
-        if self.state == ZoneState.OFFLINE:
-            raise ZoneStateError(f"zone {self.index} is offline; cannot reset")
+        if self.state in DEAD_STATES:
+            raise ZoneDeadError(
+                f"zone {self.index} is {self.state.value}; cannot reset",
+                zone_index=self.index,
+            )
         self.write_pointer = self.start
         self.state = ZoneState.EMPTY
 
     def finish(self) -> None:
-        if self.state in (ZoneState.READ_ONLY, ZoneState.OFFLINE):
-            raise ZoneStateError(f"zone {self.index} is {self.state.value}")
+        if self.state in DEAD_STATES:
+            raise ZoneDeadError(
+                f"zone {self.index} is {self.state.value}", zone_index=self.index
+            )
         self.write_pointer = self.end
         self.state = ZoneState.FULL
 
     def open_explicit(self) -> None:
+        if self.state in DEAD_STATES:
+            raise ZoneDeadError(
+                f"zone {self.index} is {self.state.value}", zone_index=self.index
+            )
         if self.state == ZoneState.FULL:
             raise ZoneStateError(f"zone {self.index} is full; cannot open")
-        if self.state in (ZoneState.READ_ONLY, ZoneState.OFFLINE):
-            raise ZoneStateError(f"zone {self.index} is {self.state.value}")
         self.state = ZoneState.EXPLICIT_OPEN
 
     def close(self) -> None:

@@ -14,6 +14,14 @@ caused.
 """
 
 from repro.sim.clock import ResourceTimeline, SimClock, check_service_time
+from repro.sim.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultRule,
+    FaultStats,
+    RetryPolicy,
+    ZoneFault,
+)
 from repro.sim.io import (
     IoCompletion,
     IoOp,
@@ -41,6 +49,12 @@ __all__ = [
     "PoolConfig",
     "ResourcePool",
     "TraceRecord",
+    "FaultInjector",
+    "FaultKind",
+    "FaultRule",
+    "FaultStats",
+    "RetryPolicy",
+    "ZoneFault",
     "LatencyRecorder",
     "Counter",
     "RatioStat",

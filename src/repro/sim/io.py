@@ -34,9 +34,12 @@ from __future__ import annotations
 import contextlib
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.clock import SimClock, check_service_time
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a runtime import cycle
+    from repro.sim.faults import FaultInjector
 
 
 class IoOp(enum.Enum):
@@ -78,6 +81,11 @@ class IoRequest:
     parent_id: Optional[int] = None
     background: bool = False
     request_id: int = -1
+    # Fault-injection bookkeeping: the gate runs at most once per
+    # request (devices may pre-gate before mutating state), and any
+    # injected latency spike is carried to dispatch here.
+    fault_checked: bool = False
+    injected_latency_ns: int = 0
 
 
 @dataclass
@@ -379,6 +387,37 @@ class IoTracer:
             )
         )
 
+    def emit_event(
+        self,
+        layer: str,
+        op: str,
+        offset: int = 0,
+        length: int = 0,
+        zone: Optional[int] = None,
+    ) -> None:
+        """Record an instantaneous out-of-band event (e.g. an injected
+        fault or a recovery action) as a zero-duration record."""
+        if not self.enabled or self._clock is None:
+            return
+        now = self._clock.now
+        self._emit(
+            TraceRecord(
+                record_id=self.allocate_id(),
+                parent_id=self.current_parent,
+                layer=layer,
+                op=op,
+                offset=offset,
+                length=length,
+                zone=zone,
+                background=False,
+                submitted_ns=now,
+                completed_ns=now,
+                wait_ns=0,
+                service_ns=0,
+                channel=-1,
+            )
+        )
+
     def _emit(self, record: TraceRecord) -> None:
         if self._capture:
             self.records.append(record)
@@ -464,12 +503,31 @@ class IoPipeline:
         name: str = "device",
         config: PoolConfig = PoolConfig(),
         tracer: Optional[IoTracer] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.clock = clock
         self.name = name
         self.pool = ResourcePool(name, config)
         self.tracer = tracer if tracer is not None else IoTracer()
         self.tracer.bind_clock(clock)
+        self.faults = faults
+        if faults is not None:
+            faults.bind(clock, self.tracer)
+
+    def fault_gate(self, request: IoRequest, service_ns: int) -> None:
+        """Run the fault injector against a request, at most once.
+
+        Devices call this *before* mutating any state for the request
+        (write-pointer advances, page stores) so that a raised fault
+        leaves the device exactly as it was and the operation can be
+        retried.  Requests not pre-gated are gated at dispatch.
+        """
+        if self.faults is None or request.fault_checked:
+            return
+        request.fault_checked = True
+        request.injected_latency_ns = self.faults.inspect(
+            self.name, request, service_ns
+        )
 
     def submit(self, request: IoRequest, service_ns: int) -> IoCompletion:
         """Submit one request synchronously (or reserve, if background).
@@ -516,6 +574,10 @@ class IoPipeline:
     def _dispatch(
         self, request: IoRequest, service_ns: int, now: int
     ) -> IoCompletion:
+        if self.faults is not None:
+            self.fault_gate(request, service_ns)
+            if request.injected_latency_ns:
+                service_ns += request.injected_latency_ns
         request.request_id = self.tracer.allocate_id()
         if request.parent_id is None:
             request.parent_id = self.tracer.current_parent

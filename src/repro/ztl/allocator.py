@@ -24,6 +24,9 @@ class ZoneUse(enum.Enum):
     HOST_OPEN = "host_open"
     GC_OPEN = "gc_open"
     FINISHED = "finished"
+    # The device flipped the zone READ_ONLY/OFFLINE: it left every pool
+    # permanently and is never allocated or reset again.
+    DEAD = "dead"
 
 
 @dataclass
@@ -102,6 +105,10 @@ class ZoneBook:
     def gc_zone(self) -> Optional[int]:
         return self._gc_open
 
+    @property
+    def dead_count(self) -> int:
+        return sum(1 for r in self.records if r.use is ZoneUse.DEAD)
+
     def record(self, zone_index: int) -> ZoneRecord:
         return self.records[zone_index]
 
@@ -142,6 +149,8 @@ class ZoneBook:
 
     def mark_finished(self, zone_index: int) -> None:
         record = self.records[zone_index]
+        if record.use is ZoneUse.DEAD:
+            return
         if record.use == ZoneUse.HOST_OPEN and zone_index in self._host_open:
             self._host_open.remove(zone_index)
         if record.use == ZoneUse.GC_OPEN and self._gc_open == zone_index:
@@ -150,9 +159,31 @@ class ZoneBook:
         if zone_index not in self._finished:
             self._finished.append(zone_index)
 
+    def retire(self, zone_index: int) -> None:
+        """Permanently remove a dead zone from every pool.
+
+        Called when the device reports the zone READ_ONLY/OFFLINE; the
+        layer keeps running on the remaining zones (capacity shrinks).
+        """
+        record = self.records[zone_index]
+        if record.use is ZoneUse.DEAD:
+            return
+        if zone_index in self._empty:
+            self._empty.remove(zone_index)
+        if zone_index in self._host_open:
+            self._host_open.remove(zone_index)
+        if zone_index in self._finished:
+            self._finished.remove(zone_index)
+        if self._gc_open == zone_index:
+            self._gc_open = None
+        record.use = ZoneUse.DEAD
+        record.bitmap.clear_all()
+
     def mark_empty(self, zone_index: int) -> None:
         """Return a reset zone to the empty pool (after GC)."""
         record = self.records[zone_index]
+        if record.use is ZoneUse.DEAD:
+            return
         if zone_index in self._finished:
             self._finished.remove(zone_index)
         if zone_index in self._host_open:

@@ -21,7 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from repro.errors import TranslationFullError
+from repro.errors import (
+    PowerCutError,
+    RetryableError,
+    TranslationFullError,
+    ZoneDeadError,
+)
 from repro.flash.znsssd import ZnsSsd
 from repro.sim.io import IoCompletion, IoTracer
 from repro.ztl.allocator import ZoneBook, ZoneRecord
@@ -58,6 +63,10 @@ class ZtlStats:
     dropped_regions: int = 0
     gc_zone_resets: int = 0
     host_reads: int = 0
+    # Fault handling: zones the device declared dead, and GC I/O retries
+    # absorbed by the layer (transient device errors during migration).
+    dead_zones: int = 0
+    gc_retries: int = 0
 
     @property
     def app_write_amplification(self) -> float:
@@ -101,6 +110,7 @@ class RegionTranslationLayer:
             )
         self.device = device
         self.config = config
+        self._on_drop = on_drop
         self.region_size = config.region_size
         self.zone_size = device.zone_size
         self.slots_per_zone = device.zone_size // config.region_size
@@ -149,11 +159,33 @@ class RegionTranslationLayer:
             )
         with self.tracer.span("ztl", "write_region", length=len(data)):
             self.invalidate_region(region_id)
-            record = self._allocate_host_record()
-            result = self._write_to_record(region_id, record, data)
+            last_error: Optional[ZoneDeadError] = None
+            for _ in range(4):
+                record = self._allocate_host_record()
+                try:
+                    result = self._write_to_record(region_id, record, data)
+                    break
+                except ZoneDeadError as error:
+                    # The open zone died under us: retire it and land the
+                    # region in another open zone.
+                    last_error = error
+                    zone = error.zone_index
+                    self._retire_zone(
+                        zone if zone is not None else record.zone_index
+                    )
+            else:
+                assert last_error is not None
+                raise last_error
             self.stats.host_region_writes += 1
             # Background thread check (paper: runs continuously; we piggyback).
-            self.gc.maybe_collect()
+            try:
+                self.gc.maybe_collect()
+            except PowerCutError:
+                raise
+            except RetryableError:
+                # Transient device error on the GC stream: give up this
+                # pace step, the next check resumes where it stopped.
+                self.stats.gc_retries += 1
         return result
 
     def read_region(
@@ -242,7 +274,15 @@ class RegionTranslationLayer:
         bookkeeping stay strictly sequential, exactly as the one-region
         path, so allocation order (and therefore on-media layout) is
         unchanged.
+
+        With fault injection armed the batched path is unsafe (a fault
+        mid-batch would leave mappings bound to slots whose data never
+        landed), so migration falls back to a per-region loop that only
+        rebinds a mapping after its write succeeded.
         """
+        if self.device.pipeline.faults is not None:
+            self._migrate_regions_resilient(region_ids)
+            return
         with self.tracer.span(
             "ztl.gc", "migrate", length=len(region_ids) * self.region_size
         ):
@@ -269,8 +309,98 @@ class RegionTranslationLayer:
                 self.stats.migrated_region_writes += 1
             self.device.write_many(items, background=True)
 
+    def _migrate_regions_resilient(self, region_ids: List[int]) -> None:
+        with self.tracer.span(
+            "ztl.gc", "migrate", length=len(region_ids) * self.region_size
+        ):
+            for region_id in region_ids:
+                self._migrate_one_resilient(region_id)
+
+    def _migrate_one_resilient(self, region_id: int) -> None:
+        """Fault-tolerant single-region migration.
+
+        Unreadable sources and unlandable rewrites *drop* the region (a
+        cache can always re-fetch; stalling GC cannot be afforded); dead
+        target zones are retired and the write retried elsewhere.
+        """
+        old = self.map.lookup(region_id)
+        offset = old.byte_offset(self.zone_size, self.region_size)
+        data: Optional[bytes] = None
+        for _ in range(3):
+            try:
+                data = self.device.read(
+                    offset, self.region_size, background=True
+                ).data
+                break
+            except PowerCutError:
+                raise
+            except ZoneDeadError:
+                break  # the source zone died: its bytes are gone
+            except RetryableError:
+                self.stats.gc_retries += 1
+        self.book.record(old.zone_index).bitmap.clear(old.slot)
+        if data is None:
+            self._drop_region(region_id)
+            if self._on_drop is not None:
+                self._on_drop(region_id)
+            return
+        for _ in range(4):
+            try:
+                target = self.book.allocate_gc_slot()
+            except TranslationFullError:
+                break
+            slot = target.next_slot
+            location = RegionLocation(target.zone_index, slot)
+            try:
+                self.device.write(
+                    location.byte_offset(self.zone_size, self.region_size),
+                    data,
+                    background=True,
+                )
+            except PowerCutError:
+                raise
+            except ZoneDeadError as error:
+                zone = error.zone_index
+                self._retire_zone(zone if zone is not None else target.zone_index)
+                continue
+            except RetryableError:
+                self.stats.gc_retries += 1
+                continue
+            target.bitmap.set(slot)
+            self.map.bind(region_id, location)
+            self.book.note_slot_written(target)
+            self.stats.migrated_region_writes += 1
+            return
+        # Nowhere to land the survivor: drop it rather than stall GC.
+        self._drop_region(region_id)
+        if self._on_drop is not None:
+            self._on_drop(region_id)
+
+    def _retire_zone(self, zone_index: int) -> None:
+        """Take a dead zone out of service: drop its regions, tell the
+        allocator, and abandon any in-progress GC on it."""
+        record = self.book.record(zone_index)
+        for slot in list(record.bitmap.valid_slots()):
+            region_id = self._region_at(zone_index, slot)
+            if region_id is not None:
+                self._drop_region(region_id)
+                if self._on_drop is not None:
+                    self._on_drop(region_id)
+        self.book.retire(zone_index)
+        if self.gc._victim == zone_index:
+            self.gc._victim = None
+            self.gc._pending = []
+        self.stats.dead_zones += 1
+        self.tracer.emit_event("ztl.fault", "retire_zone", zone=zone_index)
+
     def _reset_zone(self, zone_index: int) -> None:
-        self.device.reset_zone(zone_index)
+        try:
+            self.device.reset_zone(zone_index)
+        except ZoneDeadError:
+            # The victim died before its reset: retire it instead of
+            # returning it to the empty pool.
+            self._retire_zone(zone_index)
+            return
         self.stats.gc_zone_resets += 1
 
     def _region_at(self, zone_index: int, slot: int) -> Optional[int]:
@@ -343,6 +473,8 @@ class RegionTranslationLayer:
                 self.book._host_open.append(record.zone_index)
             elif record.use is ZoneUse.GC_OPEN:
                 self.book._gc_open = record.zone_index
+            elif record.use is ZoneUse.DEAD:
+                pass  # dead zones belong to no pool
             else:
                 self.book._finished.append(record.zone_index)
         for region_id_str, (zone_index, slot) in state["mapping"].items():

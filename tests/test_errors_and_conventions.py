@@ -98,3 +98,53 @@ class TestClockConventions:
         zns2.write(0, b"\x00" * 4096)
         baseline = zns2.read(0, 4096).latency_ns
         assert latency > baseline
+
+
+class TestFaultTaxonomy:
+    """The retry/fatal split every fault handler in the stack relies on."""
+
+    def test_transient_errors_are_retryable(self):
+        for leaf in (
+            errors.TransientMediaError,
+            errors.AppendFailedError,
+            errors.ZoneResourceError,
+        ):
+            assert issubclass(leaf, errors.RetryableError), leaf
+            assert issubclass(leaf, errors.DeviceError), leaf
+
+    def test_fatal_errors_are_not_retryable(self):
+        assert issubclass(errors.FatalDeviceError, errors.DeviceError)
+        assert not issubclass(errors.FatalDeviceError, errors.RetryableError)
+
+    def test_zone_death_is_both_zone_state_and_fatal(self):
+        # ZoneDeadError must stay catchable by legacy zone-state checks
+        # *and* by the fault handlers' fatal branch.
+        assert issubclass(errors.ZoneDeadError, errors.ZoneStateError)
+        assert issubclass(errors.ZoneDeadError, errors.FatalDeviceError)
+        assert not issubclass(errors.ZoneDeadError, errors.RetryableError)
+        error = errors.ZoneDeadError("zone 7 went read-only", zone_index=7)
+        assert error.zone_index == 7
+
+    def test_power_cut_is_neither_retryable_nor_fatal(self):
+        # Handlers must re-raise it before their retry/fatal branches:
+        # making it either would silently eat the cut.
+        assert issubclass(errors.PowerCutError, errors.DeviceError)
+        assert not issubclass(errors.PowerCutError, errors.RetryableError)
+        assert not issubclass(errors.PowerCutError, errors.FatalDeviceError)
+
+    def test_corrupt_entry_is_a_cache_error(self):
+        assert issubclass(errors.EntryCorruptError, errors.CacheError)
+        assert not issubclass(errors.EntryCorruptError, errors.DeviceError)
+
+    def test_retryable_split_partitions_device_failures(self):
+        # Catching RetryableError then FatalDeviceError covers every
+        # injected fault kind; nothing is both.
+        for leaf in (
+            errors.TransientMediaError,
+            errors.AppendFailedError,
+            errors.ZoneResourceError,
+            errors.ZoneDeadError,
+        ):
+            retryable = issubclass(leaf, errors.RetryableError)
+            fatal = issubclass(leaf, errors.FatalDeviceError)
+            assert retryable != fatal, leaf

@@ -482,3 +482,56 @@ class TestWafAttribution:
             by_layer["block"] + by_layer["ftl.gc"]
             == device.stats.media_write_bytes
         )
+
+
+class TestFaultGolden:
+    """Fault injection is fully deterministic: the same workload seed and
+    the same fault plan reproduce every bench column bit-for-bit —
+    including the fault/retry accounting and the sim-clock-derived
+    latencies that injected spikes perturb."""
+
+    def test_fault_sweep_rows_reproduce_exactly(self):
+        from repro.bench.experiments import run_fault_sweep
+
+        kwargs = dict(
+            num_ops=2500,
+            num_keys=2500,
+            zones=12,
+            cache_zones=8,
+            file_zones=20,
+            schemes=("Region-Cache", "Block-Cache"),
+        )
+        first = run_fault_sweep(**kwargs)
+        second = run_fault_sweep(**kwargs)
+        assert first == second
+        for row in first:
+            assert row["faults_injected"] > 0, row["scheme"]
+            assert row["recovery_ms"] == 0.0  # no crash in this sweep
+
+    def test_disabled_injector_matches_no_injector(self):
+        from repro.sim import FaultInjector, FaultKind, FaultRule
+
+        # A disabled injector must leave the golden numbers untouched:
+        # the gate returns before any RNG draw, so the run is
+        # bit-identical to one with no injector wired in at all.
+        def run(faults):
+            clock = SimClock()
+            stack = build_scheme(
+                "Block-Cache", clock, SMALL_SCALE, 16 * MIB, 8 * MIB, faults=faults
+            )
+            cache = stack.cache
+            rng = random.Random(2)
+            for i in range(1500):
+                key = f"key{rng.randrange(200):04d}".encode()
+                if rng.random() < 0.5:
+                    cache.set(key, f"v{i}".encode() * 150)
+                else:
+                    cache.get(key)
+            return clock.now, cache.stats.snapshot()
+
+        disabled = FaultInjector(
+            seed=99, rules=(FaultRule(FaultKind.MEDIA_ERROR, probability=0.5),)
+        )
+        disabled.disable()
+        assert run(None) == run(disabled)
+        assert disabled.stats.total_injected == 0
