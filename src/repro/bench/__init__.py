@@ -22,6 +22,8 @@ from repro.bench.experiments import (
     run_fig4_op_sweep,
     run_table1_waf,
     run_fig5_rocksdb,
+    run_serving_smoke,
+    run_serving_sweep,
     run_table2_cache_sizes,
 )
 from repro.bench.reporting import format_table, rows_to_csv
@@ -40,6 +42,8 @@ __all__ = [
     "run_fig4_op_sweep",
     "run_table1_waf",
     "run_fig5_rocksdb",
+    "run_serving_smoke",
+    "run_serving_sweep",
     "run_table2_cache_sizes",
     "format_table",
     "rows_to_csv",

@@ -12,11 +12,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.bench.schemes import (
+    SCHEME_NAMES,
     SchemeScale,
     SchemeStack,
-    build_block_cache,
     build_file_cache,
     build_region_cache,
+    build_scheme,
     build_zone_cache,
 )
 from repro.sim.clock import SimClock
@@ -135,17 +136,30 @@ def run_fig2_overall(
     # dying zones — the source of Table 1's low-1.x WAFs.  Zone-Cache
     # reclaims exactly one zone at a time (no pool), matching §3.2.
     navy = {"eviction_policy": "fifo", "reclaim_window": 128}
-    builders = [
-        ("Region-Cache", lambda clk: build_region_cache(clk, scale, media, cache_bytes, **navy)),
-        ("Zone-Cache", lambda clk: build_zone_cache(clk, scale, media, eviction_policy="fifo")),
-        ("File-Cache", lambda clk: build_file_cache(clk, scale, file_media, cache_bytes, **navy)),
-        ("Block-Cache", lambda clk: build_block_cache(clk, scale, media, cache_bytes, **navy)),
-    ]
-    for _, builder in builders:
-        stack = builder(SimClock())
+    for name, kwargs in _fig2_scheme_args(cache_bytes, file_media, navy):
+        stack = build_scheme(name, SimClock(), scale, media, **kwargs)
         driver = CacheBenchDriver(workload)
         rows.append(_run_mix(driver, stack))
     return rows
+
+
+def _fig2_scheme_args(cache_bytes: int, file_media: int, navy: Dict[str, object]):
+    """Per-scheme build_scheme kwargs for the Figure 2 provisioning.
+
+    Zone-Cache caches the whole device (no OP, §3.2) and takes only the
+    reclaim-policy override; the others get the smaller cache budget and
+    the navy clean-region pool.  Shared by the fault sweep so both
+    experiments construct identical stacks.
+    """
+    return [
+        ("Region-Cache", dict(cache_bytes=cache_bytes, **navy)),
+        ("Zone-Cache", dict(eviction_policy="fifo")),
+        (
+            "File-Cache",
+            dict(cache_bytes=cache_bytes, file_media_bytes=file_media, **navy),
+        ),
+        ("Block-Cache", dict(cache_bytes=cache_bytes, **navy)),
+    ]
 
 
 # --------------------------------------------------------------------------
@@ -393,24 +407,13 @@ def run_fault_sweep(
             ),
         )
 
-    builders = {
-        "Region-Cache": lambda clk, inj: build_region_cache(
-            clk, scale, media, cache_bytes, faults=inj, **navy
-        ),
-        "Zone-Cache": lambda clk, inj: build_zone_cache(
-            clk, scale, media, eviction_policy="fifo", faults=inj
-        ),
-        "File-Cache": lambda clk, inj: build_file_cache(
-            clk, scale, file_media, cache_bytes, faults=inj, **navy
-        ),
-        "Block-Cache": lambda clk, inj: build_block_cache(
-            clk, scale, media, cache_bytes, faults=inj, **navy
-        ),
-    }
+    scheme_args = dict(_fig2_scheme_args(cache_bytes, file_media, navy))
     rows: List[Dict[str, object]] = []
     for name in schemes:
         injector = make_injector()
-        stack = builders[name](SimClock(), injector)
+        stack = build_scheme(
+            name, SimClock(), scale, media, faults=injector, **scheme_args[name]
+        )
         row = _run_mix(CacheBenchDriver(workload), stack)
         stats = stack.cache.stats
         row.update(
@@ -422,6 +425,207 @@ def run_fault_sweep(
             }
         )
         rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Serving sweep — open-loop multi-tenant load against a sharded fleet
+# --------------------------------------------------------------------------
+
+def _serving_tenants(
+    total_rate: float,
+    requests_per_tenant: int,
+    num_keys: int,
+    seed: int,
+    rate_limit_batch: bool = True,
+) -> "List[object]":
+    """The sweep's two-tenant mix: a steady interactive tenant and a
+    bursty batch tenant, splitting the offered load 70/30.
+
+    The batch tenant carries a token bucket at 1.5x its mean rate, so
+    its 4x bursts are clipped by rate limiting *before* they reach the
+    shard queues — per-tenant QoS isolating the interactive tenant.
+    """
+    from repro.serve import TenantConfig
+
+    web_rate = 0.7 * total_rate
+    batch_rate = 0.3 * total_rate
+    tenants = [
+        TenantConfig(
+            "web",
+            rate_ops_per_sec=web_rate,
+            arrival="poisson",
+            workload=CacheBenchConfig(
+                num_ops=requests_per_tenant,
+                num_keys=num_keys,
+                zipf_theta=1.0,
+                set_on_miss=True,
+                seed=seed,
+            ),
+            slo_p99_ms=2.0,
+            seed=seed + 100,
+        ),
+        TenantConfig(
+            "batch",
+            rate_ops_per_sec=batch_rate,
+            arrival="burst",
+            burst_factor=4.0,
+            workload=CacheBenchConfig(
+                num_ops=requests_per_tenant,
+                num_keys=max(1, num_keys // 2),
+                get_ratio=0.30,
+                set_ratio=0.60,
+                delete_ratio=0.10,
+                seed=seed + 1,
+            ),
+            slo_p99_ms=10.0,
+            rate_limit_ops_per_sec=1.5 * batch_rate if rate_limit_batch else 0.0,
+            rate_limit_burst=32.0,
+            seed=seed + 200,
+        ),
+    ]
+    return tenants
+
+
+def _serving_scale() -> SchemeScale:
+    """Reduced hardware for serving runs: small zones/regions so a few
+    thousand requests reach eviction/GC steady state on every scheme
+    (at full scale Zone-Cache's 4 MiB region buffer would absorb the
+    whole run in RAM and never touch the device)."""
+    from repro.units import KIB
+
+    return SchemeScale(
+        zone_size=256 * KIB,
+        region_size=16 * KIB,
+        pages_per_block=16,
+        ram_bytes=32 * KIB,
+    )
+
+
+def run_serving_sweep(
+    scale: Optional[SchemeScale] = None,
+    zones_per_shard: int = 10,
+    cache_zones_per_shard: int = 8,
+    file_zones_per_shard: int = 16,
+    num_shards: int = 3,
+    offered_kops: tuple = (40.0, 120.0, 360.0),
+    requests_per_tenant: int = 4_000,
+    num_keys: Optional[int] = None,
+    max_queue_depth: int = 48,
+    admission: str = "admit-all",
+    schemes: tuple = SCHEME_NAMES,
+    seed: int = 7,
+) -> List[Dict[str, object]]:
+    """Offered load vs p99 / shed rate for each scheme (EXPERIMENTS.md).
+
+    For every scheme and offered load, a homogeneous ``num_shards``
+    cluster serves two open-loop tenants (70% steady interactive + 30%
+    bursty batch).  Below the saturation knee all schemes complete
+    everything; past it the bounded queues shed instead of letting p99
+    grow without bound — the shed-rate and p99 columns together locate
+    each scheme's knee.  Rows are per (scheme, load, tenant) and are
+    byte-identical for the same seed (the serving golden test).
+    """
+    from repro.cache.admission import AdmissionConfig
+    from repro.serve import CacheCluster, Server, ServerConfig
+
+    scale = scale or _serving_scale()
+    media = zones_per_shard * scale.zone_size
+    cache_bytes = cache_zones_per_shard * scale.zone_size
+    file_media = file_zones_per_shard * scale.zone_size
+    if num_keys is None:
+        # Working set just above one shard fleet's capacity, as Fig 2 does.
+        num_keys = int(1.05 * num_shards * media / 1568)
+    navy = {"eviction_policy": "fifo", "reclaim_window": 128}
+    rows: List[Dict[str, object]] = []
+    for name in schemes:
+        overrides: Dict[str, object] = (
+            {"eviction_policy": "fifo"} if name == "Zone-Cache" else dict(navy)
+        )
+        if admission != "admit-all":
+            overrides["admission"] = AdmissionConfig(policy=admission, seed=seed)
+        shard_cache = None if name == "Zone-Cache" else cache_bytes
+        shard_file = file_media if name == "File-Cache" else None
+        for load_kops in offered_kops:
+            cluster = CacheCluster.homogeneous(
+                name,
+                num_shards,
+                media,
+                shard_cache,
+                file_media_bytes=shard_file,
+                scale=scale,
+                cache_overrides=tuple(sorted(overrides.items())),
+            )
+            tenants = _serving_tenants(
+                load_kops * 1000, requests_per_tenant, num_keys, seed
+            )
+            report = Server(
+                cluster, tenants, ServerConfig(max_queue_depth=max_queue_depth)
+            ).run()
+            shard_rows = report.shard_rows
+            for tenant_row in report.tenant_rows:
+                row: Dict[str, object] = {
+                    "scheme": name,
+                    "offered_total_kops": load_kops,
+                    "num_shards": num_shards,
+                }
+                row.update(tenant_row)
+                row.update(
+                    {
+                        "cluster_shed_rate": report.shed_rate,
+                        "cluster_util_max": max(r["util"] for r in shard_rows),
+                        "cluster_served": sum(r["served"] for r in shard_rows),
+                        "cluster_waf_app_max": max(
+                            r["waf_app"] for r in shard_rows
+                        ),
+                        "cluster_waf_device_max": max(
+                            r["waf_device"] for r in shard_rows
+                        ),
+                        "admission": admission,
+                    }
+                )
+                rows.append(row)
+    return rows
+
+
+def run_serving_smoke(seed: int = 7) -> List[Dict[str, object]]:
+    """`repro serve --smoke`: a mixed two-shard cluster (Region-Cache +
+    Zone-Cache on matched NAND), two tenants, ~2k requests — small
+    enough for a CI step, still exercising routing, QoS and shedding."""
+    from repro.serve import CacheCluster, Server, ServerConfig, ShardSpec
+
+    scale = _serving_scale()
+    media = 12 * scale.zone_size
+    specs = [
+        ShardSpec(
+            "Region-Cache",
+            media_bytes=media,
+            cache_bytes=9 * scale.zone_size,
+            cache_overrides=(("eviction_policy", "fifo"), ("reclaim_window", 32)),
+        ),
+        ShardSpec(
+            "Zone-Cache",
+            media_bytes=media,
+            cache_overrides=(("eviction_policy", "fifo"),),
+        ),
+    ]
+    cluster = CacheCluster(specs, scale=scale)
+    tenants = _serving_tenants(
+        total_rate=120_000.0,
+        requests_per_tenant=1_000,
+        num_keys=1_500,
+        seed=seed,
+    )
+    report = Server(cluster, tenants, ServerConfig(max_queue_depth=24)).run()
+    rows: List[Dict[str, object]] = []
+    for tenant_row in report.tenant_rows:
+        row = {"cluster": "region+zone", **tenant_row}
+        row["cluster_shed_rate"] = report.shed_rate
+        rows.append(row)
+    for shard_row in report.shard_rows:
+        shard_row = dict(shard_row)
+        shard_row["cluster"] = "region+zone"
+        rows.append(shard_row)
     return rows
 
 

@@ -11,6 +11,16 @@ import io
 from typing import Dict, List, Optional, Sequence
 
 
+def _union_columns(rows: List[Dict[str, object]]) -> List[str]:
+    """Ordered union of keys across rows, so ragged row sets (e.g.
+    serving tenant rows followed by per-shard rows) keep every column."""
+    seen: Dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            seen.setdefault(key)
+    return list(seen)
+
+
 def format_table(
     rows: List[Dict[str, object]],
     columns: Optional[Sequence[str]] = None,
@@ -20,7 +30,7 @@ def format_table(
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
     if columns is None:
-        columns = list(rows[0].keys())
+        columns = _union_columns(rows)
     rendered: List[List[str]] = [[_cell(row.get(col)) for col in columns] for row in rows]
     widths = [
         max(len(str(col)), *(len(r[i]) for r in rendered))
@@ -42,7 +52,7 @@ def rows_to_csv(rows: List[Dict[str, object]], columns: Optional[Sequence[str]] 
     if not rows:
         return ""
     if columns is None:
-        columns = list(rows[0].keys())
+        columns = _union_columns(rows)
     lines = [",".join(str(col) for col in columns)]
     for row in rows:
         lines.append(",".join(_cell(row.get(col)) for col in columns))

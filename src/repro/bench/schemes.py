@@ -263,10 +263,21 @@ def build_scheme(
     clock: SimClock,
     scale: SchemeScale,
     media_bytes: int,
-    cache_bytes: int,
+    cache_bytes: Optional[int] = None,
+    file_media_bytes: Optional[int] = None,
     **kwargs,
 ) -> SchemeStack:
-    """Build any scheme by its paper name (see :data:`SCHEME_NAMES`)."""
+    """Build any scheme by its paper name (see :data:`SCHEME_NAMES`).
+
+    This is the one construction path every experiment shares (the fault
+    sweep, the figures, db_bench and the serving cluster all route
+    through it) so per-scheme call-shape quirks live here and nowhere
+    else: Zone-Cache treats ``cache_bytes=None`` as "cache the whole
+    device" (its no-OP premise), the other schemes require an explicit
+    budget, and File-Cache may get a larger device via
+    ``file_media_bytes`` (F2FS needs room for metadata + provisioning
+    around the same cache budget, as §4.1 provisions it).
+    """
     builders: Dict[str, Callable[..., SchemeStack]] = {
         "Block-Cache": build_block_cache,
         "Zone-Cache": build_zone_cache,
@@ -279,4 +290,8 @@ def build_scheme(
         raise ValueError(f"unknown scheme {name!r}; expected one of {SCHEME_NAMES}")
     if name == "Zone-Cache":
         return builder(clock, scale, media_bytes, cache_bytes=cache_bytes, **kwargs)
+    if cache_bytes is None:
+        raise ValueError(f"{name} requires an explicit cache_bytes budget")
+    if name == "File-Cache" and file_media_bytes is not None:
+        media_bytes = file_media_bytes
     return builder(clock, scale, media_bytes, cache_bytes, **kwargs)

@@ -31,7 +31,15 @@ from repro.cache.region import RegionBuffer, RegionMeta
 from repro.cache.eviction import EvictionPolicyKind, make_eviction_policy
 from repro.cache.region_manager import RegionManager
 from repro.cache.ram_cache import RamCache
-from repro.cache.admission import AdmissionPolicy, AdmitAll, ProbabilisticAdmission
+from repro.cache.admission import (
+    AdmissionConfig,
+    AdmissionPolicy,
+    AdmitAll,
+    ProbabilisticAdmission,
+    SizeThresholdAdmission,
+    TinyLfuAdmission,
+    build_admission,
+)
 from repro.cache.stats import CacheStats
 from repro.cache.engine import HybridCache
 from repro.cache.backends import (
@@ -54,9 +62,13 @@ __all__ = [
     "make_eviction_policy",
     "RegionManager",
     "RamCache",
+    "AdmissionConfig",
     "AdmissionPolicy",
     "AdmitAll",
     "ProbabilisticAdmission",
+    "SizeThresholdAdmission",
+    "TinyLfuAdmission",
+    "build_admission",
     "CacheStats",
     "HybridCache",
     "RegionStore",

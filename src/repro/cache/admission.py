@@ -5,12 +5,21 @@ decide which sets reach the flash log at all.  ``AdmitAll`` matches the
 paper's configuration; ``ProbabilisticAdmission`` (CacheLib's "dynamic
 random admission") is provided for the ablation benches, since rejecting
 a fraction of sets directly reduces application-level write pressure.
+``TinyLfuAdmission`` adds frequency-based admission (a seeded count-min
+sketch with periodic aging, the W-TinyLFU filter idea): one-hit wonders
+never reach flash, which matters for the multi-tenant serving sweep
+where a scan-heavy tenant would otherwise wash a popularity-driven
+tenant out of the log.
 """
 
 from __future__ import annotations
 
 import abc
+import zlib
+from dataclasses import dataclass
+from typing import List
 
+from repro.errors import CacheConfigError
 from repro.sim.rng import make_rng
 
 
@@ -51,3 +60,142 @@ class SizeThresholdAdmission(AdmissionPolicy):
 
     def admit(self, key: bytes, value: bytes) -> bool:
         return len(value) <= self.max_value_bytes
+
+
+class CountMinSketch:
+    """Fixed-size frequency sketch with conservative estimates.
+
+    Hashing is CRC32 with per-row salts derived from the seed — never the
+    builtin ``hash``, whose per-process salting would make admission
+    decisions (and therefore golden benchmark rows) unrepeatable.
+    """
+
+    def __init__(self, width: int, depth: int, seed: int = 42) -> None:
+        if width < 8:
+            raise ValueError(f"width must be >= 8, got {width}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.width = width
+        self.depth = depth
+        self._salts = [
+            zlib.crc32(f"cms.{seed}.{row}".encode()) & 0xFFFFFFFF
+            for row in range(depth)
+        ]
+        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+
+    def _index(self, row: int, key: bytes) -> int:
+        return zlib.crc32(key, self._salts[row]) % self.width
+
+    def add(self, key: bytes) -> None:
+        for row in range(self.depth):
+            self._rows[row][self._index(row, key)] += 1
+
+    def estimate(self, key: bytes) -> int:
+        return min(
+            self._rows[row][self._index(row, key)] for row in range(self.depth)
+        )
+
+    def halve(self) -> None:
+        """Age every counter (TinyLFU's periodic reset keeps the sketch
+        tracking *recent* popularity instead of all-time popularity)."""
+        for row in self._rows:
+            for i, value in enumerate(row):
+                row[i] = value >> 1
+
+
+class TinyLfuAdmission(AdmissionPolicy):
+    """Frequency-based admission: only repeatedly-seen keys reach flash.
+
+    Every set records the key in the sketch; the set is admitted once the
+    key's estimated frequency (including the current access) reaches
+    ``threshold``.  With the default threshold of 2 this is the classic
+    "doorkeeper" behaviour — one-hit wonders are filtered, the second
+    write within an aging window gets through.
+    """
+
+    def __init__(
+        self,
+        width: int = 2048,
+        depth: int = 4,
+        threshold: int = 2,
+        decay_ops: int = 8192,
+        seed: int = 42,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if decay_ops < 1:
+            raise ValueError(f"decay_ops must be >= 1, got {decay_ops}")
+        self.threshold = threshold
+        self.decay_ops = decay_ops
+        self.sketch = CountMinSketch(width, depth, seed)
+        self._ops = 0
+
+    def admit(self, key: bytes, value: bytes) -> bool:
+        seen_before = self.sketch.estimate(key)
+        self.sketch.add(key)
+        self._ops += 1
+        if self._ops % self.decay_ops == 0:
+            self.sketch.halve()
+        return seen_before + 1 >= self.threshold
+
+
+ADMISSION_POLICIES = ("admit-all", "probabilistic", "size-threshold", "tinylfu")
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Declarative admission-policy choice for :class:`CacheConfig`.
+
+    The default (``admit-all``) reproduces the paper's setup exactly;
+    the other policies are selectable per cache instance, which is how
+    the serving sweep gives individual shards/tenant fleets different
+    admission behaviour without bespoke wiring.
+    """
+
+    policy: str = "admit-all"
+    # probabilistic
+    probability: float = 0.5
+    # size-threshold
+    max_value_bytes: int = 64 * 1024
+    # tinylfu
+    tinylfu_width: int = 2048
+    tinylfu_depth: int = 4
+    tinylfu_threshold: int = 2
+    tinylfu_decay_ops: int = 8192
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.policy not in ADMISSION_POLICIES:
+            raise CacheConfigError(
+                f"unknown admission policy {self.policy!r}; expected one of "
+                f"{ADMISSION_POLICIES}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise CacheConfigError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.max_value_bytes <= 0:
+            raise CacheConfigError("max_value_bytes must be positive")
+        if self.tinylfu_threshold < 1 or self.tinylfu_decay_ops < 1:
+            raise CacheConfigError(
+                "tinylfu_threshold and tinylfu_decay_ops must be >= 1"
+            )
+        if self.tinylfu_width < 8 or self.tinylfu_depth < 1:
+            raise CacheConfigError("tinylfu sketch must be at least 8 x 1")
+
+
+def build_admission(config: AdmissionConfig) -> AdmissionPolicy:
+    """Instantiate the policy an :class:`AdmissionConfig` describes."""
+    if config.policy == "admit-all":
+        return AdmitAll()
+    if config.policy == "probabilistic":
+        return ProbabilisticAdmission(config.probability, seed=config.seed)
+    if config.policy == "size-threshold":
+        return SizeThresholdAdmission(config.max_value_bytes)
+    return TinyLfuAdmission(
+        width=config.tinylfu_width,
+        depth=config.tinylfu_depth,
+        threshold=config.tinylfu_threshold,
+        decay_ops=config.tinylfu_decay_ops,
+        seed=config.seed,
+    )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cache.admission import AdmissionConfig
 from repro.errors import CacheConfigError
 from repro.sim.faults import RetryPolicy
 from repro.units import KIB, MIB
@@ -97,6 +98,11 @@ class CacheConfig:
     # AppendFailedError, ZoneResourceError) on reads and region flushes.
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     cpu: CpuCosts = field(default_factory=CpuCosts)
+    # Flash admission policy (default admit-all, the paper's setup).  An
+    # explicit AdmissionPolicy passed to HybridCache still wins; this
+    # field makes the choice declarative so scheme builders and the
+    # serving cluster can select per-instance admission by config alone.
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
 
     def __post_init__(self) -> None:
         if self.region_size <= 0:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.cache.admission import AdmissionPolicy, AdmitAll
+from repro.cache.admission import AdmissionPolicy, build_admission
 from repro.cache.backends.base import RegionStore, WafBreakdown
 from repro.cache.config import CacheConfig
 from repro.cache.index import ShardedIndex
@@ -75,7 +75,9 @@ class HybridCache:
         self._clock = clock
         self.store = store
         self.config = config
-        self.admission = admission if admission is not None else AdmitAll()
+        self.admission = (
+            admission if admission is not None else build_admission(config.admission)
+        )
         self.ram = RamCache(config.ram_bytes)
         self.index = ShardedIndex(config.index_shards)
         # The reclaim window may not exceed an eighth of the region pool:

@@ -65,6 +65,16 @@ def _table2(quick: bool) -> List[dict]:
     return run_table2_cache_sizes()
 
 
+def _serve(quick: bool) -> List[dict]:
+    from repro.bench.experiments import run_serving_sweep
+
+    if quick:
+        return run_serving_sweep(
+            offered_kops=(40.0, 240.0), requests_per_tenant=1_500
+        )
+    return run_serving_sweep()
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
     "fig2": _fig2,
     "fig3": _fig3,
@@ -72,6 +82,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
     "table1": _table1,
     "fig5": _fig5,
     "table2": _table2,
+    "serve": _serve,
 }
 
 TITLES = {
@@ -81,6 +92,7 @@ TITLES = {
     "table1": "Table 1: WA factor vs OP ratio",
     "fig5": "Figure 5: RocksDB with each scheme as secondary cache",
     "table2": "Table 2: Zone-Cache cache-size sweep",
+    "serve": "Serving sweep: offered load vs p99 and shed rate per scheme",
 }
 
 
@@ -111,6 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true",
         help="also render an ASCII chart of each result's shape",
     )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=(
+            "with 'serve': tiny mixed-fleet run (2 shards, 2 tenants, "
+            "~2k requests) used as the CI smoke test"
+        ),
+    )
     return parser
 
 
@@ -132,6 +151,17 @@ def _plot_for(name: str, rows: List[dict]) -> str:
     if name == "fig3":
         large = [r["fill_time_us"] for r in rows if r["series"] == "large_region"]
         return line_plot(large, title="large-region fill time (us) per sequence")
+    if name == "serve":
+        web = [
+            {**r, "load": f"{r['scheme']}@{r['offered_total_kops']:g}k"}
+            for r in rows
+            if r.get("tenant") == "web" and "offered_total_kops" in r
+        ]
+        if not web:
+            return ""
+        return scheme_bars(
+            web, "p99_us", label_key="load", title="web tenant p99 (us)"
+        )
     return ""
 
 
@@ -142,7 +172,12 @@ def run(argv: Optional[List[str]] = None) -> int:
     for name in names:
         started = time.time()
         print(f"running {name} ...", flush=True)
-        rows = EXPERIMENTS[name](args.quick)
+        if name == "serve" and args.smoke:
+            from repro.bench.experiments import run_serving_smoke
+
+            rows = run_serving_smoke()
+        else:
+            rows = EXPERIMENTS[name](args.quick)
         elapsed = time.time() - started
         shown = rows[: args.max_rows]
         print(format_table(shown, title=TITLES[name]))

@@ -12,6 +12,15 @@ class ReproError(Exception):
     """Base class for every error raised by this library."""
 
 
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration of any subsystem.
+
+    Subclasses :class:`ValueError` so long-standing callers (and tests)
+    that guard configuration mistakes with ``except ValueError`` keep
+    working while new code can catch the typed error precisely.
+    """
+
+
 class RetryableError(ReproError):
     """Mixin marking transient failures.
 
@@ -134,7 +143,7 @@ class CacheError(ReproError):
     """Base class for cache-engine errors."""
 
 
-class CacheConfigError(CacheError):
+class CacheConfigError(CacheError, ConfigError):
     """Invalid cache configuration (sizes, ratios, backend mismatch)."""
 
 

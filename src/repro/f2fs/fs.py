@@ -328,7 +328,15 @@ class F2fs:
         i = 0
         while i < len(addresses):
             j = i
-            while j + 1 < len(addresses) and addresses[j + 1] == addresses[j] + 1:
+            # Contiguous addresses may continue into the physically
+            # adjacent section when a log head rolls over; a zone can only
+            # be written through its own write pointer, so a run must
+            # break at every section (= zone) boundary.
+            while (
+                j + 1 < len(addresses)
+                and addresses[j + 1] == addresses[j] + 1
+                and self.layout.block_offset_in_section(addresses[j + 1]) != 0
+            ):
                 j += 1
             run = addresses[i : j + 1]
             device_offset = self.layout.device_offset(run[0])
@@ -355,7 +363,13 @@ class F2fs:
         attempts = 0
         while i < len(final):
             j = i
-            while j + 1 < len(final) and final[j + 1] == final[j] + 1:
+            # Same section-boundary split as _write_blocks: a run that
+            # rolled into the adjacent section is two zone writes.
+            while (
+                j + 1 < len(final)
+                and final[j + 1] == final[j] + 1
+                and self.layout.block_offset_in_section(final[j + 1]) != 0
+            ):
                 j += 1
             payload = data[i * block_size : (j + 1) * block_size]
             try:

@@ -1,0 +1,50 @@
+"""`repro.serve` — sharded, multi-tenant cache serving with QoS.
+
+The paper (and the seed reproduction) evaluates each scheme as a single
+cache instance under a closed-loop driver.  This package adds the layer
+a production fleet needs on top: a :class:`CacheCluster` sharding keys
+across N scheme stacks via consistent hashing, open-loop tenants with
+Poisson/diurnal/burst arrival processes, and a QoS layer — token-bucket
+rate limits, bounded shard queues, and load shedding — so overload
+produces rejected requests with bounded p99 instead of unbounded queue
+growth.  Everything is discrete-event over the existing virtual clocks:
+service times come from the full simulated device stack, so serving
+queueing composes with NAND latency, GC interference, and faults.
+
+Determinism contract: seeded RNGs only, CRC-based hashing only, one
+event heap with a stable tiebreak — the same configs yield
+byte-identical reports (locked by the serving golden test).
+"""
+
+from repro.serve.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    BurstArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+from repro.serve.cluster import CacheCluster, Shard, ShardSpec
+from repro.serve.hashing import ConsistentHashRing, hash32
+from repro.serve.qos import SloTracker, TokenBucket
+from repro.serve.server import Server, ServerConfig, ServingReport
+from repro.serve.tenant import Tenant, TenantConfig
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "BurstArrivals",
+    "CacheCluster",
+    "ConsistentHashRing",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "Server",
+    "ServerConfig",
+    "ServingReport",
+    "Shard",
+    "ShardSpec",
+    "SloTracker",
+    "Tenant",
+    "TenantConfig",
+    "TokenBucket",
+    "hash32",
+]

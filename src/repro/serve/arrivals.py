@@ -1,0 +1,132 @@
+"""Open-loop arrival processes for the serving layer.
+
+The closed-loop CacheBench driver issues the next request only after the
+previous one completes, so it can never overload anything.  Production
+traffic does not wait: requests arrive on their own schedule, queues
+grow when the device falls behind, and tail latency explodes past the
+saturation knee.  These processes model that schedule.
+
+All of them draw inter-arrival gaps from one seeded
+:class:`~repro.workloads.distributions.ExponentialSampler`, so the
+diurnal and bursty variants are Poisson streams with a deterministic
+time-varying rate — the standard thinning-free construction for a
+simulation that only ever asks "when is the *next* arrival?".
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.errors import ConfigError
+from repro.workloads.distributions import ExponentialSampler
+
+
+class ArrivalProcess(abc.ABC):
+    """Produces the next arrival timestamp given the current one."""
+
+    @abc.abstractmethod
+    def next_arrival_ns(self, now_ns: int) -> int:
+        """Virtual time of the next arrival strictly after ``now_ns``."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a fixed mean rate."""
+
+    def __init__(self, rate_ops_per_sec: float, seed: int = 1) -> None:
+        if rate_ops_per_sec <= 0:
+            raise ConfigError(
+                f"rate_ops_per_sec must be positive, got {rate_ops_per_sec}"
+            )
+        self.rate_ops_per_sec = rate_ops_per_sec
+        self._gaps = ExponentialSampler(rate_ops_per_sec, seed)
+
+    def next_arrival_ns(self, now_ns: int) -> int:
+        return now_ns + self._gaps.sample()
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Poisson arrivals whose rate swings sinusoidally around a mean.
+
+    ``amplitude`` in [0, 1) scales the swing: the instantaneous rate is
+    ``base * (1 + amplitude * sin(2*pi*t/period))``, the compressed
+    day/night cycle of a user-facing cache fleet.
+    """
+
+    def __init__(
+        self,
+        rate_ops_per_sec: float,
+        amplitude: float = 0.5,
+        period_s: float = 1.0,
+        seed: int = 1,
+    ) -> None:
+        if rate_ops_per_sec <= 0:
+            raise ConfigError(
+                f"rate_ops_per_sec must be positive, got {rate_ops_per_sec}"
+            )
+        if not 0.0 <= amplitude < 1.0:
+            raise ConfigError(f"amplitude must be in [0, 1), got {amplitude}")
+        if period_s <= 0:
+            raise ConfigError(f"period_s must be positive, got {period_s}")
+        self.rate_ops_per_sec = rate_ops_per_sec
+        self.amplitude = amplitude
+        self.period_ns = int(period_s * 1e9)
+        self._gaps = ExponentialSampler(rate_ops_per_sec, seed)
+
+    def rate_at(self, now_ns: int) -> float:
+        phase = 2.0 * math.pi * (now_ns % self.period_ns) / self.period_ns
+        return self.rate_ops_per_sec * (1.0 + self.amplitude * math.sin(phase))
+
+    def next_arrival_ns(self, now_ns: int) -> int:
+        return now_ns + self._gaps.sample_at(self.rate_at(now_ns))
+
+
+class BurstArrivals(ArrivalProcess):
+    """On/off (interrupted Poisson) arrivals: bursts at a multiplied rate.
+
+    During the on-phase the rate is ``base * burst_factor``; during the
+    off-phase it drops so the *mean* over a full cycle equals ``base``
+    (offered load comparisons against a plain Poisson tenant stay fair).
+    The off-rate floor keeps the stream from stalling entirely.
+    """
+
+    def __init__(
+        self,
+        rate_ops_per_sec: float,
+        burst_factor: float = 4.0,
+        on_s: float = 0.02,
+        off_s: float = 0.08,
+        seed: int = 1,
+    ) -> None:
+        if rate_ops_per_sec <= 0:
+            raise ConfigError(
+                f"rate_ops_per_sec must be positive, got {rate_ops_per_sec}"
+            )
+        if burst_factor < 1.0:
+            raise ConfigError(f"burst_factor must be >= 1, got {burst_factor}")
+        if on_s <= 0 or off_s < 0:
+            raise ConfigError("on_s must be positive and off_s non-negative")
+        self.rate_ops_per_sec = rate_ops_per_sec
+        self.burst_factor = burst_factor
+        self.on_ns = int(on_s * 1e9)
+        self.off_ns = int(off_s * 1e9)
+        cycle = on_s + off_s
+        # Solve on_rate*on + off_rate*off = base*cycle with the burst
+        # multiplier applied to the on-phase.
+        self.on_rate = rate_ops_per_sec * burst_factor
+        if off_s > 0:
+            off_rate = (rate_ops_per_sec * cycle - self.on_rate * on_s) / off_s
+            self.off_rate = max(off_rate, rate_ops_per_sec * 0.01)
+        else:
+            self.off_rate = self.on_rate
+        self._gaps = ExponentialSampler(rate_ops_per_sec, seed)
+
+    def rate_at(self, now_ns: int) -> float:
+        cycle_ns = self.on_ns + self.off_ns
+        return self.on_rate if (now_ns % cycle_ns) < self.on_ns else self.off_rate
+
+    def next_arrival_ns(self, now_ns: int) -> int:
+        return now_ns + self._gaps.sample_at(self.rate_at(now_ns))
+
+
+ARRIVAL_KINDS = ("poisson", "diurnal", "burst")

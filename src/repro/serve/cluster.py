@@ -1,0 +1,169 @@
+"""Sharded cache cluster: N independent scheme stacks behind one ring.
+
+Each shard is a complete :class:`~repro.bench.schemes.SchemeStack` — its
+own device, translation stack, and :class:`HybridCache` — on its own
+virtual clock, exactly as fleet machines own their SSDs.  Mixed fleets
+are first-class: every shard names its scheme, so a cluster can run
+Zone-Cache next to Block-Cache on matched NAND and the serving sweep can
+compare them under identical tenant traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.schemes import SCHEME_NAMES, SchemeScale, SchemeStack, build_scheme
+from repro.errors import ConfigError
+from repro.serve.hashing import ConsistentHashRing
+from repro.sim.clock import SimClock
+from repro.units import MIB
+from repro.workloads.cachebench import CacheOp
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Hardware + scheme shape of one shard."""
+
+    scheme: str
+    media_bytes: int
+    cache_bytes: Optional[int] = None  # None → Zone-Cache caches it all
+    file_media_bytes: Optional[int] = None
+    cache_overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEME_NAMES:
+            raise ConfigError(
+                f"unknown scheme {self.scheme!r}; expected one of {SCHEME_NAMES}"
+            )
+        if self.media_bytes <= 0:
+            raise ConfigError("media_bytes must be positive")
+
+
+class Shard:
+    """One serving shard: a scheme stack plus its service-queue state.
+
+    The shard is a serial server (one request in service at a time, as
+    navy's per-region-buffer write path is): ``queue`` holds admitted
+    requests waiting for service, ``busy`` marks an in-flight one.  The
+    event loop in :mod:`repro.serve.server` owns the transitions.
+    """
+
+    def __init__(self, index: int, name: str, stack: SchemeStack) -> None:
+        self.index = index
+        self.name = name
+        self.stack = stack
+        # Building the stack costs simulated time (zone resets, formatting)
+        # that varies per scheme; serving starts *after* that, so fleet
+        # time 0 maps to this local clock value, not to local 0.
+        self.epoch_ns = stack.clock.now
+        self.queue: Deque[Tuple[int, int, CacheOp]] = deque()
+        self.busy = False
+        self.served = 0
+        self.shed_queue_full = 0
+        self.busy_ns = 0
+
+    @property
+    def clock(self) -> SimClock:
+        return self.stack.clock
+
+    def to_local(self, fleet_ns: int) -> int:
+        return self.epoch_ns + fleet_ns
+
+    def to_fleet(self, local_ns: int) -> int:
+        return local_ns - self.epoch_ns
+
+    def utilization(self) -> float:
+        elapsed = self.clock.now - self.epoch_ns
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_ns / elapsed
+
+    def row(self) -> Dict[str, object]:
+        """Rectangular per-shard summary row."""
+        cache = self.stack.cache
+        waf = cache.waf()
+        return {
+            "shard": self.name,
+            "scheme": self.stack.name,
+            "served": self.served,
+            "shed_queue_full": self.shed_queue_full,
+            "queue_depth_end": len(self.queue),
+            "util": self.utilization(),
+            "hit_ratio": cache.stats.hit_ratio,
+            "waf_app": waf.app,
+            "waf_device": waf.device,
+            "cache_mib": cache.config.flash_bytes / MIB,
+        }
+
+
+class CacheCluster:
+    """Shards + the consistent-hash ring that routes keys to them."""
+
+    def __init__(
+        self,
+        specs: Sequence[ShardSpec],
+        scale: Optional[SchemeScale] = None,
+        vnodes: int = 128,
+    ) -> None:
+        if not specs:
+            raise ConfigError("cluster needs at least one shard")
+        self.scale = scale if scale is not None else SchemeScale()
+        self.shards: List[Shard] = []
+        for index, spec in enumerate(specs):
+            name = f"shard{index}"
+            stack = build_scheme(
+                spec.scheme,
+                SimClock(),
+                self.scale,
+                spec.media_bytes,
+                spec.cache_bytes,
+                file_media_bytes=spec.file_media_bytes,
+                **dict(spec.cache_overrides),
+            )
+            self.shards.append(Shard(index, name, stack))
+        self._by_name = {shard.name: shard for shard in self.shards}
+        self.ring = ConsistentHashRing([s.name for s in self.shards], vnodes=vnodes)
+
+    @classmethod
+    def homogeneous(
+        cls,
+        scheme: str,
+        num_shards: int,
+        media_bytes: int,
+        cache_bytes: Optional[int] = None,
+        file_media_bytes: Optional[int] = None,
+        scale: Optional[SchemeScale] = None,
+        cache_overrides: Tuple[Tuple[str, object], ...] = (),
+        vnodes: int = 128,
+    ) -> "CacheCluster":
+        """The common case: N identical shards of one scheme."""
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        spec = ShardSpec(
+            scheme=scheme,
+            media_bytes=media_bytes,
+            cache_bytes=cache_bytes,
+            file_media_bytes=file_media_bytes,
+            cache_overrides=cache_overrides,
+        )
+        return cls([spec] * num_shards, scale=scale, vnodes=vnodes)
+
+    def shard_for(self, key: bytes) -> Shard:
+        return self._by_name[self.ring.node_for(key)]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def max_clock_ns(self) -> int:
+        """Latest shard time in fleet terms (construction cost excluded)."""
+        return max(shard.to_fleet(shard.clock.now) for shard in self.shards)
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [shard.row() for shard in self.shards]
+
+    def __repr__(self) -> str:
+        schemes = {shard.stack.name for shard in self.shards}
+        return f"CacheCluster(shards={len(self.shards)}, schemes={sorted(schemes)})"

@@ -1,0 +1,180 @@
+"""Event-driven serving loop: open-loop tenants against a shard fleet.
+
+This is a discrete-event simulation layered on the same virtual clocks
+the rest of the reproduction uses.  Tenants emit arrivals on their own
+schedule (open loop — nothing waits for completions); each arrival is
+rate-limit checked, routed by consistent hash, and either queued at its
+shard or shed.  Shards are serial servers whose *service time* is the
+full simulated cost of the cache operation — CPU charges, device
+queueing, GC interference — so serving-level queueing delay composes
+with NAND-level latency instead of replacing it.
+
+Determinism: one binary heap ordered by (virtual time, insertion seq),
+all randomness behind seeded RNGs, no wall clock anywhere.  The same
+configs produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.serve.cluster import CacheCluster, Shard
+from repro.serve.tenant import Tenant, TenantConfig
+from repro.units import SEC
+
+_ARRIVAL = 0
+_DONE = 1
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Fleet-level serving knobs."""
+
+    # Bounded per-shard service queue: the load-shedding backstop.  An
+    # arrival finding the queue full is rejected, so queue delay — and
+    # therefore p99 — stays bounded while shed rate absorbs the overload.
+    max_queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ConfigError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+
+
+@dataclass
+class ServingReport:
+    """Everything one serving run measured."""
+
+    tenant_rows: List[Dict[str, object]]
+    shard_rows: List[Dict[str, object]]
+    sim_seconds: float
+    offered: int
+    completed: int
+    shed: int
+
+    @property
+    def shed_rate(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered
+
+
+class Server:
+    """Runs tenants' open-loop streams to completion over a cluster."""
+
+    def __init__(
+        self,
+        cluster: CacheCluster,
+        tenants: Sequence[TenantConfig],
+        config: ServerConfig = ServerConfig(),
+    ) -> None:
+        if not tenants:
+            raise ConfigError("server needs at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"tenant names must be unique, got {names}")
+        self.cluster = cluster
+        self.config = config
+        self.tenants = [Tenant(t) for t in tenants]
+        self._heap: List[Tuple[int, int, int, int]] = []
+        self._seq = 0
+        self._end_ns = 0
+
+    # --- event plumbing -----------------------------------------------------
+
+    def _push(self, time_ns: int, kind: int, index: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time_ns, self._seq, kind, index))
+
+    # --- main loop ----------------------------------------------------------
+
+    def run(self) -> ServingReport:
+        for index, tenant in enumerate(self.tenants):
+            if tenant.budget > 0:
+                self._push(tenant.arrivals.next_arrival_ns(0), _ARRIVAL, index)
+        while self._heap:
+            time_ns, _seq, kind, index = heapq.heappop(self._heap)
+            if kind == _ARRIVAL:
+                self._on_arrival(time_ns, index)
+            else:
+                self._on_done(time_ns, self.cluster.shards[index])
+        return self._report()
+
+    def _on_arrival(self, now_ns: int, tenant_index: int) -> None:
+        tenant = self.tenants[tenant_index]
+        op = tenant.next_op()
+        if tenant.issued < tenant.budget:
+            self._push(
+                tenant.arrivals.next_arrival_ns(now_ns), _ARRIVAL, tenant_index
+            )
+        tenant.slo.record_offered()
+        key = tenant.key_for(op)
+        shard = self.cluster.shard_for(key)
+        tracer = shard.stack.cache.store.tracer
+        if tenant.bucket is not None and not tenant.bucket.try_take(now_ns):
+            tenant.slo.record_shed("rate_limited")
+            tracer.emit_event("serve.qos", "shed_rate_limit", offset=shard.index)
+            return
+        if len(shard.queue) >= self.config.max_queue_depth:
+            tenant.slo.record_shed("queue_full")
+            shard.shed_queue_full += 1
+            tracer.emit_event("serve.qos", "shed_queue_full", offset=shard.index)
+            return
+        shard.queue.append((now_ns, tenant_index, op))
+        if not shard.busy:
+            self._start_service(now_ns, shard)
+
+    def _start_service(self, now_ns: int, shard: Shard) -> None:
+        arrival_ns, tenant_index, op = shard.queue.popleft()
+        tenant = self.tenants[tenant_index]
+        shard.busy = True
+        # The shard's device clock catches up to the fleet's event time
+        # (translated onto the shard's own epoch — stack construction cost
+        # is not serving time): idle gaps between arrivals really are idle,
+        # then the op runs at full simulated cost.
+        shard.clock.advance_to(shard.to_local(now_ns))
+        start_ns = shard.clock.now
+        tracer = shard.stack.cache.store.tracer
+        with tracer.span("serve", op.kind, offset=shard.index):
+            hit = tenant.driver.apply_op(
+                shard.stack.cache, op, key_prefix=tenant.key_prefix
+            )
+        shard.served += 1
+        shard.busy_ns += shard.clock.now - start_ns
+        done_ns = shard.to_fleet(shard.clock.now)
+        tenant.slo.record_completion(
+            done_ns - arrival_ns, is_get=(op.kind == "get"), hit=hit
+        )
+        self._end_ns = max(self._end_ns, done_ns)
+        self._push(done_ns, _DONE, shard.index)
+
+    def _on_done(self, now_ns: int, shard: Shard) -> None:
+        shard.busy = False
+        if shard.queue:
+            self._start_service(now_ns, shard)
+
+    # --- reporting ----------------------------------------------------------
+
+    def _report(self) -> ServingReport:
+        elapsed_s = self._end_ns / SEC
+        tenant_rows = []
+        for tenant in self.tenants:
+            row = tenant.slo.row(elapsed_s)
+            row["arrival"] = tenant.config.arrival
+            row["offered_kops"] = tenant.config.rate_ops_per_sec / 1000
+            tenant_rows.append(row)
+        offered = sum(t.slo.offered for t in self.tenants)
+        completed = sum(t.slo.completed for t in self.tenants)
+        shed = sum(t.slo.shed for t in self.tenants)
+        return ServingReport(
+            tenant_rows=tenant_rows,
+            shard_rows=self.cluster.rows(),
+            sim_seconds=elapsed_s,
+            offered=offered,
+            completed=completed,
+            shed=shed,
+        )

@@ -1,0 +1,129 @@
+"""Tenant model: a named request stream with its own workload and QoS.
+
+Each tenant owns a keyspace (namespaced by a key prefix), an op mix
+(reusing :class:`~repro.workloads.cachebench.CacheBenchConfig` so the
+serving path and the closed-loop driver stay comparable op-for-op), an
+open-loop arrival process, an optional token-bucket rate limit, and an
+SLO target the tracker scores completions against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.serve.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    BurstArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+from repro.serve.qos import SloTracker, TokenBucket
+from repro.workloads.cachebench import CacheBenchConfig, CacheBenchDriver, CacheOp
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's traffic contract.
+
+    ``workload.num_ops`` is the tenant's request budget for the run;
+    ``rate_ops_per_sec`` its offered (open-loop) rate.  A
+    ``rate_limit_ops_per_sec`` of 0 disables the token bucket (the
+    parity configuration against the closed-loop driver).
+    """
+
+    name: str
+    rate_ops_per_sec: float = 50_000.0
+    arrival: str = "poisson"
+    diurnal_amplitude: float = 0.5
+    diurnal_period_s: float = 0.2
+    burst_factor: float = 4.0
+    burst_on_s: float = 0.02
+    burst_off_s: float = 0.08
+    workload: CacheBenchConfig = field(default_factory=CacheBenchConfig)
+    # None → derived from the name; pass b"" explicitly to share the
+    # closed-loop driver's exact key bytes (single-tenant parity runs).
+    key_prefix: Optional[bytes] = None
+    slo_p99_ms: float = 5.0
+    rate_limit_ops_per_sec: float = 0.0
+    rate_limit_burst: float = 64.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if self.rate_ops_per_sec <= 0:
+            raise ConfigError(
+                f"rate_ops_per_sec must be positive, got {self.rate_ops_per_sec}"
+            )
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ConfigError(
+                f"unknown arrival kind {self.arrival!r}; expected one of "
+                f"{ARRIVAL_KINDS}"
+            )
+        if self.slo_p99_ms <= 0:
+            raise ConfigError(f"slo_p99_ms must be positive, got {self.slo_p99_ms}")
+        if self.rate_limit_ops_per_sec < 0:
+            raise ConfigError("rate_limit_ops_per_sec must be non-negative")
+
+    @property
+    def effective_key_prefix(self) -> bytes:
+        if self.key_prefix is not None:
+            return self.key_prefix
+        return f"{self.name}:".encode()
+
+
+class Tenant:
+    """Runtime state of one tenant inside a serving run."""
+
+    def __init__(self, config: TenantConfig) -> None:
+        self.config = config
+        self.key_prefix = config.effective_key_prefix
+        self.driver = CacheBenchDriver(config.workload)
+        self.arrivals = self._make_arrivals(config)
+        self.bucket: Optional[TokenBucket] = None
+        if config.rate_limit_ops_per_sec > 0:
+            self.bucket = TokenBucket(
+                config.rate_limit_ops_per_sec, config.rate_limit_burst
+            )
+        self.slo = SloTracker(config.name, int(config.slo_p99_ms * 1e6))
+        self.issued = 0
+
+    @staticmethod
+    def _make_arrivals(config: TenantConfig) -> ArrivalProcess:
+        if config.arrival == "poisson":
+            return PoissonArrivals(config.rate_ops_per_sec, seed=config.seed)
+        if config.arrival == "diurnal":
+            return DiurnalArrivals(
+                config.rate_ops_per_sec,
+                amplitude=config.diurnal_amplitude,
+                period_s=config.diurnal_period_s,
+                seed=config.seed,
+            )
+        return BurstArrivals(
+            config.rate_ops_per_sec,
+            burst_factor=config.burst_factor,
+            on_s=config.burst_on_s,
+            off_s=config.burst_off_s,
+            seed=config.seed,
+        )
+
+    @property
+    def budget(self) -> int:
+        """Total requests this tenant offers over the run."""
+        return self.config.workload.num_ops
+
+    def next_op(self) -> CacheOp:
+        self.issued += 1
+        return self.driver.next_op()
+
+    def key_for(self, op: CacheOp) -> bytes:
+        return self.key_prefix + self.driver.key_bytes(op.key_index)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tenant({self.config.name!r}, rate={self.config.rate_ops_per_sec}/s, "
+            f"issued={self.issued}/{self.budget})"
+        )

@@ -10,6 +10,7 @@
 """
 
 from repro.workloads.distributions import (
+    ExponentialSampler,
     ExpRangeSampler,
     UniformSampler,
     ZipfSampler,
@@ -18,15 +19,18 @@ from repro.workloads.distributions import (
 from repro.workloads.cachebench import (
     CacheBenchConfig,
     CacheBenchDriver,
+    CacheOp,
     WorkloadResult,
 )
 from repro.workloads.dbbench import DbBenchConfig, DbBenchDriver, DbBenchResult
 
 __all__ = [
+    "ExponentialSampler",
     "ExpRangeSampler",
     "UniformSampler",
     "ZipfSampler",
     "ValueSizeSampler",
+    "CacheOp",
     "CacheBenchConfig",
     "CacheBenchDriver",
     "WorkloadResult",

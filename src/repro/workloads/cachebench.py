@@ -11,9 +11,10 @@ minute), hit ratio, WAF breakdown, and latency percentiles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.cache.engine import HybridCache
+from repro.errors import ConfigError
 from repro.sim.rng import make_rng
 from repro.workloads.distributions import (
     UniformSampler,
@@ -33,8 +34,8 @@ class CacheBenchConfig:
     delete_ratio: float = 0.20
     zipf_theta: float = 0.9
     key_size: int = 16
-    value_sizes: tuple = (512, 1024, 2048, 4096)
-    value_weights: tuple = (2.0, 4.0, 3.0, 1.0)
+    value_sizes: Tuple[int, ...] = (512, 1024, 2048, 4096)
+    value_weights: Tuple[float, ...] = (2.0, 4.0, 3.0, 1.0)
     warmup_ops: int = 0
     set_on_miss: bool = False
     # Deletes model invalidations of *stale* content: they sample
@@ -48,11 +49,39 @@ class CacheBenchConfig:
     def __post_init__(self) -> None:
         total = self.get_ratio + self.set_ratio + self.delete_ratio
         if abs(total - 1.0) > 1e-9:
-            raise ValueError(f"op ratios must sum to 1.0, got {total}")
+            raise ConfigError(f"op ratios must sum to 1.0, got {total}")
         if self.num_ops < 1 or self.num_keys < 1:
-            raise ValueError("num_ops and num_keys must be >= 1")
+            raise ConfigError("num_ops and num_keys must be >= 1")
         if self.key_size < 4:
-            raise ValueError("key_size must be >= 4")
+            raise ConfigError("key_size must be >= 4")
+        validate_value_distribution(self.value_sizes, self.value_weights)
+
+
+def validate_value_distribution(
+    sizes: Tuple[int, ...], weights: Tuple[float, ...]
+) -> None:
+    """Reject malformed value-size distributions at config time.
+
+    The samplers would eventually fail on these, but deep inside a run
+    with an unhelpful traceback; benchmark configs validate up front.
+    """
+    if not sizes:
+        raise ConfigError("value_sizes must not be empty")
+    for size in sizes:
+        if not isinstance(size, int) or isinstance(size, bool) or size <= 0:
+            raise ConfigError(f"value_sizes must be positive ints, got {size!r}")
+    if weights:
+        if len(weights) != len(sizes):
+            raise ConfigError(
+                f"value_weights length {len(weights)} != value_sizes "
+                f"length {len(sizes)}"
+            )
+        for weight in weights:
+            if not isinstance(weight, (int, float)) or isinstance(weight, bool) \
+                    or weight <= 0:
+                raise ConfigError(
+                    f"value_weights must be positive numbers, got {weight!r}"
+                )
 
 
 @dataclass
@@ -80,6 +109,21 @@ class WorkloadResult:
     @property
     def waf_total(self) -> float:
         return self.waf_app * self.waf_device
+
+
+@dataclass(frozen=True)
+class CacheOp:
+    """One generated operation, decoupled from its execution.
+
+    The closed-loop driver applies each op immediately; the serving
+    layer generates ops at arrival time and applies them when a shard's
+    queue drains.  Value bytes are materialized at *apply* time so the
+    size-sampler RNG stream is identical in both modes (ops that get
+    shed never draw from it).
+    """
+
+    kind: str  # "get" | "set" | "delete"
+    key_index: int
 
 
 class CacheBenchDriver:
@@ -138,30 +182,46 @@ class CacheBenchDriver:
             },
         )
 
-    def _one_op(self, cache: HybridCache) -> None:
+    def next_op(self) -> CacheOp:
+        """Draw the next operation of the mix without executing it."""
         draw = self._ops_rng.random()
         config = self.config
         if draw < config.get_ratio:
-            key_index = self._keys.sample()
-            key = self.key_bytes(key_index)
-            value = cache.get(key)
-            if value is None and config.set_on_miss:
-                cache.set(key, self.value_bytes(key_index, self._sizes.sample()))
-        elif draw < config.get_ratio + config.set_ratio:
-            key_index = self._keys.sample()
-            cache.set(
-                self.key_bytes(key_index),
-                self.value_bytes(key_index, self._sizes.sample()),
+            return CacheOp("get", self._keys.sample())
+        if draw < config.get_ratio + config.set_ratio:
+            return CacheOp("set", self._keys.sample())
+        if config.delete_uniform:
+            first_cold_rank = int(
+                config.num_keys * (1.0 - config.delete_cold_fraction)
             )
+            rank = first_cold_rank + self._delete_keys.sample() % max(
+                1, config.num_keys - first_cold_rank
+            )
+            key_index = self._keys.key_of_rank(rank)
         else:
-            if config.delete_uniform:
-                first_cold_rank = int(
-                    config.num_keys * (1.0 - config.delete_cold_fraction)
-                )
-                rank = first_cold_rank + self._delete_keys.sample() % max(
-                    1, config.num_keys - first_cold_rank
-                )
-                key_index = self._keys.key_of_rank(rank)
-            else:
-                key_index = self._keys.sample()
-            cache.delete(self.key_bytes(key_index))
+            key_index = self._keys.sample()
+        return CacheOp("delete", key_index)
+
+    def apply_op(
+        self, cache: HybridCache, op: CacheOp, key_prefix: bytes = b""
+    ) -> bool:
+        """Execute a generated op; returns True for a get that hit.
+
+        ``key_prefix`` namespaces the keyspace (the serving layer gives
+        each tenant a distinct prefix); with the default empty prefix the
+        byte stream is identical to the closed-loop driver's.
+        """
+        key = key_prefix + self.key_bytes(op.key_index)
+        if op.kind == "get":
+            value = cache.get(key)
+            if value is None and self.config.set_on_miss:
+                cache.set(key, self.value_bytes(op.key_index, self._sizes.sample()))
+            return value is not None
+        if op.kind == "set":
+            cache.set(key, self.value_bytes(op.key_index, self._sizes.sample()))
+            return False
+        cache.delete(key)
+        return False
+
+    def _one_op(self, cache: HybridCache) -> None:
+        self.apply_op(cache, self.next_op())

@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.bench.schemes import SchemeScale, SchemeStack, build_scheme
+from repro.bench.schemes import SCHEME_NAMES, SchemeScale, SchemeStack, build_scheme
+from repro.errors import ConfigError
 from repro.flash.hdd import HddConfig, HddDevice
 from repro.lsm.db import Db, DbConfig, DbStats
 from repro.lsm.secondary import CacheLibSecondaryCache
@@ -49,11 +50,17 @@ class DbBenchConfig:
 
     def __post_init__(self) -> None:
         if self.num_keys < 1 or self.num_reads < 1:
-            raise ValueError("num_keys and num_reads must be >= 1")
+            raise ConfigError("num_keys and num_reads must be >= 1")
         if self.key_size < 8 or self.value_size < 1:
-            raise ValueError("key_size must be >= 8 and value_size >= 1")
+            raise ConfigError("key_size must be >= 8 and value_size >= 1")
+        if not isinstance(self.value_size, int) or isinstance(self.value_size, bool):
+            raise ConfigError(f"value_size must be an int, got {self.value_size!r}")
         if self.cache_zones < 1:
-            raise ValueError("cache_zones must be >= 1")
+            raise ConfigError("cache_zones must be >= 1")
+        if self.scheme not in SCHEME_NAMES:
+            raise ConfigError(
+                f"unknown scheme {self.scheme!r}; expected one of {SCHEME_NAMES}"
+            )
 
 
 @dataclass

@@ -96,6 +96,34 @@ class ExpRangeSampler:
         return (index * 0x9E3779B1) % self.num_keys
 
 
+class ExponentialSampler:
+    """Exponential inter-arrival gaps for open-loop (Poisson) traffic.
+
+    ``sample()`` returns one gap in nanoseconds at the given rate;
+    ``sample_at(rate)`` draws at a caller-supplied instantaneous rate,
+    which is how the serving layer's diurnal/burst arrival processes
+    modulate a base Poisson stream without a second RNG.
+    """
+
+    def __init__(self, rate_per_sec: float, seed: int = 1) -> None:
+        if rate_per_sec <= 0:
+            raise ValueError(f"rate_per_sec must be positive, got {rate_per_sec}")
+        self.rate_per_sec = rate_per_sec
+        self._rng = make_rng(seed, "exponential")
+
+    def sample(self) -> int:
+        return self.sample_at(self.rate_per_sec)
+
+    def sample_at(self, rate_per_sec: float) -> int:
+        """One inter-arrival gap (ns) at ``rate_per_sec`` requests/s."""
+        if rate_per_sec <= 0:
+            raise ValueError(f"rate_per_sec must be positive, got {rate_per_sec}")
+        gap_seconds = self._rng.expovariate(rate_per_sec)
+        # At least 1 ns so two arrivals never share a timestamp and the
+        # event order stays well-defined.
+        return max(1, int(gap_seconds * 1e9))
+
+
 class ValueSizeSampler:
     """Discrete value-size distribution (sizes with relative weights)."""
 
