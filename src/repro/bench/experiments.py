@@ -52,6 +52,7 @@ def _run_mix(
     }
     row.update(_device_columns(stack))
     row.update(_fault_columns(stack))
+    row.update(_gc_columns(stack))
     return row
 
 
@@ -91,6 +92,48 @@ def _device_columns(stack: SchemeStack) -> Dict[str, object]:
         "dev_util": pool.utilization(stack.clock.now),
         "io_channels": pool.config.channels,
         "io_queue_depth": pool.config.queue_depth,
+    }
+
+
+def _reclaim_engine(stack: SchemeStack):
+    """``(layer_name, engine)`` for the scheme's reclamation engine.
+
+    Zone-Cache returns ``("none", None)``: it has no device-side
+    reclamation — the paper's premise — so its gc_* columns are zeros.
+    """
+    layer = stack.substrate.get("layer")
+    if layer is not None:
+        return "ztl", layer.gc.engine
+    fs = stack.substrate.get("fs")
+    if fs is not None:
+        return "f2fs", fs.cleaner.engine
+    ftl = getattr(stack.substrate.get("device"), "ftl", None)
+    if ftl is not None:
+        return "ftl", ftl.reclaim
+    return "none", None
+
+
+def _gc_columns(stack: SchemeStack) -> Dict[str, object]:
+    """Uniform reclamation columns — the ``gc_*`` family (EXPERIMENTS.md).
+
+    Read off the scheme's :class:`~repro.reclaim.ReclaimEngine` whichever
+    layer owns it, plus the cache's own region-eviction stats.  Always
+    present so mixed-scheme tables stay rectangular.
+    """
+    layer_name, engine = _reclaim_engine(stack)
+    stats = engine.stats if engine is not None else None
+    cache_stats = stack.cache.regions.reclaim_stats
+    return {
+        "gc_layer": layer_name,
+        "gc_policy": engine.policy.name if engine is not None else "none",
+        "gc_victims": stats.victims_reclaimed if stats is not None else 0,
+        "gc_migrated_units": stats.units_migrated if stats is not None else 0,
+        "gc_dropped_units": stats.units_dropped if stats is not None else 0,
+        "gc_copied_bytes": stats.copied_bytes if stats is not None else 0,
+        "gc_triggers": stats.triggers if stats is not None else 0,
+        "gc_stall_us_p99": stats.stall_us_p99 if stats is not None else 0.0,
+        "gc_cache_evictions": cache_stats.victims_reclaimed,
+        "gc_cache_dropped_keys": cache_stats.units_dropped,
     }
 
 
@@ -664,3 +707,213 @@ def run_table2_cache_sizes(
             }
         )
     return rows
+
+
+# --------------------------------------------------------------------------
+# GC ablation — victim policy × watermark × pacing on the reclaim engine
+# --------------------------------------------------------------------------
+
+def _gc_reclaim_overrides(
+    name: str, policy: str, watermark_scale: int, pace: int, zones_per_shard: int
+) -> tuple:
+    """``cache_overrides`` entries carrying one sweep combo's reclaim config.
+
+    Maps the abstract (policy, watermark_scale, pace) point onto each
+    layer's own config type; ``pace == 0`` means "move the whole victim
+    per trigger".  Zone-Cache has no reclamation and gets nothing.
+    """
+    from repro.f2fs.gc import CleanerConfig
+    from repro.f2fs.gc import VictimPolicy as F2fsVictimPolicy
+    from repro.flash.ftl import FtlConfig
+    from repro.ztl.gc import GcConfig
+
+    if name == "Region-Cache":
+        base = max(2, zones_per_shard // 12)
+        gc = GcConfig(
+            min_empty_zones=base * watermark_scale,
+            # High enough that each policy's pick is actually admitted
+            # (a tight threshold funnels every policy through the
+            # emergency least-valid fallback and erases the axis).
+            victim_valid_threshold=0.90,
+            policy=policy,
+            pace_regions=pace if pace > 0 else 1 << 20,
+        )
+        return (("gc", gc),)
+    if name == "File-Cache":
+        cleaner = CleanerConfig(
+            low_watermark=3 * watermark_scale,
+            pace_blocks=pace if pace > 0 else 1 << 20,
+            policy=F2fsVictimPolicy(policy),
+            # Ablation policies (random, age_threshold) can nominate
+            # near-full sections; defer those and fall back to
+            # least-valid under emergency so the log heads never wedge.
+            victim_valid_threshold=0.90,
+            emergency_sections=2,
+        )
+        return (("cleaner", cleaner),)
+    if name == "Block-Cache":
+        ftl = FtlConfig(
+            op_ratio=0.20,
+            gc_low_watermark=4 * watermark_scale,
+            gc_high_watermark=8 * watermark_scale,
+            gc_policy=policy,
+        )
+        return (("ftl", ftl),)
+    return ()
+
+
+def _traced_reclaim(tracer) -> Dict[str, int]:
+    """Count reclaim spans and the device bytes they attribute.
+
+    ``reclaim_traced_bytes`` sums device-level transfer records whose
+    ancestry passes through a ``reclaim.*`` span — the check that every
+    migrated byte is tracer-attributed to the GC engine that moved it.
+    """
+    by_id = {record.record_id: record for record in tracer.records}
+    spans = 0
+    traced = 0
+    for record in tracer.records:
+        if record.layer.startswith("reclaim."):
+            spans += 1
+            continue
+        if record.op not in ("write", "append", "gc"):
+            continue
+        cursor = record
+        while cursor is not None:
+            if cursor.layer.startswith("reclaim."):
+                traced += record.length
+                break
+            cursor = (
+                by_id.get(cursor.parent_id)
+                if cursor.parent_id is not None
+                else None
+            )
+    return {"reclaim_spans": spans, "reclaim_traced_bytes": traced}
+
+
+def run_gc_ablation(
+    scale: Optional[SchemeScale] = None,
+    zones_per_shard: int = 10,
+    cache_zones_per_shard: int = 8,
+    file_zones_per_shard: int = 16,
+    num_shards: int = 1,
+    policies: tuple = ("greedy", "cost_benefit", "age_threshold", "random"),
+    watermark_scales: tuple = (1, 2),
+    paces: tuple = (0, 8),
+    offered_kops: float = 30.0,
+    requests_per_tenant: int = 8_000,
+    num_keys: Optional[int] = None,
+    max_queue_depth: int = 48,
+    schemes: tuple = SCHEME_NAMES,
+    seed: int = 7,
+    trace: bool = False,
+) -> List[Dict[str, object]]:
+    """GC ablation (`repro gc-sweep`): victim policy × trigger watermark ×
+    copy pacing for every scheme, under the open-loop serving load.
+
+    One row per (scheme, policy, watermark, pace) combo, joining the
+    fleet's aggregated ``gc_*`` counters with the interactive tenant's
+    p99 — the interference axis the paper argues about: how much
+    device-side reclamation each scheme performs and what it costs the
+    foreground.  Zone-Cache contributes a single "none" row (it has no
+    reclamation to sweep) and Block-Cache skips the pace axis (its FTL
+    drains synchronously inside the write path, so background pacing is
+    a no-op there).
+    """
+    from repro.serve import CacheCluster, Server, ServerConfig
+
+    scale = scale or _serving_scale()
+    media = zones_per_shard * scale.zone_size
+    cache_bytes = cache_zones_per_shard * scale.zone_size
+    file_media = file_zones_per_shard * scale.zone_size
+    if num_keys is None:
+        num_keys = int(1.05 * num_shards * media / 1568)
+    navy = {"eviction_policy": "fifo", "reclaim_window": 128}
+    rows: List[Dict[str, object]] = []
+    for name in schemes:
+        if name == "Zone-Cache":
+            combos = [("none", 0, 0)]
+        elif name == "Block-Cache":
+            combos = [(p, w, 0) for p in policies for w in watermark_scales]
+        else:
+            combos = [
+                (p, w, pace)
+                for p in policies
+                for w in watermark_scales
+                for pace in paces
+            ]
+        base_overrides: Dict[str, object] = (
+            {"eviction_policy": "fifo"} if name == "Zone-Cache" else dict(navy)
+        )
+        shard_cache = None if name == "Zone-Cache" else cache_bytes
+        shard_file = file_media if name == "File-Cache" else None
+        for policy, watermark_scale, pace in combos:
+            cluster = CacheCluster.homogeneous(
+                name,
+                num_shards,
+                media,
+                shard_cache,
+                file_media_bytes=shard_file,
+                scale=scale,
+                cache_overrides=tuple(sorted(base_overrides.items()))
+                + _gc_reclaim_overrides(
+                    name, policy, watermark_scale, pace, zones_per_shard
+                ),
+            )
+            if trace:
+                for shard in cluster.shards:
+                    shard.stack.substrate["device"].tracer.enable()
+            tenants = _serving_tenants(
+                offered_kops * 1000, requests_per_tenant, num_keys, seed
+            )
+            report = Server(
+                cluster, tenants, ServerConfig(max_queue_depth=max_queue_depth)
+            ).run()
+            gc_cols = [_gc_columns(shard.stack) for shard in cluster.shards]
+            shard_rows = report.shard_rows
+            web = next(r for r in report.tenant_rows if r["tenant"] == "web")
+            row: Dict[str, object] = {
+                "scheme": name,
+                "gc_policy": policy,
+                "watermark_scale": watermark_scale,
+                "pace_units": pace,
+                "offered_total_kops": offered_kops,
+                "web_p99_us": web["p99_us"],
+                "web_goodput_kops": web["goodput_kops"],
+                "cluster_shed_rate": report.shed_rate,
+                "waf_app_max": max(r["waf_app"] for r in shard_rows),
+                "waf_device_max": max(r["waf_device"] for r in shard_rows),
+                "gc_layer": gc_cols[0]["gc_layer"],
+                "gc_victims": sum(c["gc_victims"] for c in gc_cols),
+                "gc_migrated_units": sum(c["gc_migrated_units"] for c in gc_cols),
+                "gc_dropped_units": sum(c["gc_dropped_units"] for c in gc_cols),
+                "gc_copied_bytes": sum(c["gc_copied_bytes"] for c in gc_cols),
+                "gc_triggers": sum(c["gc_triggers"] for c in gc_cols),
+                "gc_stall_us_p99": max(c["gc_stall_us_p99"] for c in gc_cols),
+                "gc_cache_evictions": sum(c["gc_cache_evictions"] for c in gc_cols),
+            }
+            if trace:
+                traced = {"reclaim_spans": 0, "reclaim_traced_bytes": 0}
+                for shard in cluster.shards:
+                    shard_traced = _traced_reclaim(
+                        shard.stack.substrate["device"].tracer
+                    )
+                    for key in traced:
+                        traced[key] += shard_traced[key]
+                row.update(traced)
+            rows.append(row)
+    return rows
+
+
+def run_gc_smoke(seed: int = 7) -> List[Dict[str, object]]:
+    """`repro gc-sweep --smoke`: all four schemes × two policies, one
+    shard, tracing on — small enough for a CI step, still proving the
+    sweep grid runs end-to-end and migrated bytes carry reclaim spans."""
+    return run_gc_ablation(
+        policies=("greedy", "cost_benefit"),
+        watermark_scales=(1,),
+        paces=(8,),
+        requests_per_tenant=6_000,
+        seed=seed,
+        trace=True,
+    )

@@ -21,6 +21,51 @@ def _union_columns(rows: List[Dict[str, object]]) -> List[str]:
     return list(seen)
 
 
+# Legacy per-layer reclamation counter names → the uniform gc_* family.
+# Each layer historically reported the same three facts (victims
+# reclaimed, units migrated, units dropped) under its own spelling, so a
+# mixed-scheme table unioned four synonymous columns; canonicalizing at
+# render time keeps old row producers working while the table stays one
+# column per fact.
+GC_COLUMN_ALIASES: Dict[str, str] = {
+    "zones_collected": "gc_victims",
+    "sections_cleaned": "gc_victims",
+    "erased_blocks": "gc_victims",
+    "regions_evicted": "gc_victims",
+    "regions_migrated": "gc_migrated_units",
+    "blocks_migrated": "gc_migrated_units",
+    "moved_pages": "gc_migrated_units",
+    "regions_dropped": "gc_dropped_units",
+    "items_evicted": "gc_dropped_units",
+    "gc_zone_resets": "gc_resets",
+    "gc_runs": "gc_triggers",
+}
+
+
+def canonicalize_gc_columns(
+    rows: List[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Fold per-layer GC counter spellings into the ``gc_*`` family.
+
+    A canonical key already present in a row wins over an alias (row
+    producers that emit both keep their explicit value); rows without
+    any aliased key pass through unchanged.
+    """
+    out: List[Dict[str, object]] = []
+    for row in rows:
+        if not any(key in GC_COLUMN_ALIASES for key in row):
+            out.append(row)
+            continue
+        new: Dict[str, object] = {}
+        for key, value in row.items():
+            target = GC_COLUMN_ALIASES.get(key, key)
+            if target != key and (target in row or target in new):
+                continue
+            new[target] = value
+        out.append(new)
+    return out
+
+
 def format_table(
     rows: List[Dict[str, object]],
     columns: Optional[Sequence[str]] = None,
@@ -29,6 +74,7 @@ def format_table(
     """Render rows as an aligned text table."""
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
+    rows = canonicalize_gc_columns(rows)
     if columns is None:
         columns = _union_columns(rows)
     rendered: List[List[str]] = [[_cell(row.get(col)) for col in columns] for row in rows]
@@ -51,6 +97,7 @@ def rows_to_csv(rows: List[Dict[str, object]], columns: Optional[Sequence[str]] 
     """Render rows as CSV text (simple values, no quoting of commas)."""
     if not rows:
         return ""
+    rows = canonicalize_gc_columns(rows)
     if columns is None:
         columns = _union_columns(rows)
     lines = [",".join(str(col) for col in columns)]

@@ -102,17 +102,22 @@ def build_block_cache(
     media_bytes: int,
     cache_bytes: int,
     ftl_op_ratio: float = 0.20,
+    ftl: Optional[FtlConfig] = None,
     faults: Optional[FaultInjector] = None,
     **cache_overrides,
 ) -> SchemeStack:
-    """Block-Cache: regions on a conventional SSD with internal OP + GC."""
+    """Block-Cache: regions on a conventional SSD with internal OP + GC.
+
+    ``ftl`` overrides the whole FTL config (GC policy/watermark sweeps);
+    when omitted, only ``ftl_op_ratio`` deviates from the defaults.
+    """
     geometry = scale.geometry_for(media_bytes)
     device = BlockSsd(
         clock,
         BlockSsdConfig(
             geometry=geometry,
             timing=scale.timing,
-            ftl=FtlConfig(op_ratio=ftl_op_ratio),
+            ftl=ftl if ftl is not None else FtlConfig(op_ratio=ftl_op_ratio),
         ),
         io=scale.io,
         tracer=IoTracer(),
@@ -213,10 +218,15 @@ def build_file_cache(
     cache_bytes: int,
     provision_ratio: float = 0.20,
     meta_bytes: int = 16 * MIB,
+    cleaner: Optional[CleanerConfig] = None,
     faults: Optional[FaultInjector] = None,
     **cache_overrides,
 ) -> SchemeStack:
-    """File-Cache: regions in one large file on the F2FS-like filesystem."""
+    """File-Cache: regions in one large file on the F2FS-like filesystem.
+
+    ``cleaner`` overrides the section-cleaning config (policy/watermark
+    sweeps); the default is F2FS's stock cost-benefit cleaner.
+    """
     geometry = scale.geometry_for(media_bytes)
     device = ZnsSsd(
         clock,
@@ -243,7 +253,7 @@ def build_file_cache(
             provision_ratio=provision_ratio,
             checkpoint_interval_blocks=1 << 30,  # explicit checkpoints only
         ),
-        CleanerConfig(),
+        cleaner if cleaner is not None else CleanerConfig(),
     )
     fs.mkfs()
     num_regions = min(cache_bytes, fs.usable_bytes) // scale.region_size

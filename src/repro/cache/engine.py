@@ -561,6 +561,9 @@ class HybridCache:
 
     def _evict_keys(self, region_id: int, evicted: Set[bytes]) -> None:
         """Tear down index entries of a reclaimed region (lock-convoy model)."""
+        self.store.tracer.emit_event(
+            "reclaim.cache", "evict", offset=region_id, length=len(evicted)
+        )
         self._clock.advance(self.config.cpu.eviction_teardown_ns(len(evicted)))
         for key in evicted:
             location = self.index.get(key)

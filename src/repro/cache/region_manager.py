@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cache.eviction import make_eviction_policy
 from repro.cache.region import RegionMeta
+from repro.reclaim import ReclaimStats, ensure_at_least, windowed_draw
 from repro.sim.rng import make_rng
 
 
@@ -20,7 +21,10 @@ class RegionManager:
 
     ``reclaim_window > 1`` models navy's clean-region pool: the victim is
     drawn (deterministically seeded) from the first ``reclaim_window``
-    regions in policy order rather than strictly the head.
+    regions in policy order rather than strictly the head.  Eviction
+    counters live in a shared :class:`~repro.reclaim.ReclaimStats` so the
+    bench reports cache reclamation in the same ``gc_*`` column family as
+    the other three layers.
     """
 
     def __init__(
@@ -30,10 +34,8 @@ class RegionManager:
         reclaim_window: int = 1,
         seed: int = 97,
     ) -> None:
-        if num_regions < 2:
-            raise ValueError("need at least 2 regions")
-        if reclaim_window < 1:
-            raise ValueError("reclaim_window must be >= 1")
+        ensure_at_least("num_regions", num_regions, 2)
+        ensure_at_least("reclaim_window", reclaim_window, 1)
         self.num_regions = num_regions
         self.reclaim_window = reclaim_window
         self._free: List[int] = list(range(num_regions))
@@ -42,10 +44,17 @@ class RegionManager:
         self._policy = make_eviction_policy(eviction_policy)
         self._rng = make_rng(seed, "reclaim")
         self._seal_seq = 0
-        self.regions_evicted = 0
-        self.items_evicted = 0
+        self.reclaim_stats = ReclaimStats()
 
     # --- queries ---------------------------------------------------------------
+
+    @property
+    def regions_evicted(self) -> int:
+        return self.reclaim_stats.victims_reclaimed
+
+    @property
+    def items_evicted(self) -> int:
+        return self.reclaim_stats.units_dropped
 
     @property
     def free_count(self) -> int:
@@ -83,8 +92,8 @@ class RegionManager:
         meta = self._sealed.pop(victim)
         self._policy.untrack(victim)
         evicted = set(meta.keys)
-        self.regions_evicted += 1
-        self.items_evicted += len(evicted)
+        self.reclaim_stats.victims_reclaimed += 1
+        self.reclaim_stats.units_dropped += len(evicted)
         return victim, evicted
 
     def seal(self, meta: RegionMeta) -> None:
@@ -114,30 +123,9 @@ class RegionManager:
             self._policy.untrack(region_id)
 
     def _pick_windowed_victim(self) -> Optional[int]:
-        if self.reclaim_window == 1:
-            return self._policy.pick_victim()
-        # Draw from the first `window` regions in policy order.
-        candidates: List[int] = []
-        removed: List[int] = []
-        for _ in range(min(self.reclaim_window, len(self._sealed))):
-            victim = self._policy.pick_victim()
-            if victim is None:
-                break
-            candidates.append(victim)
-            self._policy.untrack(victim)
-            removed.append(victim)
-        # Restore policy order for the non-chosen candidates (they go
-        # back to the head region of the order by re-tracking oldest-last
-        # is wrong for FIFO; instead re-track all, then untrack chosen).
-        if not candidates:
-            return None
-        chosen = candidates[self._rng.randrange(len(candidates))]
-        # Non-chosen candidates return to the eviction end in their
-        # original relative order (restore back-to-front).
-        for region_id in reversed(removed):
-            if region_id != chosen:
-                self._policy.track_front(region_id)
-        return chosen
+        return windowed_draw(
+            self._policy, self.reclaim_window, len(self._sealed), self._rng
+        )
 
     def eviction_position(self, region_id: int) -> Optional[float]:
         """Where a sealed region sits in the eviction order.

@@ -75,6 +75,18 @@ def _serve(quick: bool) -> List[dict]:
     return run_serving_sweep()
 
 
+def _gc_sweep(quick: bool) -> List[dict]:
+    from repro.bench.experiments import run_gc_ablation
+
+    if quick:
+        return run_gc_ablation(
+            policies=("greedy", "cost_benefit"),
+            paces=(8,),
+            requests_per_tenant=6_000,
+        )
+    return run_gc_ablation()
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
     "fig2": _fig2,
     "fig3": _fig3,
@@ -83,6 +95,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
     "fig5": _fig5,
     "table2": _table2,
     "serve": _serve,
+    "gc-sweep": _gc_sweep,
 }
 
 TITLES = {
@@ -93,6 +106,7 @@ TITLES = {
     "fig5": "Figure 5: RocksDB with each scheme as secondary cache",
     "table2": "Table 2: Zone-Cache cache-size sweep",
     "serve": "Serving sweep: offered load vs p99 and shed rate per scheme",
+    "gc-sweep": "GC ablation: victim policy x watermark x pacing per scheme",
 }
 
 
@@ -127,7 +141,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help=(
             "with 'serve': tiny mixed-fleet run (2 shards, 2 tenants, "
-            "~2k requests) used as the CI smoke test"
+            "~2k requests) used as the CI smoke test; with 'gc-sweep': "
+            "two policies with tracing on, verifying reclaim spans"
         ),
     )
     return parser
@@ -162,6 +177,14 @@ def _plot_for(name: str, rows: List[dict]) -> str:
         return scheme_bars(
             web, "p99_us", label_key="load", title="web tenant p99 (us)"
         )
+    if name == "gc-sweep":
+        labeled = [
+            {**r, "combo": f"{r['scheme']}/{r['gc_policy']}@w{r['watermark_scale']}"}
+            for r in rows
+        ]
+        return scheme_bars(
+            labeled, "gc_copied_bytes", label_key="combo", title="GC copied bytes"
+        )
     return ""
 
 
@@ -176,6 +199,10 @@ def run(argv: Optional[List[str]] = None) -> int:
             from repro.bench.experiments import run_serving_smoke
 
             rows = run_serving_smoke()
+        elif name == "gc-sweep" and args.smoke:
+            from repro.bench.experiments import run_gc_smoke
+
+            rows = run_gc_smoke()
         else:
             rows = EXPERIMENTS[name](args.quick)
         elapsed = time.time() - started

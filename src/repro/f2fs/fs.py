@@ -95,6 +95,7 @@ class F2fs:
             release_section=self._reset_section_zone,
         )
         self.cleaner.tracer = self.tracer
+        self.cleaner.bind_clock(clock)
         self.stats = F2fsStats()
         self._meta_pending_updates = 0
         self._meta_cursor_block = 1  # block 0 is the superblock

@@ -2,12 +2,19 @@
 
 F2FS cleans at section granularity: pick a victim section, migrate its
 valid blocks to the cold-data log, then the whole section — and on ZNS
-the zone underneath it — can be reset.  Two victim policies are
-implemented, as in F2FS:
+the zone underneath it — can be reset.  The victim policies mirror
+F2FS's:
 
 * ``GREEDY`` — fewest valid blocks (foreground cleaning).
 * ``COST_BENEFIT`` — weighs free space gained against section age
   (background cleaning; avoids repeatedly scrubbing hot sections).
+* ``AGE_THRESHOLD`` / ``RANDOM`` — ablation policies from
+  :mod:`repro.reclaim` (greedy gated on age; a seeded random baseline).
+
+The selection/pacing loop is the shared
+:class:`~repro.reclaim.ReclaimEngine`; this module provides the
+section-shaped :class:`~repro.reclaim.ReclaimSource` and keeps the
+public ``Cleaner`` surface the filesystem already wires.
 
 Cleaning is *paced*: at most ``pace_blocks`` are migrated per foreground
 trigger, so the stall any single operation observes stays small.  This
@@ -26,12 +33,24 @@ from repro.errors import PowerCutError, RetryableError
 from repro.f2fs.layout import F2fsLayout
 from repro.f2fs.segment import LogManager
 from repro.f2fs.sit import SegmentInfoTable
-from repro.sim.io import NULL_TRACER, IoTracer
+from repro.reclaim import (
+    PacerConfig,
+    ReclaimEngine,
+    ReclaimPacer,
+    ReclaimSource,
+    UnitOutcome,
+    VictimView,
+    ensure_at_least,
+    make_victim_policy,
+)
+from repro.sim.io import IoTracer
 
 
 class VictimPolicy(enum.Enum):
     GREEDY = "greedy"
     COST_BENEFIT = "cost_benefit"
+    AGE_THRESHOLD = "age_threshold"
+    RANDOM = "random"
 
 
 @dataclass(frozen=True)
@@ -46,12 +65,90 @@ class CleanerConfig:
     low_watermark: int = 3
     pace_blocks: int = 16
     policy: VictimPolicy = VictimPolicy.COST_BENEFIT
+    # Defer victims holding more than this fraction of valid blocks
+    # (1.0 = accept anything, the historical behavior).  Below
+    # ``emergency_sections`` free sections the engine cleans the
+    # least-valid candidate regardless, so deferral cannot wedge the
+    # log heads against ``NoSpaceError``.
+    victim_valid_threshold: float = 1.0
+    emergency_sections: int = 0
 
     def __post_init__(self) -> None:
-        if self.low_watermark < 1:
-            raise ValueError("low_watermark must be >= 1")
-        if self.pace_blocks < 1:
-            raise ValueError("pace_blocks must be >= 1")
+        ensure_at_least("low_watermark", self.low_watermark, 1)
+        ensure_at_least("pace_blocks", self.pace_blocks, 1)
+        ensure_at_least("emergency_sections", self.emergency_sections, 0)
+
+    def pacer_config(self) -> PacerConfig:
+        return PacerConfig(
+            background=self.low_watermark,
+            target=self.low_watermark,
+            emergency=self.emergency_sections,
+            victim_valid_threshold=self.victim_valid_threshold,
+            pace_units=self.pace_blocks,
+        )
+
+
+class _SectionReclaimSource(ReclaimSource):
+    """Section-shaped adapter over the SIT + log manager."""
+
+    name = "f2fs"
+
+    def __init__(self, owner: "Cleaner") -> None:
+        self.owner = owner
+        self.unit_bytes = owner.layout.block_size
+
+    def free_units(self) -> int:
+        return self.owner.logs.free_section_count
+
+    def candidate_views(self) -> List[VictimView]:
+        owner = self.owner
+        sit = owner.sit
+        open_sections = set(owner.logs.open_sections())
+        views = []
+        for section in range(owner.layout.num_sections):
+            if (
+                section in open_sections
+                or owner.logs.is_free(section)
+                or owner.logs.is_retired(section)
+            ):
+                continue
+            views.append(
+                VictimView(
+                    victim_id=section,
+                    valid_count=sit.valid_count(section),
+                    valid_fraction=sit.valid_fraction(section),
+                    age=owner._tick - owner._mtime[section],
+                )
+            )
+        return views
+
+    def pending_units(self, section: int) -> List[int]:
+        return list(self.owner.sit.valid_blocks(section))
+
+    def migrate_unit(self, section: int, block_addr: int) -> UnitOutcome:
+        owner = self.owner
+        if not owner.sit.is_valid(block_addr):
+            return UnitOutcome.SKIPPED  # invalidated since the list was built
+        try:
+            owner._migrate_block(block_addr)
+        except PowerCutError:
+            raise
+        except RetryableError:
+            # Transient device error: the block stays valid, nothing was
+            # mutated — the engine re-queues it and ends the step.
+            return UnitOutcome.RETRY
+        return UnitOutcome.MIGRATED
+
+    def release_victim(self, section: int) -> None:
+        owner = self.owner
+        owner.sit.wipe_section(section)
+        owner._release_section(section)
+        owner.logs.release_section(section)
+
+    def step_span(self, tracer: IoTracer, section: int):
+        # Preserve the historical "f2fs.gc" span each cleaning step emits
+        # (nested inside the engine's uniform reclaim.f2fs span).
+        return tracer.span("f2fs.gc", "clean", zone=section)
 
 
 class Cleaner:
@@ -77,17 +174,42 @@ class Cleaner:
         self.config = config
         self._migrate_block = migrate_block
         self._release_section = release_section
-        self._victim: Optional[int] = None
-        self._pending: List[int] = []
         # Age proxy: bump per section every time it is opened by a log head.
         self._mtime = [0] * layout.num_sections
         self._tick = 0
-        self.sections_cleaned = 0
-        self.blocks_migrated = 0
-        self.io_retries = 0
-        # The filesystem points this at the data device's tracer so each
-        # cleaning step appears as an "f2fs.gc" span in I/O traces.
-        self.tracer: IoTracer = NULL_TRACER
+        self.engine = ReclaimEngine(
+            _SectionReclaimSource(self),
+            make_victim_policy(config.policy.value),
+            ReclaimPacer(config.pacer_config()),
+        )
+
+    # --- counters / wiring (legacy names, engine-backed) ----------------------------
+
+    @property
+    def sections_cleaned(self) -> int:
+        return self.engine.stats.victims_reclaimed
+
+    @property
+    def blocks_migrated(self) -> int:
+        return self.engine.stats.units_migrated
+
+    @property
+    def io_retries(self) -> int:
+        return self.engine.stats.retries
+
+    @property
+    def tracer(self) -> IoTracer:
+        """The data device's tracer; each cleaning step appears as an
+        "f2fs.gc" span (inside the uniform reclaim.f2fs span)."""
+        return self.engine.tracer
+
+    @tracer.setter
+    def tracer(self, tracer: IoTracer) -> None:
+        self.engine.tracer = tracer
+
+    def bind_clock(self, clock) -> None:
+        """Attach the simulation clock for foreground-stall accounting."""
+        self.engine.clock = clock
 
     # --- hooks from the filesystem ----------------------------------------------------
 
@@ -97,85 +219,27 @@ class Cleaner:
         self._mtime[section] = self._tick
 
     def needs_cleaning(self) -> bool:
-        return self.logs.free_section_count < self.config.low_watermark
+        return self.engine.needs_reclaim()
 
     # --- cleaning --------------------------------------------------------------------
 
     def background_step(self) -> int:
         """Paced cleaning; returns blocks migrated this step."""
-        if self._victim is None and not self.needs_cleaning():
-            return 0
-        return self._step(self.config.pace_blocks)
+        return self.engine.background_step()
 
     def clean_one_section(self) -> bool:
         """Foreground (emergency) cleaning: finish an entire victim now.
 
-        Returns True if a section was fully reclaimed.
+        Returns True if a section was fully reclaimed.  Bounded: a
+        persistently faulting device must not livelock the foreground
+        path (each retry-triggered early return costs one step).
         """
-        before = self.sections_cleaned
-        self._step(self.layout.blocks_per_section + 1)
-        # Bounded: a persistently faulting device must not livelock the
-        # foreground path (each retry-triggered early return costs one).
-        for _ in range(self.layout.blocks_per_section + 8):
-            if self._victim is None:
-                break
-            self._step(self.layout.blocks_per_section + 1)
-        return self.sections_cleaned > before
-
-    def _step(self, budget: int) -> int:
-        if self._victim is None:
-            self._victim = self._pick_victim()
-            if self._victim is None:
-                return 0
-            self._pending = list(self.sit.valid_blocks(self._victim))
-        moved = 0
-        with self.tracer.span("f2fs.gc", "clean", zone=self._victim):
-            while self._pending and moved < budget:
-                block_addr = self._pending.pop()
-                if not self.sit.is_valid(block_addr):
-                    continue  # invalidated since the list was built
-                try:
-                    self._migrate_block(block_addr)
-                except PowerCutError:
-                    raise
-                except RetryableError:
-                    # Transient device error: put the block back and give
-                    # up this step — it stays valid, nothing was mutated.
-                    self._pending.append(block_addr)
-                    self.io_retries += 1
-                    return moved
-                moved += 1
-                self.blocks_migrated += 1
-        if not self._pending:
-            section = self._victim
-            self._victim = None
-            self.sit.wipe_section(section)
-            self._release_section(section)
-            self.logs.release_section(section)
-            self.sections_cleaned += 1
-        return moved
+        return (
+            self.engine.collect(
+                max_victims=1, max_steps=self.layout.blocks_per_section + 8
+            )
+            > 0
+        )
 
     def _pick_victim(self) -> Optional[int]:
-        open_sections = set(self.logs.open_sections())
-        candidates = [
-            section
-            for section in range(self.layout.num_sections)
-            if section not in open_sections
-            and not self.logs.is_free(section)
-            and not self.logs.is_retired(section)
-        ]
-        if not candidates:
-            return None
-        if self.config.policy == VictimPolicy.GREEDY:
-            return min(candidates, key=self.sit.valid_count)
-        return min(candidates, key=self._cost_benefit_score)
-
-    def _cost_benefit_score(self, section: int) -> float:
-        """Lower is a better victim: cost / (benefit * age)."""
-        valid = self.sit.valid_fraction(section)
-        age = max(1, self._tick - self._mtime[section])
-        if valid >= 1.0:
-            return float("inf")
-        # Classic cost-benefit: (1 - u) * age / (1 + u); invert for min().
-        benefit = (1.0 - valid) * age / (1.0 + valid)
-        return -benefit
+        return self.engine.pick_victim()

@@ -209,16 +209,25 @@ class BlockSsd(BlockDevice):
                 report.moved_pages * page_size,
                 self.config.geometry.parallelism,
             ) + self.config.timing.erase_ns(report.erased_blocks)
-            self.pipeline.submit(
-                IoRequest(
-                    IoOp.GC,
-                    offset,
-                    report.moved_pages * page_size,
-                    layer="ftl.gc",
-                    background=True,
-                ),
-                gc_service,
-            )
+            with self.pipeline.tracer.span(
+                "reclaim.ftl",
+                "migrate",
+                offset=offset,
+                length=report.moved_pages * page_size,
+            ):
+                self.pipeline.submit(
+                    IoRequest(
+                        IoOp.GC,
+                        offset,
+                        report.moved_pages * page_size,
+                        layer="ftl.gc",
+                        background=True,
+                    ),
+                    gc_service,
+                )
+            # The host write queues behind this GC burst: charge it as
+            # foreground stall so gc_stall_us_p99 covers device GC too.
+            self._ftl.reclaim.stats.stall.record(gc_service)
             self._stats.media_read_bytes += report.moved_pages * page_size
             self._stats.gc_runs += report.gc_runs
         self._note_host_write(len(data))

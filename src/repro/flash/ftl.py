@@ -1,4 +1,4 @@
-"""Page-mapped Flash Translation Layer with greedy garbage collection.
+"""Page-mapped Flash Translation Layer with pluggable garbage collection.
 
 This is the invisible machinery the paper blames for the block SSD's
 write amplification and tail latency: the host sees a flat LBA space, the
@@ -7,6 +7,10 @@ free-block pool runs low it must *move valid pages* out of a victim block
 before erasing it.  Those moves are the device-level WA; the erase+move
 work stalls subsequent host commands, which is the device-GC tail latency
 the paper measures in Figure 5(d).
+
+Victim selection and the drain loop come from :mod:`repro.reclaim`
+(greedy by default, matching real FTL firmware); this module supplies
+the block-shaped :class:`~repro.reclaim.ReclaimSource`.
 
 The FTL is deliberately independent of timing: it reports *what work
 happened* (pages programmed, pages moved, blocks erased) and
@@ -18,8 +22,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from repro.errors import DeviceFullError
+from repro.errors import ConfigError, DeviceFullError
 from repro.flash.nand import NandGeometry
+from repro.reclaim import (
+    PacerConfig,
+    ReclaimEngine,
+    ReclaimPacer,
+    ReclaimSource,
+    UnitOutcome,
+    VictimView,
+    ensure_at_least,
+    ensure_choice,
+    make_victim_policy,
+)
+from repro.reclaim.policy import POLICY_NAMES
 
 
 @dataclass(frozen=True)
@@ -30,20 +46,30 @@ class FtlConfig:
     provisioning (invisible to the host).  ``gc_low_watermark`` /
     ``gc_high_watermark`` bound the free-block pool: GC starts when free
     blocks drop below the low mark and runs until the high mark is
-    restored.
+    restored.  ``gc_policy`` picks the victim scorer from
+    :data:`repro.reclaim.POLICY_NAMES` (greedy is what FTL firmware
+    ships, and the default).
     """
 
     op_ratio: float = 0.20
     gc_low_watermark: int = 4
     gc_high_watermark: int = 8
+    gc_policy: str = "greedy"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.op_ratio < 1.0:
-            raise ValueError(f"op_ratio must be in [0, 1), got {self.op_ratio}")
-        if self.gc_low_watermark < 1:
-            raise ValueError("gc_low_watermark must be >= 1")
-        if self.gc_high_watermark < self.gc_low_watermark:
-            raise ValueError("gc_high_watermark must be >= gc_low_watermark")
+            raise ConfigError(f"op_ratio must be in [0, 1), got {self.op_ratio}")
+        ensure_at_least("gc_low_watermark", self.gc_low_watermark, 1)
+        ensure_at_least(
+            "gc_high_watermark", self.gc_high_watermark, self.gc_low_watermark
+        )
+        ensure_choice("gc_policy", self.gc_policy, POLICY_NAMES)
+
+    def pacer_config(self) -> PacerConfig:
+        return PacerConfig(
+            background=self.gc_low_watermark,
+            target=self.gc_high_watermark,
+        )
 
 
 @dataclass
@@ -71,13 +97,78 @@ class _BlockInfo:
     lpns: List[Optional[int]] = field(default_factory=list)
     valid_count: int = 0
     next_page: int = 0
+    # FTL tick of the block's most recent program; age = tick - mtime
+    # feeds the cost-benefit victim policy.
+    mtime: int = 0
 
     def is_full(self, pages_per_block: int) -> bool:
         return self.next_page >= pages_per_block
 
 
+class _FtlReclaimSource(ReclaimSource):
+    """Erase-block adapter the shared engine drives."""
+
+    name = "ftl"
+
+    def __init__(self, ftl: "PageMappedFtl") -> None:
+        self.ftl = ftl
+        self.unit_bytes = ftl.geometry.page_size
+
+    def free_units(self) -> int:
+        return len(self.ftl._free)
+
+    def candidate_views(self) -> List[VictimView]:
+        ftl = self.ftl
+        pages = ftl.geometry.pages_per_block
+        views = []
+        for block in ftl._blocks:
+            if block.index in ftl._gc_active:
+                continue
+            if not block.is_full(pages):
+                continue
+            views.append(
+                VictimView(
+                    victim_id=block.index,
+                    valid_count=block.valid_count,
+                    valid_fraction=block.valid_count / pages,
+                    age=ftl._tick - block.mtime,
+                )
+            )
+        return views
+
+    def pending_units(self, block_index: int) -> List[int]:
+        # The engine pops from the end; reversed so pages relocate in
+        # ascending physical order, exactly like the historical loop.
+        return list(range(self.ftl.geometry.pages_per_block - 1, -1, -1))
+
+    def migrate_unit(self, block_index: int, page_idx: int) -> UnitOutcome:
+        ftl = self.ftl
+        block = ftl._blocks[block_index]
+        lpn = block.lpns[page_idx]
+        if lpn is None:
+            return UnitOutcome.SKIPPED
+        block.lpns[page_idx] = None
+        block.valid_count -= 1
+        ftl._program(lpn)
+        ftl.total_moved_pages += 1
+        if ftl._gc_report is not None:
+            ftl._gc_report.moved_pages += 1
+        return UnitOutcome.MIGRATED
+
+    def release_victim(self, block_index: int) -> None:
+        ftl = self.ftl
+        block = ftl._blocks[block_index]
+        block.next_page = 0
+        block.valid_count = 0
+        block.lpns = [None] * ftl.geometry.pages_per_block
+        ftl._free.append(block.index)
+        ftl.total_erased_blocks += 1
+        if ftl._gc_report is not None:
+            ftl._gc_report.erased_blocks += 1
+
+
 class PageMappedFtl:
-    """Page-granularity log-structured FTL with a greedy GC victim policy."""
+    """Page-granularity log-structured FTL over the shared reclaim engine."""
 
     def __init__(self, geometry: NandGeometry, config: FtlConfig) -> None:
         self.geometry = geometry
@@ -95,9 +186,17 @@ class PageMappedFtl:
         self._free: List[int] = list(range(geometry.num_blocks))
         self._active: _BlockInfo = self._blocks[self._free.pop()]
         self._gc_active: Set[int] = {self._active.index}
+        self._tick = 0
         self.total_host_pages = 0
         self.total_moved_pages = 0
         self.total_erased_blocks = 0
+        # Report for the host write whose GC drain is in progress, if any.
+        self._gc_report: Optional[FtlWriteReport] = None
+        self.reclaim = ReclaimEngine(
+            _FtlReclaimSource(self),
+            make_victim_policy(config.gc_policy),
+            ReclaimPacer(config.pacer_config()),
+        )
 
     @property
     def logical_capacity_bytes(self) -> int:
@@ -163,6 +262,8 @@ class PageMappedFtl:
         block.lpns[page_idx] = lpn
         block.valid_count += 1
         block.next_page += 1
+        self._tick += 1
+        block.mtime = self._tick
         self._l2p[lpn] = (block.index, page_idx)
 
     def _open_new_active(self) -> None:
@@ -173,42 +274,11 @@ class PageMappedFtl:
         self._gc_active.add(self._active.index)
 
     def _maybe_gc(self, report: FtlWriteReport) -> None:
-        if len(self._free) >= self.config.gc_low_watermark:
+        if not self.reclaim.needs_reclaim():
             return
         report.gc_runs += 1
-        while len(self._free) < self.config.gc_high_watermark:
-            victim = self._pick_victim()
-            if victim is None:
-                break
-            self._collect(victim, report)
-
-    def _pick_victim(self) -> Optional[_BlockInfo]:
-        """Greedy: full block with the fewest valid pages."""
-        best: Optional[_BlockInfo] = None
-        for block in self._blocks:
-            if block.index in self._gc_active:
-                continue
-            if not block.is_full(self.geometry.pages_per_block):
-                continue
-            if best is None or block.valid_count < best.valid_count:
-                best = block
-                if best.valid_count == 0:
-                    break
-        return best
-
-    def _collect(self, victim: _BlockInfo, report: FtlWriteReport) -> None:
-        """Relocate the victim's valid pages, erase it, return it to the pool."""
-        for page_idx, lpn in enumerate(victim.lpns):
-            if lpn is None:
-                continue
-            victim.lpns[page_idx] = None
-            victim.valid_count -= 1
-            self._program(lpn)
-            report.moved_pages += 1
-            self.total_moved_pages += 1
-        victim.next_page = 0
-        victim.valid_count = 0
-        victim.lpns = [None] * self.geometry.pages_per_block
-        self._free.append(victim.index)
-        report.erased_blocks += 1
-        self.total_erased_blocks += 1
+        self._gc_report = report
+        try:
+            self.reclaim.drain_to_target()
+        finally:
+            self._gc_report = None

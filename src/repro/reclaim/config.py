@@ -1,0 +1,43 @@
+"""Validated knob helpers shared by every reclamation config.
+
+The four reclamation call sites historically repeated the same bounds
+checks (``victim_valid_threshold`` in [0, 1], watermarks >= 1, pace >= 1)
+with bare ``ValueError``s.  These helpers are the one place those checks
+live now; they raise :class:`~repro.errors.ConfigError`, which subclasses
+``ValueError`` so existing callers that catch the broader type keep
+working.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+from repro.errors import ConfigError
+
+Number = TypeVar("Number", int, float)
+
+
+def ensure_at_least(name: str, value: Number, minimum: Number) -> Number:
+    """Validate ``value >= minimum``; returns the value for chaining."""
+    if value < minimum:
+        raise ConfigError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def ensure_between(name: str, value: Number, lo: Number, hi: Number) -> Number:
+    """Validate ``lo <= value <= hi``; returns the value for chaining."""
+    if not lo <= value <= hi:
+        raise ConfigError(f"{name} must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+def ensure_fraction(name: str, value: float) -> float:
+    """Validate a [0, 1] fraction (thresholds, ratios)."""
+    return ensure_between(name, value, 0.0, 1.0)
+
+
+def ensure_choice(name: str, value: str, choices: Sequence[str]) -> str:
+    """Validate membership in a closed set of knob values."""
+    if value not in choices:
+        raise ConfigError(f"{name} must be one of {tuple(choices)}, got {value!r}")
+    return value

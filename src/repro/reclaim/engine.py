@@ -1,0 +1,263 @@
+"""The shared garbage-collection engine all four layers run on.
+
+One loop, four wearers: the FTL drains whole victim blocks inline with
+a host write, the ZTL and the F2FS cleaner keep one victim "in
+progress" and migrate a paced batch of units per background check, and
+the cache evicts whole regions at allocation time.  The engine owns the
+loop structure — victim selection through a :class:`~repro.reclaim.
+policy.VictimPolicy`, trigger/budget decisions through a
+:class:`~repro.reclaim.pacer.ReclaimPacer`, uniform counters in
+:class:`ReclaimStats`, and ``reclaim.<layer>`` spans on the shared
+:class:`~repro.sim.io.IoTracer` — while a thin :class:`ReclaimSource`
+adapter per layer supplies candidates and performs the actual unit
+migration (whose device traffic already rides the IoPipeline).
+"""
+
+from __future__ import annotations
+
+import abc
+import contextlib
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.reclaim.pacer import ReclaimPacer
+from repro.reclaim.policy import VictimPolicy, VictimView
+from repro.sim.io import NULL_TRACER, IoTracer
+from repro.sim.stats import LatencyRecorder
+
+
+class UnitOutcome(enum.Enum):
+    """What happened to one pending unit during a reclaim step."""
+
+    MIGRATED = "migrated"
+    DROPPED = "dropped"
+    # Stale entry (invalidated since the victim was chosen): costs no
+    # step budget, mirrors every layer's historical ``continue`` path.
+    SKIPPED = "skipped"
+    # Transient device error: the unit is re-queued and the step ends.
+    RETRY = "retry"
+
+
+class ReclaimSource(abc.ABC):
+    """Layer adapter the engine drives.
+
+    ``name`` labels the layer's ``reclaim.<name>`` spans and bench
+    columns; ``unit_bytes`` is the payload size of one migrated unit
+    (page/block/region) for copied-byte accounting and token pacing.
+    """
+
+    name: str = "source"
+    unit_bytes: int = 0
+
+    @abc.abstractmethod
+    def free_units(self) -> int:
+        """Free containers available (watermark input)."""
+
+    @abc.abstractmethod
+    def candidate_views(self) -> List[VictimView]:
+        """Reclaimable containers, in the layer's stable candidate order."""
+
+    @abc.abstractmethod
+    def pending_units(self, victim_id: int) -> List[int]:
+        """Unit work-list for a freshly chosen victim.
+
+        The engine pops from the *end*; sources that must process in a
+        specific order return the list accordingly reversed.
+        """
+
+    @abc.abstractmethod
+    def migrate_unit(self, victim_id: int, unit: int) -> UnitOutcome:
+        """Relocate (or drop) one unit; exceptions propagate."""
+
+    @abc.abstractmethod
+    def release_victim(self, victim_id: int) -> None:
+        """All units processed: erase/reset/wipe the container."""
+
+    def flush_step(self) -> None:
+        """End-of-step hook for sources that batch their migrations."""
+
+    def step_span(self, tracer: IoTracer, victim_id: int):
+        """Optional legacy span wrapped inside the engine's reclaim span
+        (the F2FS cleaner keeps its ``f2fs.gc`` span this way)."""
+        return contextlib.nullcontext()
+
+
+@dataclass
+class ReclaimStats:
+    """Uniform per-layer reclamation counters (the ``gc_*`` family)."""
+
+    victims_reclaimed: int = 0
+    units_migrated: int = 0
+    units_dropped: int = 0
+    copied_bytes: int = 0
+    retries: int = 0
+    # Distinct victims started (trigger events that found work).
+    triggers: int = 0
+    fg_collections: int = 0
+    stall: LatencyRecorder = field(default_factory=lambda: LatencyRecorder("gc_stall"))
+
+    @property
+    def stall_us_p99(self) -> float:
+        return self.stall.p99() / 1000
+
+
+class ReclaimEngine:
+    """Victim lifecycle + paced migration loop over a :class:`ReclaimSource`."""
+
+    def __init__(
+        self,
+        source: ReclaimSource,
+        policy: VictimPolicy,
+        pacer: ReclaimPacer,
+        tracer: IoTracer = NULL_TRACER,
+        clock=None,
+    ) -> None:
+        self.source = source
+        self.policy = policy
+        self.pacer = pacer
+        self.tracer = tracer
+        self.clock = clock
+        self.stats = ReclaimStats()
+        self._victim: Optional[int] = None
+        self._pending: List[int] = []
+
+    # --- state ---------------------------------------------------------------------
+
+    @property
+    def victim(self) -> Optional[int]:
+        """Victim currently in progress, if any."""
+        return self._victim
+
+    def abandon_victim(self, victim_id: Optional[int] = None) -> None:
+        """Forget the in-progress victim (its container died or the
+        layer's bookkeeping was rebuilt); matching id or None = any."""
+        if victim_id is None or self._victim == victim_id:
+            self._victim = None
+            self._pending = []
+
+    # --- policy --------------------------------------------------------------------
+
+    def needs_reclaim(self) -> bool:
+        return self.pacer.should_trigger(self.source.free_units())
+
+    def pick_victim(self) -> Optional[int]:
+        """Best candidate by policy score, if the pacer accepts it.
+
+        A rejected best candidate defers collection entirely (no
+        second-best fallback): rewrites keep concentrating dead units
+        into old containers, so waiting is what keeps WA low.
+        """
+        views = self.source.candidate_views()
+        if not views:
+            return None
+        chosen = self.policy.select(views)
+        if chosen is None:
+            return None
+        view = next(v for v in views if v.victim_id == chosen)
+        if not self.pacer.accepts(view.valid_fraction, self.source.free_units()):
+            return None
+        if view.valid_fraction <= self.pacer.config.victim_valid_threshold:
+            return chosen
+        # Emergency admission: the policy's pick is over the valid-data
+        # threshold, so it may cost a whole container of survivor slots
+        # without freeing net space.  Take the least-valid candidate
+        # regardless of policy — the historical guarantee that emergency
+        # collection always makes forward progress.
+        return min(views, key=lambda v: v.valid_fraction).victim_id
+
+    # --- execution -----------------------------------------------------------------
+
+    def background_step(self) -> int:
+        """Paced check after a foreground write; returns units processed."""
+        if self._victim is None and not self.needs_reclaim():
+            return 0
+        return self._step(self.pacer.step_budget(self.source.free_units()))
+
+    def collect(self, max_victims: int = 1, max_steps: Optional[int] = None) -> int:
+        """Foreground collection: finish up to ``max_victims`` whole
+        victims now; returns how many were reclaimed.
+
+        ``max_steps`` bounds the retry loop per victim so a persistently
+        faulting device cannot livelock the foreground path.  Wall time
+        spent here is recorded as foreground stall when a clock is wired.
+        """
+        started = self.clock.now if self.clock is not None else None
+        self.stats.fg_collections += 1
+        reclaimed = 0
+        try:
+            for _ in range(max_victims):
+                before = self.stats.victims_reclaimed
+                self._step(None)
+                steps = 0
+                while self._victim is not None and (
+                    max_steps is None or steps < max_steps
+                ):
+                    self._step(None)
+                    steps += 1
+                if self.stats.victims_reclaimed == before:
+                    break
+                reclaimed += 1
+                if not self.needs_reclaim():
+                    break
+        finally:
+            if started is not None:
+                self.stats.stall.record(self.clock.now - started)
+        return reclaimed
+
+    def drain_to_target(self) -> int:
+        """Synchronous whole-victim reclaim until free units reach the
+        pacer's target watermark (the FTL's low→high drain)."""
+        reclaimed = 0
+        while not self.pacer.reached_target(self.source.free_units()):
+            before = self.stats.victims_reclaimed
+            self._step(None)
+            while self._victim is not None:
+                self._step(None)
+            if self.stats.victims_reclaimed == before:
+                break
+            reclaimed += 1
+        return reclaimed
+
+    def _step(self, budget: Optional[int]) -> int:
+        if self._victim is None:
+            self._victim = self.pick_victim()
+            if self._victim is None:
+                return 0
+            self._pending = list(self.source.pending_units(self._victim))
+            self.stats.triggers += 1
+        victim = self._victim
+        source = self.source
+        processed = 0
+        self.pacer.refill()
+        with self.tracer.span("reclaim." + source.name, "migrate", zone=victim):
+            with source.step_span(self.tracer, victim):
+                while self._pending and (budget is None or processed < budget):
+                    if not self.pacer.try_reserve(source.unit_bytes):
+                        break
+                    unit = self._pending.pop()
+                    outcome = source.migrate_unit(victim, unit)
+                    if outcome is UnitOutcome.SKIPPED:
+                        continue
+                    if outcome is UnitOutcome.RETRY:
+                        # Nothing was mutated: put the unit back and give
+                        # up this step; the next check resumes here.
+                        self._pending.append(unit)
+                        self.stats.retries += 1
+                        source.flush_step()
+                        return processed
+                    if outcome is UnitOutcome.MIGRATED:
+                        self.stats.units_migrated += 1
+                        self.stats.copied_bytes += source.unit_bytes
+                        self.pacer.spend(source.unit_bytes)
+                    else:
+                        self.stats.units_dropped += 1
+                    processed += 1
+                source.flush_step()
+        if not self._pending:
+            finished = self._victim
+            self._victim = None
+            with self.tracer.span("reclaim." + source.name, "reset", zone=finished):
+                source.release_victim(finished)
+            self.stats.victims_reclaimed += 1
+        return processed

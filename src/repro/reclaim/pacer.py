@@ -1,0 +1,131 @@
+"""Trigger watermarks, copy-I/O token bucket, and stall accounting.
+
+Each reclamation layer historically hard-wired *when* to collect (a free
+watermark), *how hard* (a per-step pace), and *when to panic* (emergency
+foreground collection).  :class:`ReclaimPacer` owns those three levers
+behind one validated config so the bench can sweep them uniformly:
+
+* ``background``/``target`` — reclaim starts when free containers drop
+  below ``background`` and synchronous drains stop at ``target`` (the
+  FTL's low/high watermark pair; layers that pace incrementally use
+  ``target == background``).
+* ``urgent`` — below this free level, background steps ignore the pace
+  budget and run unbounded (disabled at -1, the bit-identical default).
+* ``emergency`` — at or below this free level, victim acceptance ignores
+  ``victim_valid_threshold`` so forward progress is guaranteed.
+* ``pace_units`` — units migrated per background step (0 = unbounded).
+* ``copy_tokens_per_step`` — optional token bucket on copy *bytes*: each
+  step refills the bucket and migrations stop when it is dry, bounding
+  GC bandwidth independently of unit count (0 = unlimited, the default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.reclaim.config import (
+    ensure_at_least,
+    ensure_between,
+    ensure_fraction,
+)
+from repro.sim.stats import LatencyRecorder
+
+
+@dataclass(frozen=True)
+class PacerConfig:
+    """Watermark + pacing knobs; defaults are neutral (no throttling)."""
+
+    background: int = 2
+    target: int = 2
+    urgent: int = -1
+    emergency: int = 0
+    victim_valid_threshold: float = 1.0
+    pace_units: int = 0
+    copy_tokens_per_step: int = 0
+    copy_bucket_cap: int = 0
+
+    def __post_init__(self) -> None:
+        ensure_at_least("background", self.background, 1)
+        ensure_at_least("target", self.target, self.background)
+        ensure_at_least("urgent", self.urgent, -1)
+        ensure_between("emergency", self.emergency, 0, self.background)
+        ensure_fraction("victim_valid_threshold", self.victim_valid_threshold)
+        ensure_at_least("pace_units", self.pace_units, 0)
+        ensure_at_least("copy_tokens_per_step", self.copy_tokens_per_step, 0)
+        ensure_at_least("copy_bucket_cap", self.copy_bucket_cap, 0)
+
+
+class ReclaimPacer:
+    """Runtime side of :class:`PacerConfig`: bucket state + stall stats."""
+
+    def __init__(self, config: PacerConfig) -> None:
+        self.config = config
+        self._bucket_cap = config.copy_bucket_cap or 4 * config.copy_tokens_per_step
+        self._tokens = self._bucket_cap
+        self.throttled_steps = 0
+        # Foreground-stall accounting: wall time (ns) host operations
+        # spent blocked on emergency/inline collection.
+        self.stall = LatencyRecorder("reclaim_stall")
+
+    # --- watermark decisions -----------------------------------------------------
+
+    def should_trigger(self, free_units: int) -> bool:
+        return free_units < self.config.background
+
+    def reached_target(self, free_units: int) -> bool:
+        return free_units >= self.config.target
+
+    def accepts(self, valid_fraction: float, free_units: int) -> bool:
+        """Is this victim worth taking at the current free level?
+
+        Above the emergency level only victims under the valid-data
+        threshold qualify — deferring lets invalidations keep
+        concentrating in old containers, which is what keeps WA low.
+        """
+        if valid_fraction <= self.config.victim_valid_threshold:
+            return True
+        return free_units <= self.config.emergency
+
+    def level(self, free_units: int) -> str:
+        """Pressure level name for telemetry: idle/background/urgent/emergency."""
+        if free_units <= self.config.emergency:
+            return "emergency"
+        if 0 <= self.config.urgent and free_units <= self.config.urgent:
+            return "urgent"
+        if free_units < self.config.background:
+            return "background"
+        return "idle"
+
+    # --- per-step budgets ---------------------------------------------------------
+
+    def step_budget(self, free_units: int) -> Optional[int]:
+        """Units this background step may process (None = unbounded)."""
+        if self.config.pace_units <= 0:
+            return None
+        if 0 <= self.config.urgent and free_units <= self.config.urgent:
+            return None
+        return self.config.pace_units
+
+    def refill(self) -> None:
+        if self.config.copy_tokens_per_step > 0:
+            self._tokens = min(
+                self._bucket_cap, self._tokens + self.config.copy_tokens_per_step
+            )
+
+    def try_reserve(self, nbytes: int) -> bool:
+        """May a migration of ``nbytes`` proceed under the copy budget?"""
+        if self.config.copy_tokens_per_step <= 0:
+            return True
+        if self._tokens >= nbytes:
+            return True
+        self.throttled_steps += 1
+        return False
+
+    def spend(self, nbytes: int) -> None:
+        if self.config.copy_tokens_per_step > 0:
+            self._tokens -= nbytes
+
+    @property
+    def copy_tokens(self) -> int:
+        return self._tokens

@@ -1,0 +1,165 @@
+"""Pluggable victim-selection policies behind one scoring protocol.
+
+Every reclamation layer (FTL blocks, ZTL zones, F2FS sections, cache
+regions) faces the same question: *which container is cheapest to
+reclaim right now?*  The classic answers — greedy (fewest valid units),
+cost-benefit (free space gained weighted by age, as in F2FS and the
+original LFS cleaner), age-threshold, and a random baseline — differ
+only in how they score a candidate.  :class:`VictimPolicy` captures that
+interface: ``score(view)`` maps a :class:`VictimView` to an orderable
+value (lower = better victim) and ``select`` takes the minimum with
+first-candidate tie-breaking, which reproduces the historical per-layer
+``min()`` loops bit for bit.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, NamedTuple, Optional, Sequence
+
+from repro.reclaim.config import ensure_at_least, ensure_choice
+from repro.sim.rng import make_rng
+
+
+class VictimView(NamedTuple):
+    """Policy-facing snapshot of one reclaimable container.
+
+    ``victim_id`` is layer-local (block index, zone index, section id,
+    region id); ``age`` is in layer ticks since the container was last
+    written (0 when the layer does not track recency).
+    """
+
+    victim_id: int
+    valid_count: int
+    valid_fraction: float
+    age: int = 0
+
+
+class VictimPolicy(abc.ABC):
+    """Scoring interface; lower scores are better victims."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def score(self, view: VictimView):
+        """Orderable badness of reclaiming this candidate now."""
+
+    def select(self, views: Sequence[VictimView]) -> Optional[int]:
+        """Victim id of the best-scoring candidate (first wins ties)."""
+        if not views:
+            return None
+        return min(views, key=self.score).victim_id
+
+
+class GreedyPolicy(VictimPolicy):
+    """Fewest valid units — maximum space reclaimed per migration byte."""
+
+    name = "greedy"
+
+    def score(self, view: VictimView) -> int:
+        return view.valid_count
+
+
+class CostBenefitPolicy(VictimPolicy):
+    """LFS/F2FS cost-benefit: ``(1 - u) * age / (1 + u)``, maximized.
+
+    Old sparse containers win over young sparse ones, so hot data gets
+    time to die before its container is scrubbed.  Inverted (negated)
+    because the shared ``select`` minimizes.
+    """
+
+    name = "cost_benefit"
+
+    def score(self, view: VictimView) -> float:
+        valid = view.valid_fraction
+        age = max(1, view.age)
+        if valid >= 1.0:
+            return float("inf")
+        benefit = (1.0 - valid) * age / (1.0 + valid)
+        return -benefit
+
+
+class AgeThresholdPolicy(VictimPolicy):
+    """Greedy restricted to candidates older than a threshold.
+
+    Containers younger than ``age_threshold`` ticks are only taken when
+    no old candidate exists — a cruder cousin of cost-benefit that
+    avoids scrubbing still-hot containers without tracking utilization.
+    """
+
+    name = "age_threshold"
+
+    def __init__(self, age_threshold: int = 8) -> None:
+        self.age_threshold = ensure_at_least("age_threshold", age_threshold, 1)
+
+    def score(self, view: VictimView):
+        young = 0 if view.age >= self.age_threshold else 1
+        return (young, view.valid_count)
+
+
+class RandomPolicy(VictimPolicy):
+    """Uniform random victim — the ablation baseline every deliberate
+    policy must beat.  Seeded, so runs stay reproducible."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = make_rng(seed, "reclaim.policy")
+
+    def score(self, view: VictimView) -> int:
+        return 0
+
+    def select(self, views: Sequence[VictimView]) -> Optional[int]:
+        if not views:
+            return None
+        return views[self._rng.randrange(len(views))].victim_id
+
+
+POLICY_NAMES = ("greedy", "cost_benefit", "age_threshold", "random")
+
+
+def make_victim_policy(
+    name: str, seed: int = 0, age_threshold: int = 8
+) -> VictimPolicy:
+    """Factory over :data:`POLICY_NAMES` (the bench/CLI knob surface)."""
+    ensure_choice("policy", name, POLICY_NAMES)
+    if name == "greedy":
+        return GreedyPolicy()
+    if name == "cost_benefit":
+        return CostBenefitPolicy()
+    if name == "age_threshold":
+        return AgeThresholdPolicy(age_threshold)
+    return RandomPolicy(seed)
+
+
+def windowed_draw(order_policy, window: int, population: int, rng) -> Optional[int]:
+    """Draw a victim from the first ``window`` entries in policy order.
+
+    This is navy's clean-region pool: instead of strictly reclaiming the
+    eviction-order head, the victim is drawn (seeded) from a small
+    window, leaving straggler regions behind in dying containers.  The
+    non-chosen candidates return to the head of the order in their
+    original relative order, and the chosen one is left untracked.
+
+    ``order_policy`` is any object with the cache eviction-policy shape
+    (``pick_victim`` / ``untrack`` / ``track_front``); ``population``
+    bounds the window to the number of tracked entries.
+    """
+    if window == 1:
+        return order_policy.pick_victim()
+    candidates: List[int] = []
+    removed: List[int] = []
+    for _ in range(min(window, population)):
+        victim = order_policy.pick_victim()
+        if victim is None:
+            break
+        candidates.append(victim)
+        order_policy.untrack(victim)
+        removed.append(victim)
+    if not candidates:
+        return None
+    chosen = candidates[rng.randrange(len(candidates))]
+    for candidate in reversed(removed):
+        if candidate != chosen:
+            order_policy.track_front(candidate)
+    return chosen

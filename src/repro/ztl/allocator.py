@@ -38,6 +38,9 @@ class ZoneRecord:
     use: ZoneUse = ZoneUse.EMPTY
     bitmap: SlotBitmap = field(init=False)
     next_slot: int = 0
+    # Book tick of the zone's most recent slot write; age = tick - mtime
+    # feeds cost-benefit victim selection (repro.reclaim).
+    mtime: int = 0
 
     def __post_init__(self) -> None:
         self.bitmap = SlotBitmap(self.slots_per_zone)
@@ -86,6 +89,8 @@ class ZoneBook:
         self._gc_open: Optional[int] = None
         self._finished: List[int] = []
         self._rr_cursor = 0
+        # Logical write clock: bumped once per slot write, never rewinds.
+        self.tick = 0
 
     # --- pool state ---------------------------------------------------------------
 
@@ -142,6 +147,8 @@ class ZoneBook:
     def note_slot_written(self, record: ZoneRecord) -> None:
         """Advance the zone's slot cursor; finish the zone when full."""
         record.next_slot += 1
+        self.tick += 1
+        record.mtime = self.tick
         if record.is_full:
             self.mark_finished(record.zone_index)
 

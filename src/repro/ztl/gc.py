@@ -7,6 +7,11 @@ below ``min_empty_zones`` it selects a victim (preferring zones whose
 valid fraction is below ``victim_valid_threshold``), migrates the valid
 regions to the GC stream zone, and resets the victim.
 
+The selection/pacing/accounting loop itself lives in
+:mod:`repro.reclaim`; this module supplies the zone-shaped
+:class:`~repro.reclaim.ReclaimSource` and keeps the public
+``ZoneGarbageCollector`` surface the layer and tests already use.
+
 The ``migration_hint`` hook is the co-design lever from §3.4: given a
 region id it may return False to *drop* the region instead of migrating
 it ("not all the valid regions are needed to be migrated"), trading a
@@ -19,6 +24,21 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.errors import TranslationFullError
+from repro.reclaim import (
+    PacerConfig,
+    ReclaimEngine,
+    ReclaimPacer,
+    ReclaimSource,
+    UnitOutcome,
+    VictimView,
+    ensure_at_least,
+    ensure_between,
+    ensure_choice,
+    ensure_fraction,
+    make_victim_policy,
+)
+from repro.reclaim.policy import POLICY_NAMES
+from repro.sim.io import NULL_TRACER, IoTracer
 from repro.ztl.allocator import ZoneBook, ZoneRecord
 
 # Returns True to migrate the region, False to drop it.
@@ -37,6 +57,10 @@ class GcConfig:
     into old zones, so waiting is what keeps WA low — unless the pool is
     critically low (``emergency_empty_zones``), where the least-valid
     zone is taken regardless to guarantee forward progress.
+
+    ``policy`` picks the victim scorer from
+    :data:`repro.reclaim.POLICY_NAMES`; greedy (fewest valid regions) is
+    the paper's behavior and the default.
     """
 
     min_empty_zones: int = 2
@@ -46,20 +70,106 @@ class GcConfig:
     # Regions migrated per background check: keeps each GC burst short so
     # foreground reads never queue behind a whole zone's migration.
     pace_regions: int = 8
+    policy: str = "greedy"
+    # Optional copy-bandwidth cap in bytes refilled per background check
+    # (0 = unlimited); see repro.reclaim.PacerConfig.copy_tokens_per_step.
+    copy_tokens_per_step: int = 0
 
     def __post_init__(self) -> None:
-        if self.min_empty_zones < 1:
-            raise ValueError("min_empty_zones must be >= 1")
-        if not 0.0 <= self.victim_valid_threshold <= 1.0:
-            raise ValueError("victim_valid_threshold must be in [0, 1]")
-        if self.max_zones_per_run < 1:
-            raise ValueError("max_zones_per_run must be >= 1")
-        if not 0 <= self.emergency_empty_zones <= self.min_empty_zones:
-            raise ValueError(
-                "emergency_empty_zones must be in [0, min_empty_zones]"
+        ensure_at_least("min_empty_zones", self.min_empty_zones, 1)
+        ensure_fraction("victim_valid_threshold", self.victim_valid_threshold)
+        ensure_at_least("max_zones_per_run", self.max_zones_per_run, 1)
+        ensure_between(
+            "emergency_empty_zones", self.emergency_empty_zones, 0, self.min_empty_zones
+        )
+        ensure_at_least("pace_regions", self.pace_regions, 1)
+        ensure_choice("policy", self.policy, POLICY_NAMES)
+        ensure_at_least("copy_tokens_per_step", self.copy_tokens_per_step, 0)
+
+    def pacer_config(self) -> PacerConfig:
+        return PacerConfig(
+            background=self.min_empty_zones,
+            target=self.min_empty_zones,
+            emergency=self.emergency_empty_zones,
+            victim_valid_threshold=self.victim_valid_threshold,
+            pace_units=self.pace_regions,
+            copy_tokens_per_step=self.copy_tokens_per_step,
+        )
+
+
+class _ZoneReclaimSource(ReclaimSource):
+    """Zone-shaped adapter the shared engine drives."""
+
+    name = "ztl"
+
+    def __init__(self, owner: "ZoneGarbageCollector", unit_bytes: int) -> None:
+        self.owner = owner
+        self.unit_bytes = unit_bytes
+        # Batched-migration staging for the current step (cleared before
+        # the migrate_many call so a raise loses them, as it always did).
+        self._survivors: List[int] = []
+
+    @property
+    def book(self) -> ZoneBook:
+        return self.owner._book
+
+    def free_units(self) -> int:
+        return self.book.empty_count
+
+    def candidate_views(self) -> List[VictimView]:
+        views = []
+        for zone in self.book.finished_zones:
+            record = self.book.record(zone)
+            views.append(
+                VictimView(
+                    victim_id=zone,
+                    valid_count=record.valid_count,
+                    valid_fraction=record.valid_fraction,
+                    age=self.book.tick - record.mtime,
+                )
             )
-        if self.pace_regions < 1:
-            raise ValueError("pace_regions must be >= 1")
+        return views
+
+    def pending_units(self, victim_id: int) -> List[int]:
+        return list(self.book.record(victim_id).bitmap.valid_slots())
+
+    def migrate_unit(self, victim_id: int, slot: int) -> UnitOutcome:
+        owner = self.owner
+        record = self.book.record(victim_id)
+        if not record.bitmap.is_set(slot):
+            return UnitOutcome.SKIPPED  # invalidated since the victim was chosen
+        region_id = owner._region_at(victim_id, slot)
+        if region_id is None:
+            record.bitmap.clear(slot)
+            return UnitOutcome.SKIPPED
+        keep = True
+        if owner.migration_hint is not None:
+            keep = owner.migration_hint(region_id)
+        if keep:
+            if owner._migrate_many is not None:
+                # Batched path: the layer allocates targets itself so
+                # it can submit the copy loop as one pipelined batch.
+                self._survivors.append(region_id)
+            else:
+                target = self.book.allocate_gc_slot()
+                owner._migrate(region_id, target)
+            record.bitmap.clear(slot)
+            return UnitOutcome.MIGRATED
+        owner._drop(region_id)
+        record.bitmap.clear(slot)
+        return UnitOutcome.DROPPED
+
+    def flush_step(self) -> None:
+        if not self._survivors:
+            return
+        survivors = self._survivors
+        self._survivors = []
+        assert self.owner._migrate_many is not None
+        self.owner._migrate_many(survivors)
+
+    def release_victim(self, victim_id: int) -> None:
+        self.owner._reset(victim_id)
+        self.book.mark_empty(victim_id)
 
 
 class ZoneGarbageCollector:
@@ -67,7 +177,9 @@ class ZoneGarbageCollector:
 
     The actual data movement is delegated to the layer through the
     ``migrate`` and ``reset`` callables so this class stays a pure
-    policy + orchestration object (easy to unit test).
+    policy + orchestration object (easy to unit test).  Selection,
+    pacing, and counters are provided by a shared
+    :class:`~repro.reclaim.ReclaimEngine`.
     """
 
     def __init__(
@@ -79,6 +191,9 @@ class ZoneGarbageCollector:
         migration_hint: Optional[MigrationHint] = None,
         on_drop: Optional[DropCallback] = None,
         migrate_many: Optional[Callable[[List[int]], None]] = None,
+        tracer: IoTracer = NULL_TRACER,
+        clock=None,
+        unit_bytes: int = 0,
     ) -> None:
         self._book = book
         self.config = config
@@ -87,37 +202,64 @@ class ZoneGarbageCollector:
         self._reset = reset
         self.migration_hint = migration_hint
         self.on_drop = on_drop
-        self.zones_collected = 0
-        self.regions_migrated = 0
-        self.regions_dropped = 0
-        self._victim: Optional[int] = None
-        self._pending: List[int] = []
+        self._source = _ZoneReclaimSource(self, unit_bytes)
+        self.engine = ReclaimEngine(
+            self._source,
+            make_victim_policy(config.policy),
+            ReclaimPacer(config.pacer_config()),
+            tracer=tracer,
+            clock=clock,
+        )
+
+    # --- counters (legacy names, engine-backed) -------------------------------------
+
+    @property
+    def zones_collected(self) -> int:
+        return self.engine.stats.victims_reclaimed
+
+    @property
+    def regions_migrated(self) -> int:
+        return self.engine.stats.units_migrated
+
+    @property
+    def regions_dropped(self) -> int:
+        return self.engine.stats.units_dropped
+
+    # The layer pokes these directly when zones die or state is restored.
+
+    @property
+    def _victim(self) -> Optional[int]:
+        return self.engine.victim
+
+    @_victim.setter
+    def _victim(self, value: Optional[int]) -> None:
+        if value is None:
+            self.engine.abandon_victim()
+        else:
+            self.engine._victim = value
+
+    @property
+    def _pending(self) -> List[int]:
+        return self.engine._pending
+
+    @_pending.setter
+    def _pending(self, value: List[int]) -> None:
+        self.engine._pending = list(value)
 
     # --- policy -------------------------------------------------------------------
 
     def needs_collection(self) -> bool:
-        return self._book.empty_count < self.config.min_empty_zones
+        return self.engine.needs_reclaim()
 
     def pick_victim(self) -> Optional[int]:
-        """Finished zone with the least valid data, if it is worth taking.
+        """Finished zone the policy scores cheapest, if worth taking.
 
         Only zones below the valid-data threshold qualify during normal
         background GC; when the empty pool is at the emergency level the
-        least-valid zone is returned regardless so the device can always
-        make forward progress.
+        best-scoring zone is returned regardless so the device can
+        always make forward progress.
         """
-        candidates = self._book.finished_zones
-        if not candidates:
-            return None
-        best = min(candidates, key=lambda z: self._book.record(z).valid_count)
-        record = self._book.record(best)
-        if record.valid_fraction <= self.config.victim_valid_threshold:
-            return best
-        if self._book.empty_count <= self.config.emergency_empty_zones:
-            return best
-        # Nothing cheap to collect and no emergency: defer — invalidations
-        # keep accumulating in old zones, so patience lowers WA.
-        return None
+        return self.engine.pick_victim()
 
     # --- execution ------------------------------------------------------------------
 
@@ -128,70 +270,11 @@ class ZoneGarbageCollector:
         migrates at most ``pace_regions`` regions per call, so no single
         foreground operation queues behind a whole zone's migration.
         """
-        if self._victim is None and not self.needs_collection():
-            return 0
-        return self._step(self.config.pace_regions)
+        return self.engine.background_step()
 
     def collect(self, max_zones: int = 1) -> int:
         """Emergency foreground collection: finish whole victims now."""
-        reclaimed = 0
-        for _ in range(max_zones):
-            before = self.zones_collected
-            self._step(self._book.slots_per_zone + 1)
-            while self._victim is not None:
-                self._step(self._book.slots_per_zone + 1)
-            if self.zones_collected == before:
-                break
-            reclaimed += 1
-            if not self.needs_collection():
-                break
-        return reclaimed
-
-    def _step(self, budget: int) -> int:
-        if self._victim is None:
-            self._victim = self.pick_victim()
-            if self._victim is None:
-                return 0
-            record = self._book.record(self._victim)
-            self._pending = list(record.bitmap.valid_slots())
-        record = self._book.record(self._victim)
-        processed = 0
-        survivors: List[int] = []
-        while self._pending and processed < budget:
-            slot = self._pending.pop()
-            if not record.bitmap.is_set(slot):
-                continue  # invalidated since the victim was chosen
-            region_id = self._region_at(self._victim, slot)
-            if region_id is None:
-                record.bitmap.clear(slot)
-                continue
-            keep = True
-            if self.migration_hint is not None:
-                keep = self.migration_hint(region_id)
-            if keep:
-                if self._migrate_many is not None:
-                    # Batched path: the layer allocates targets itself so
-                    # it can submit the copy loop as one pipelined batch.
-                    survivors.append(region_id)
-                else:
-                    target = self._book.allocate_gc_slot()
-                    self._migrate(region_id, target)
-                self.regions_migrated += 1
-            else:
-                self.regions_dropped += 1
-                self._drop(region_id)
-            record.bitmap.clear(slot)
-            processed += 1
-        if survivors:
-            assert self._migrate_many is not None
-            self._migrate_many(survivors)
-        if not self._pending:
-            victim = self._victim
-            self._victim = None
-            self._reset(victim)
-            self._book.mark_empty(victim)
-            self.zones_collected += 1
-        return processed
+        return self.engine.collect(max_victims=max_zones)
 
     # Wired by the layer: region lookup by location and drop handling.
     _region_lookup: Optional[Callable[[int, int], Optional[int]]] = None

@@ -126,6 +126,9 @@ class RegionTranslationLayer:
             migration_hint=migration_hint,
             on_drop=on_drop,
             migrate_many=self._migrate_regions,
+            tracer=device.tracer,
+            clock=device.pipeline.clock,
+            unit_bytes=config.region_size,
         )
         self.gc.bind_lookup(self._region_at, self._drop_region)
 

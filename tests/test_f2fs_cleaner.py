@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.f2fs import CleanerConfig, F2fs, F2fsConfig, VictimPolicy, fsck
-from repro.f2fs.gc import Cleaner
 from repro.flash import NandGeometry, NullBlkDevice, ZnsConfig, ZnsSsd
 from repro.sim import SimClock
 from repro.units import KIB, MIB

@@ -10,7 +10,7 @@ from repro.errors import (
     FileNotFoundInFsError,
     NoSpaceError,
 )
-from repro.f2fs import Cleaner, CleanerConfig, F2fs, F2fsConfig, VictimPolicy
+from repro.f2fs import CleanerConfig, F2fs, F2fsConfig, VictimPolicy
 from repro.flash import NandGeometry, NullBlkDevice, ZnsConfig, ZnsSsd
 from repro.sim import SimClock
 from repro.units import KIB, MIB
