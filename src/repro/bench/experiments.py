@@ -101,16 +101,7 @@ def _reclaim_engine(stack: SchemeStack):
     Zone-Cache returns ``("none", None)``: it has no device-side
     reclamation — the paper's premise — so its gc_* columns are zeros.
     """
-    layer = stack.substrate.get("layer")
-    if layer is not None:
-        return "ztl", layer.gc.engine
-    fs = stack.substrate.get("fs")
-    if fs is not None:
-        return "f2fs", fs.cleaner.engine
-    ftl = getattr(stack.substrate.get("device"), "ftl", None)
-    if ftl is not None:
-        return "ftl", ftl.reclaim
-    return "none", None
+    return stack.reclaim_engine()
 
 
 def _gc_columns(stack: SchemeStack) -> Dict[str, object]:
@@ -122,6 +113,7 @@ def _gc_columns(stack: SchemeStack) -> Dict[str, object]:
     """
     layer_name, engine = _reclaim_engine(stack)
     stats = engine.stats if engine is not None else None
+    pacer = engine.pacer if engine is not None else None
     cache_stats = stack.cache.regions.reclaim_stats
     return {
         "gc_layer": layer_name,
@@ -134,6 +126,14 @@ def _gc_columns(stack: SchemeStack) -> Dict[str, object]:
         "gc_stall_us_p99": stats.stall_us_p99 if stats is not None else 0.0,
         "gc_cache_evictions": cache_stats.victims_reclaimed,
         "gc_cache_dropped_keys": cache_stats.units_dropped,
+        # Copy-budget and adaptive-pacing telemetry (zeros when static).
+        "gc_throttled_steps": pacer.throttled_steps if pacer is not None else 0,
+        "gc_copy_throttle_events": (
+            pacer.copy_throttle_events if pacer is not None else 0
+        ),
+        "gc_pace_adjustments": pacer.pace_adjustments if pacer is not None else 0,
+        "gc_pace_clamps": pacer.pace_clamps if pacer is not None else 0,
+        "gc_pace_units_end": pacer.pace_units if pacer is not None else 0,
     }
 
 
@@ -916,4 +916,194 @@ def run_gc_smoke(seed: int = 7) -> List[Dict[str, object]]:
         requests_per_tenant=6_000,
         seed=seed,
         trace=True,
+    )
+
+
+# --------------------------------------------------------------------------
+# GC↔QoS co-scheduling — adaptive pacing × GC-aware routing
+# --------------------------------------------------------------------------
+
+def _gc_qos_overrides(name: str) -> tuple:
+    """Reclaim configs with the ``urgent`` pressure band wired.
+
+    GC-aware routing reroutes at the urgent band and adaptive pacing
+    relaxes/clamps around it, so every scheme that reclaims gets an
+    urgent watermark one container above its emergency floor.
+    Zone-Cache has no reclamation and gets nothing — its pressure is
+    always idle, which is itself the paper's point.
+    """
+    from repro.f2fs.gc import CleanerConfig
+    from repro.f2fs.gc import VictimPolicy as F2fsVictimPolicy
+    from repro.flash.ftl import FtlConfig
+    from repro.ztl.gc import GcConfig
+
+    if name == "Region-Cache":
+        # The background band (urgent < free < min_empty) must be wide
+        # enough that paced steps actually run there; with background and
+        # urgent adjacent every GC step lands in the unbounded urgent
+        # regime and pace_units never binds.
+        gc = GcConfig(
+            min_empty_zones=4,
+            urgent_empty_zones=2,
+            emergency_empty_zones=1,
+            victim_valid_threshold=0.90,
+            pace_regions=8,
+        )
+        return (("gc", gc),)
+    if name == "File-Cache":
+        cleaner = CleanerConfig(
+            low_watermark=4,
+            urgent_sections=2,
+            emergency_sections=1,
+            pace_blocks=16,
+            policy=F2fsVictimPolicy.COST_BENEFIT,
+            victim_valid_threshold=0.90,
+        )
+        return (("cleaner", cleaner),)
+    if name == "Block-Cache":
+        ftl = FtlConfig(
+            op_ratio=0.20,
+            gc_low_watermark=4,
+            gc_high_watermark=8,
+            gc_urgent_watermark=2,
+        )
+        return (("ftl", ftl),)
+    return ()
+
+
+def run_gc_qos_sweep(
+    scale: Optional[SchemeScale] = None,
+    zones_per_shard: int = 10,
+    cache_zones_per_shard: int = 6,
+    file_zones_per_shard: int = 16,
+    num_shards: int = 2,
+    offered_kops: tuple = (8.0, 12.0, 20.0),
+    requests_per_tenant: int = 8_000,
+    num_keys: Optional[int] = None,
+    max_queue_depth: int = 48,
+    schemes: tuple = SCHEME_NAMES,
+    pacing_modes: tuple = ("static", "adaptive"),
+    routing_modes: tuple = ("static", "gc_aware"),
+    stall_slo_ms: float = 1.0,
+    adjust_interval_steps: int = 16,
+    seed: int = 7,
+) -> List[Dict[str, object]]:
+    """GC↔QoS co-scheduling sweep (`repro gc-qos`): {static, adaptive}
+    pacing × {static, gc_aware} routing per scheme, under the serving
+    sweep's open-loop two-tenant load.
+
+    Both levers respond to the same signal.  Adaptive pacing is an AIMD
+    controller on each shard's reclaim pace, budgeted at half the
+    interactive tenant's p99 SLO (device-side stall is only part of the
+    end-to-end path).  GC-aware routing diverts writes around shards
+    whose pacer sits in the urgent/emergency band.  One row per (scheme,
+    pacing, routing, load) joins both tenants' QoS with the fleet's
+    rerouting and reclaim telemetry, so the ablation reads directly:
+    which half of the loop buys the p99/goodput at the overload knee.
+    """
+    from repro.reclaim import AdaptivePacingConfig
+    from repro.serve import CacheCluster, RoutingConfig, Server, ServerConfig
+
+    scale = scale or _serving_scale()
+    media = zones_per_shard * scale.zone_size
+    cache_bytes = cache_zones_per_shard * scale.zone_size
+    file_media = file_zones_per_shard * scale.zone_size
+    if num_keys is None:
+        num_keys = int(1.05 * num_shards * media / 1568)
+    navy = {"eviction_policy": "fifo", "reclaim_window": 128}
+    adaptive = AdaptivePacingConfig(
+        stall_slo_ns=int(stall_slo_ms * 1e6),
+        interval_steps=adjust_interval_steps,
+    )
+    rows: List[Dict[str, object]] = []
+    for name in schemes:
+        base_overrides: Dict[str, object] = (
+            {"eviction_policy": "fifo"} if name == "Zone-Cache" else dict(navy)
+        )
+        shard_cache = None if name == "Zone-Cache" else cache_bytes
+        shard_file = file_media if name == "File-Cache" else None
+        for load_kops in offered_kops:
+            for pacing in pacing_modes:
+                for routing in routing_modes:
+                    cluster = CacheCluster.homogeneous(
+                        name,
+                        num_shards,
+                        media,
+                        shard_cache,
+                        file_media_bytes=shard_file,
+                        scale=scale,
+                        cache_overrides=tuple(sorted(base_overrides.items()))
+                        + _gc_qos_overrides(name),
+                        routing=RoutingConfig(policy=routing),
+                    )
+                    if pacing == "adaptive":
+                        for shard in cluster.shards:
+                            shard.stack.enable_adaptive_pacing(adaptive)
+                    tenants = _serving_tenants(
+                        load_kops * 1000, requests_per_tenant, num_keys, seed
+                    )
+                    report = Server(
+                        cluster,
+                        tenants,
+                        ServerConfig(max_queue_depth=max_queue_depth),
+                    ).run()
+                    gc_cols = [
+                        _gc_columns(shard.stack) for shard in cluster.shards
+                    ]
+                    shard_rows = report.shard_rows
+                    web = next(
+                        r for r in report.tenant_rows if r["tenant"] == "web"
+                    )
+                    batch = next(
+                        r for r in report.tenant_rows if r["tenant"] == "batch"
+                    )
+                    rows.append({
+                        "scheme": name,
+                        "pacing": pacing,
+                        "routing": routing,
+                        "offered_total_kops": load_kops,
+                        "web_p99_us": web["p99_us"],
+                        "web_goodput_kops": web["goodput_kops"],
+                        "web_slo_attainment": web["slo_attainment"],
+                        "batch_p99_us": batch["p99_us"],
+                        "batch_goodput_kops": batch["goodput_kops"],
+                        "cluster_shed_rate": report.shed_rate,
+                        "rerouted_writes": sum(
+                            r["rerouted_out"] for r in shard_rows
+                        ),
+                        "rerouted_web": web["rerouted"],
+                        "rerouted_batch": batch["rerouted"],
+                        "gc_layer": gc_cols[0]["gc_layer"],
+                        "gc_victims": sum(c["gc_victims"] for c in gc_cols),
+                        "gc_migrated_units": sum(
+                            c["gc_migrated_units"] for c in gc_cols
+                        ),
+                        "gc_stall_us_p99": max(
+                            c["gc_stall_us_p99"] for c in gc_cols
+                        ),
+                        "gc_throttled_steps": sum(
+                            c["gc_throttled_steps"] for c in gc_cols
+                        ),
+                        "gc_pace_adjustments": sum(
+                            c["gc_pace_adjustments"] for c in gc_cols
+                        ),
+                        "gc_pace_clamps": sum(
+                            c["gc_pace_clamps"] for c in gc_cols
+                        ),
+                        "gc_pace_units_end": max(
+                            c["gc_pace_units_end"] for c in gc_cols
+                        ),
+                    })
+    return rows
+
+
+def run_gc_qos_smoke(seed: int = 7) -> List[Dict[str, object]]:
+    """`repro gc-qos --smoke`: one ZNS scheme, two shards, all four
+    pacing × routing combos at one load — small enough for a CI step,
+    still driving the adaptive controller and the rerouting path."""
+    return run_gc_qos_sweep(
+        offered_kops=(12.0,),
+        requests_per_tenant=4_000,
+        schemes=("Region-Cache",),
+        seed=seed,
     )

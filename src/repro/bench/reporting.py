@@ -39,6 +39,8 @@ GC_COLUMN_ALIASES: Dict[str, str] = {
     "items_evicted": "gc_dropped_units",
     "gc_zone_resets": "gc_resets",
     "gc_runs": "gc_triggers",
+    "throttled_steps": "gc_throttled_steps",
+    "copy_throttle_events": "gc_copy_throttle_events",
 }
 
 

@@ -84,6 +84,62 @@ class SchemeStack:
     def cache_bytes(self) -> int:
         return self.cache.config.flash_bytes
 
+    def reclaim_engine(self):
+        """``(layer_name, engine)`` for this scheme's reclamation engine.
+
+        Zone-Cache returns ``("none", None)``: it has no device-side
+        reclamation — the paper's premise — so its gc_* columns are
+        zeros and its routing pressure is always idle.
+        """
+        layer = self.substrate.get("layer")
+        if layer is not None:
+            return "ztl", layer.gc.engine
+        fs = self.substrate.get("fs")
+        if fs is not None:
+            return "f2fs", fs.cleaner.engine
+        ftl = getattr(self.substrate.get("device"), "ftl", None)
+        if ftl is not None:
+            return "ftl", ftl.reclaim
+        return "none", None
+
+    def reclaim_pressure(self) -> Dict[str, object]:
+        """Live reclamation pressure, the GC-aware routing signal.
+
+        ``level`` is the pacer's watermark band (idle/background/urgent/
+        emergency), ``free_units`` the remaining free-container headroom
+        (-1 when the scheme has no reclamation layer), and
+        ``gc_stall_us_p99`` the foreground stall the layer has inflicted
+        so far.
+        """
+        name, engine = self.reclaim_engine()
+        if engine is None:
+            return {
+                "layer": "none",
+                "level": "idle",
+                "free_units": -1,
+                "gc_stall_us_p99": 0.0,
+            }
+        free = engine.source.free_units()
+        return {
+            "layer": name,
+            "level": engine.pacer.level(free),
+            "free_units": free,
+            "gc_stall_us_p99": engine.stats.stall_us_p99,
+        }
+
+    def enable_adaptive_pacing(self, adaptive) -> bool:
+        """Attach an AIMD pacing controller to the reclamation layer.
+
+        Returns False when the scheme has none (Zone-Cache).  Built
+        clusters use this to close the GC↔QoS loop without rebuilding
+        per-layer configs.
+        """
+        _, engine = self.reclaim_engine()
+        if engine is None:
+            return False
+        engine.pacer.enable_adaptive(adaptive)
+        return True
+
 
 def _cache_config(scale: SchemeScale, region_size: int, num_regions: int,
                   **overrides) -> CacheConfig:

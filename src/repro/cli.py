@@ -87,6 +87,16 @@ def _gc_sweep(quick: bool) -> List[dict]:
     return run_gc_ablation()
 
 
+def _gc_qos(quick: bool) -> List[dict]:
+    from repro.bench.experiments import run_gc_qos_sweep
+
+    if quick:
+        return run_gc_qos_sweep(
+            offered_kops=(12.0,), requests_per_tenant=4_000
+        )
+    return run_gc_qos_sweep()
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
     "fig2": _fig2,
     "fig3": _fig3,
@@ -96,6 +106,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
     "table2": _table2,
     "serve": _serve,
     "gc-sweep": _gc_sweep,
+    "gc-qos": _gc_qos,
 }
 
 TITLES = {
@@ -107,6 +118,7 @@ TITLES = {
     "table2": "Table 2: Zone-Cache cache-size sweep",
     "serve": "Serving sweep: offered load vs p99 and shed rate per scheme",
     "gc-sweep": "GC ablation: victim policy x watermark x pacing per scheme",
+    "gc-qos": "GC-QoS co-scheduling: adaptive pacing x GC-aware routing",
 }
 
 
@@ -142,7 +154,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "with 'serve': tiny mixed-fleet run (2 shards, 2 tenants, "
             "~2k requests) used as the CI smoke test; with 'gc-sweep': "
-            "two policies with tracing on, verifying reclaim spans"
+            "two policies with tracing on, verifying reclaim spans; with "
+            "'gc-qos': one scheme, all four pacing x routing combos"
         ),
     )
     return parser
@@ -177,6 +190,14 @@ def _plot_for(name: str, rows: List[dict]) -> str:
         return scheme_bars(
             web, "p99_us", label_key="load", title="web tenant p99 (us)"
         )
+    if name == "gc-qos":
+        labeled = [
+            {**r, "combo": f"{r['scheme'][:6]}/{r['pacing'][:4]}+{r['routing']}"}
+            for r in rows
+        ]
+        return scheme_bars(
+            labeled, "web_p99_us", label_key="combo", title="web tenant p99 (us)"
+        )
     if name == "gc-sweep":
         labeled = [
             {**r, "combo": f"{r['scheme']}/{r['gc_policy']}@w{r['watermark_scale']}"}
@@ -203,6 +224,10 @@ def run(argv: Optional[List[str]] = None) -> int:
             from repro.bench.experiments import run_gc_smoke
 
             rows = run_gc_smoke()
+        elif name == "gc-qos" and args.smoke:
+            from repro.bench.experiments import run_gc_qos_smoke
+
+            rows = run_gc_qos_smoke()
         else:
             rows = EXPERIMENTS[name](args.quick)
         elapsed = time.time() - started

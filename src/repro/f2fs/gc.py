@@ -34,6 +34,7 @@ from repro.f2fs.layout import F2fsLayout
 from repro.f2fs.segment import LogManager
 from repro.f2fs.sit import SegmentInfoTable
 from repro.reclaim import (
+    AdaptivePacingConfig,
     PacerConfig,
     ReclaimEngine,
     ReclaimPacer,
@@ -72,19 +73,28 @@ class CleanerConfig:
     # log heads against ``NoSpaceError``.
     victim_valid_threshold: float = 1.0
     emergency_sections: int = 0
+    # At or below this many free sections cleaning runs unbounded and the
+    # pacer reports "urgent" (-1 = disabled, the historical behavior).
+    urgent_sections: int = -1
+    # Optional AIMD controller on pace_blocks (None = static pacing);
+    # see repro.reclaim.AdaptivePacingConfig.
+    adaptive: Optional["AdaptivePacingConfig"] = None
 
     def __post_init__(self) -> None:
         ensure_at_least("low_watermark", self.low_watermark, 1)
         ensure_at_least("pace_blocks", self.pace_blocks, 1)
         ensure_at_least("emergency_sections", self.emergency_sections, 0)
+        ensure_at_least("urgent_sections", self.urgent_sections, -1)
 
     def pacer_config(self) -> PacerConfig:
         return PacerConfig(
             background=self.low_watermark,
             target=self.low_watermark,
+            urgent=self.urgent_sections,
             emergency=self.emergency_sections,
             victim_valid_threshold=self.victim_valid_threshold,
             pace_units=self.pace_blocks,
+            adaptive=self.adaptive,
         )
 
 

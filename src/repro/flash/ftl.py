@@ -55,6 +55,10 @@ class FtlConfig:
     gc_low_watermark: int = 4
     gc_high_watermark: int = 8
     gc_policy: str = "greedy"
+    # At or below this many free blocks the pacer reports the "urgent"
+    # pressure level (-1 = disabled).  The FTL drains synchronously
+    # either way; this watermark exists for the GC-aware routing signal.
+    gc_urgent_watermark: int = -1
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.op_ratio < 1.0:
@@ -64,11 +68,13 @@ class FtlConfig:
             "gc_high_watermark", self.gc_high_watermark, self.gc_low_watermark
         )
         ensure_choice("gc_policy", self.gc_policy, POLICY_NAMES)
+        ensure_at_least("gc_urgent_watermark", self.gc_urgent_watermark, -1)
 
     def pacer_config(self) -> PacerConfig:
         return PacerConfig(
             background=self.gc_low_watermark,
             target=self.gc_high_watermark,
+            urgent=self.gc_urgent_watermark,
         )
 
 

@@ -32,7 +32,7 @@ from repro.reclaim.engine import (
     ReclaimStats,
     UnitOutcome,
 )
-from repro.reclaim.pacer import PacerConfig, ReclaimPacer
+from repro.reclaim.pacer import AdaptivePacingConfig, PacerConfig, ReclaimPacer
 from repro.reclaim.policy import (
     POLICY_NAMES,
     AgeThresholdPolicy,
@@ -46,6 +46,7 @@ from repro.reclaim.policy import (
 )
 
 __all__ = [
+    "AdaptivePacingConfig",
     "AgeThresholdPolicy",
     "CostBenefitPolicy",
     "GreedyPolicy",

@@ -169,10 +169,26 @@ class ReclaimEngine:
     # --- execution -----------------------------------------------------------------
 
     def background_step(self) -> int:
-        """Paced check after a foreground write; returns units processed."""
+        """Paced check after a foreground write; returns units processed.
+
+        With adaptive pacing attached, each step's wall time is recorded
+        as foreground stall (these checks run inline with host writes)
+        and the pacer's AIMD controller observes the step — that one
+        hook is how every layer on the engine inherits the GC↔QoS loop.
+        """
         if self._victim is None and not self.needs_reclaim():
             return 0
-        return self._step(self.pacer.step_budget(self.source.free_units()))
+        pacer = self.pacer
+        started = (
+            self.clock.now
+            if self.clock is not None and pacer.adaptive is not None
+            else None
+        )
+        processed = self._step(pacer.step_budget(self.source.free_units()))
+        if started is not None:
+            pacer.stall.record(self.clock.now - started)
+        pacer.observe_step()
+        return processed
 
     def collect(self, max_victims: int = 1, max_steps: Optional[int] = None) -> int:
         """Foreground collection: finish up to ``max_victims`` whole
@@ -202,7 +218,12 @@ class ReclaimEngine:
                     break
         finally:
             if started is not None:
-                self.stats.stall.record(self.clock.now - started)
+                stalled = self.clock.now - started
+                self.stats.stall.record(stalled)
+                if self.pacer.adaptive is not None:
+                    # Emergency stalls are exactly the signal the AIMD
+                    # controller must clamp on; feed its window too.
+                    self.pacer.stall.record(stalled)
         return reclaimed
 
     def drain_to_target(self) -> int:

@@ -23,7 +23,14 @@ from repro.serve.arrivals import (
     DiurnalArrivals,
     PoissonArrivals,
 )
-from repro.serve.cluster import CacheCluster, Shard, ShardSpec
+from repro.serve.cluster import (
+    PRESSURE_RANK,
+    ROUTING_POLICIES,
+    CacheCluster,
+    RoutingConfig,
+    Shard,
+    ShardSpec,
+)
 from repro.serve.hashing import ConsistentHashRing, hash32
 from repro.serve.qos import SloTracker, TokenBucket
 from repro.serve.server import Server, ServerConfig, ServingReport
@@ -36,7 +43,10 @@ __all__ = [
     "CacheCluster",
     "ConsistentHashRing",
     "DiurnalArrivals",
+    "PRESSURE_RANK",
     "PoissonArrivals",
+    "ROUTING_POLICIES",
+    "RoutingConfig",
     "Server",
     "ServerConfig",
     "ServingReport",

@@ -22,6 +22,53 @@ from repro.units import MIB
 from repro.workloads.cachebench import CacheOp
 
 
+# Pressure bands in escalation order; the routing policy compares ranks.
+PRESSURE_RANK: Dict[str, int] = {
+    "idle": 0,
+    "background": 1,
+    "urgent": 2,
+    "emergency": 3,
+}
+
+ROUTING_POLICIES = ("static", "gc_aware")
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """How the cluster steers traffic around reclamation pressure.
+
+    ``static`` is the PR 3 behavior: every request follows the
+    consistent-hash ring, period.  ``gc_aware`` keeps reads on the ring
+    (a diverted read would just miss) but re-routes a *write* whose home
+    shard is at or above ``reroute_level`` to the nearest ring successor
+    with strictly lower pressure, looking at most
+    ``max_reroute_distance`` successors ahead — the bound that keeps key
+    affinity: a bounded walk means a later read's home shard and the
+    write's landing shard stay within a known ring neighborhood.
+    """
+
+    policy: str = "static"
+    max_reroute_distance: int = 2
+    reroute_level: str = "urgent"
+
+    def __post_init__(self) -> None:
+        if self.policy not in ROUTING_POLICIES:
+            raise ConfigError(
+                f"unknown routing policy {self.policy!r}; "
+                f"expected one of {ROUTING_POLICIES}"
+            )
+        if self.max_reroute_distance < 1:
+            raise ConfigError(
+                f"max_reroute_distance must be >= 1, "
+                f"got {self.max_reroute_distance}"
+            )
+        if self.reroute_level not in PRESSURE_RANK:
+            raise ConfigError(
+                f"unknown reroute_level {self.reroute_level!r}; "
+                f"expected one of {tuple(PRESSURE_RANK)}"
+            )
+
+
 @dataclass(frozen=True)
 class ShardSpec:
     """Hardware + scheme shape of one shard."""
@@ -63,10 +110,21 @@ class Shard:
         self.served = 0
         self.shed_queue_full = 0
         self.busy_ns = 0
+        # GC-aware routing accounting: writes this shard handed off
+        # while under reclamation pressure / absorbed for a neighbor.
+        self.rerouted_out = 0
+        self.rerouted_in = 0
 
     @property
     def clock(self) -> SimClock:
         return self.stack.clock
+
+    def pressure(self) -> Dict[str, object]:
+        """Live reclamation pressure (see SchemeStack.reclaim_pressure)."""
+        return self.stack.reclaim_pressure()
+
+    def pressure_rank(self) -> int:
+        return PRESSURE_RANK[self.pressure()["level"]]
 
     def to_local(self, fleet_ns: int) -> int:
         return self.epoch_ns + fleet_ns
@@ -84,6 +142,7 @@ class Shard:
         """Rectangular per-shard summary row."""
         cache = self.stack.cache
         waf = cache.waf()
+        pressure = self.pressure()
         return {
             "shard": self.name,
             "scheme": self.stack.name,
@@ -95,6 +154,10 @@ class Shard:
             "waf_app": waf.app,
             "waf_device": waf.device,
             "cache_mib": cache.config.flash_bytes / MIB,
+            "rerouted_out": self.rerouted_out,
+            "rerouted_in": self.rerouted_in,
+            "gc_level_end": pressure["level"],
+            "gc_free_units_end": pressure["free_units"],
         }
 
 
@@ -106,10 +169,12 @@ class CacheCluster:
         specs: Sequence[ShardSpec],
         scale: Optional[SchemeScale] = None,
         vnodes: int = 128,
+        routing: Optional[RoutingConfig] = None,
     ) -> None:
         if not specs:
             raise ConfigError("cluster needs at least one shard")
         self.scale = scale if scale is not None else SchemeScale()
+        self.routing = routing if routing is not None else RoutingConfig()
         self.shards: List[Shard] = []
         for index, spec in enumerate(specs):
             name = f"shard{index}"
@@ -137,6 +202,7 @@ class CacheCluster:
         scale: Optional[SchemeScale] = None,
         cache_overrides: Tuple[Tuple[str, object], ...] = (),
         vnodes: int = 128,
+        routing: Optional[RoutingConfig] = None,
     ) -> "CacheCluster":
         """The common case: N identical shards of one scheme."""
         if num_shards < 1:
@@ -148,10 +214,37 @@ class CacheCluster:
             file_media_bytes=file_media_bytes,
             cache_overrides=cache_overrides,
         )
-        return cls([spec] * num_shards, scale=scale, vnodes=vnodes)
+        return cls([spec] * num_shards, scale=scale, vnodes=vnodes, routing=routing)
 
     def shard_for(self, key: bytes) -> Shard:
         return self._by_name[self.ring.node_for(key)]
+
+    def route_for(self, key: bytes, is_write: bool) -> Tuple[Shard, Optional[Shard]]:
+        """Serving shard for ``key``, plus the home shard when diverted.
+
+        Returns ``(shard, None)`` for ring-faithful routing (always for
+        reads and under the static policy).  Under ``gc_aware``, a write
+        whose home shard is at/above ``reroute_level`` lands on the first
+        ring successor (within ``max_reroute_distance``) with strictly
+        lower pressure, returned as ``(successor, home)``; if every
+        nearby successor is just as pressured the write stays home.
+        """
+        home = self.shard_for(key)
+        if not is_write or self.routing.policy != "gc_aware":
+            return home, None
+        home_rank = home.pressure_rank()
+        if home_rank < PRESSURE_RANK[self.routing.reroute_level]:
+            return home, None
+        successors = self.ring.nodes_for(
+            key, 1 + self.routing.max_reroute_distance
+        )
+        for name in successors[1:]:
+            shard = self._by_name[name]
+            if shard.pressure_rank() < home_rank:
+                home.rerouted_out += 1
+                shard.rerouted_in += 1
+                return shard, home
+        return home, None
 
     @property
     def num_shards(self) -> int:

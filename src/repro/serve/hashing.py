@@ -86,6 +86,28 @@ class ConsistentHashRing:
             index = 0  # wrap around the ring
         return self._owners[self._points[index]]
 
+    def nodes_for(self, key: bytes, count: int) -> List[str]:
+        """First ``count`` distinct nodes clockwise from the key's hash.
+
+        ``nodes_for(key, 1)[0] == node_for(key)``; the following entries
+        are the ring successors, the shards GC-aware routing may divert
+        a write to.  Capped at the ring's node count.
+        """
+        if not self._points:
+            raise ConfigError("ring has no nodes")
+        if count < 1:
+            raise ConfigError(f"count must be >= 1, got {count}")
+        count = min(count, len(self._nodes))
+        start = bisect.bisect_right(self._points, hash32(key))
+        owners: List[str] = []
+        for step in range(len(self._points)):
+            node = self._owners[self._points[(start + step) % len(self._points)]]
+            if node not in owners:
+                owners.append(node)
+                if len(owners) == count:
+                    break
+        return owners
+
     def __len__(self) -> int:
         return len(self._nodes)
 

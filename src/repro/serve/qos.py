@@ -82,6 +82,7 @@ class SloTracker:
         self.within_slo = 0
         self.shed_rate_limited = 0
         self.shed_queue_full = 0
+        self.rerouted = 0
         self.gets = 0
         self.get_hits = 0
 
@@ -97,6 +98,10 @@ class SloTracker:
             self.shed_queue_full += 1
         else:
             raise ValueError(f"unknown shed reason {reason!r}")
+
+    def record_rerouted(self) -> None:
+        """A write steered off its home shard by GC-aware routing."""
+        self.rerouted += 1
 
     def record_completion(self, latency_ns: int, is_get: bool, hit: bool) -> None:
         self.completed += 1
@@ -141,6 +146,7 @@ class SloTracker:
             "shed_rate_limited": self.shed_rate_limited,
             "shed_queue_full": self.shed_queue_full,
             "shed_rate": self.shed_rate,
+            "rerouted": self.rerouted,
             "p50_us": self.latency.p50() / 1000,
             "p99_us": self.latency.p99() / 1000,
             "p999_us": self.latency.percentile(99.9) / 1000,

@@ -83,6 +83,7 @@ class Server:
         self._heap: List[Tuple[int, int, int, int]] = []
         self._seq = 0
         self._end_ns = 0
+        self._last_arrival_ns = 0
 
     # --- event plumbing -----------------------------------------------------
 
@@ -106,6 +107,7 @@ class Server:
 
     def _on_arrival(self, now_ns: int, tenant_index: int) -> None:
         tenant = self.tenants[tenant_index]
+        self._last_arrival_ns = now_ns
         op = tenant.next_op()
         if tenant.issued < tenant.budget:
             self._push(
@@ -119,6 +121,18 @@ class Server:
             tenant.slo.record_shed("rate_limited")
             tracer.emit_event("serve.qos", "shed_rate_limit", offset=shard.index)
             return
+        # Rate-limit-admitted requests may be steered around reclamation
+        # pressure (writes only; reads always follow the ring).
+        shard, rerouted_from = self.cluster.route_for(key, op.kind != "get")
+        if rerouted_from is not None:
+            tenant.slo.record_rerouted()
+            tracer = shard.stack.cache.store.tracer
+            tracer.emit_event(
+                "serve.route",
+                "reroute",
+                offset=shard.index,
+                zone=rerouted_from.index,
+            )
         if len(shard.queue) >= self.config.max_queue_depth:
             tenant.slo.record_shed("queue_full")
             shard.shed_queue_full += 1
@@ -160,7 +174,11 @@ class Server:
     # --- reporting ----------------------------------------------------------
 
     def _report(self) -> ServingReport:
-        elapsed_s = self._end_ns / SEC
+        # The measurement window must cover the last *arrival* too: a
+        # tenant whose tail is entirely shed stops producing completions
+        # while offered load keeps flowing, and normalizing goodput by
+        # the last completion alone would inflate it.
+        elapsed_s = max(self._end_ns, self._last_arrival_ns) / SEC
         tenant_rows = []
         for tenant in self.tenants:
             row = tenant.slo.row(elapsed_s)

@@ -25,6 +25,7 @@ from typing import Callable, List, Optional
 
 from repro.errors import TranslationFullError
 from repro.reclaim import (
+    AdaptivePacingConfig,
     PacerConfig,
     ReclaimEngine,
     ReclaimPacer,
@@ -67,6 +68,10 @@ class GcConfig:
     victim_valid_threshold: float = 0.20
     max_zones_per_run: int = 1
     emergency_empty_zones: int = 1
+    # At or below this many empty zones GC steps run unbounded and the
+    # pacer reports the "urgent" pressure level (-1 = disabled, the
+    # historical behavior); see repro.reclaim.PacerConfig.urgent.
+    urgent_empty_zones: int = -1
     # Regions migrated per background check: keeps each GC burst short so
     # foreground reads never queue behind a whole zone's migration.
     pace_regions: int = 8
@@ -74,6 +79,9 @@ class GcConfig:
     # Optional copy-bandwidth cap in bytes refilled per background check
     # (0 = unlimited); see repro.reclaim.PacerConfig.copy_tokens_per_step.
     copy_tokens_per_step: int = 0
+    # Optional AIMD controller on pace/copy-tokens (None = static pacing);
+    # see repro.reclaim.AdaptivePacingConfig.
+    adaptive: Optional["AdaptivePacingConfig"] = None
 
     def __post_init__(self) -> None:
         ensure_at_least("min_empty_zones", self.min_empty_zones, 1)
@@ -82,6 +90,7 @@ class GcConfig:
         ensure_between(
             "emergency_empty_zones", self.emergency_empty_zones, 0, self.min_empty_zones
         )
+        ensure_at_least("urgent_empty_zones", self.urgent_empty_zones, -1)
         ensure_at_least("pace_regions", self.pace_regions, 1)
         ensure_choice("policy", self.policy, POLICY_NAMES)
         ensure_at_least("copy_tokens_per_step", self.copy_tokens_per_step, 0)
@@ -90,10 +99,12 @@ class GcConfig:
         return PacerConfig(
             background=self.min_empty_zones,
             target=self.min_empty_zones,
+            urgent=self.urgent_empty_zones,
             emergency=self.emergency_empty_zones,
             victim_valid_threshold=self.victim_valid_threshold,
             pace_units=self.pace_regions,
             copy_tokens_per_step=self.copy_tokens_per_step,
+            adaptive=self.adaptive,
         )
 
 
