@@ -1,0 +1,204 @@
+"""Engine speed microbenchmark on the serving smoke configuration.
+
+Measures wall-clock ops/sec of the serving simulation — the same 2-shard
+mixed fleet, 2 tenants, and 2000 offered ops as ``repro serve --smoke``
+— and compares the fast path (pre-generated arrival/op arrays + run-list
+scheduler) against the retained legacy event loop and against the
+checked-in ``BENCH_engine.json`` snapshot.
+
+This is NOT a pytest-benchmark test on purpose: CI runs it as a plain
+script so the perf gate needs no extra dependencies, and the same script
+runs unmodified on a pre-refactor checkout (it degrades gracefully when
+``ServerConfig`` has no ``fast_path`` switch) to produce an honest
+apples-to-apples baseline on the current machine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_speed.py
+    PYTHONPATH=src python benchmarks/bench_engine_speed.py --json BENCH_engine.json
+    PYTHONPATH=src python benchmarks/bench_engine_speed.py --check BENCH_engine.json
+
+``--check`` fails (exit 1) when measured fast-path ops/sec regresses
+more than 30% versus the snapshot, after normalizing by the legacy
+loop's measured/snapshot ratio so a slower CI machine does not produce
+false alarms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from typing import Optional
+
+OFFERED_OPS = 2_000  # 2 tenants x 1000 requests, as in run_serving_smoke
+ROUNDS = 7
+REGRESSION_TOLERANCE = 0.30
+
+
+def _build_server(fast_path: Optional[bool]):
+    """The run_serving_smoke cluster + tenants, run() not yet called.
+
+    ``fast_path=None`` means "whatever the tree's default is" — on a
+    pre-refactor checkout ServerConfig has no such switch at all.
+    """
+    import repro.bench.experiments as experiments
+    from repro.serve import CacheCluster, ShardSpec
+    from repro.serve.server import Server, ServerConfig
+
+    scale = experiments._serving_scale()
+    media = 12 * scale.zone_size
+    specs = [
+        ShardSpec(
+            "Region-Cache",
+            media_bytes=media,
+            cache_bytes=9 * scale.zone_size,
+            cache_overrides=(("eviction_policy", "fifo"), ("reclaim_window", 32)),
+        ),
+        ShardSpec(
+            "Zone-Cache",
+            media_bytes=media,
+            cache_overrides=(("eviction_policy", "fifo"),),
+        ),
+    ]
+    cluster = CacheCluster(specs, scale=scale)
+    tenants = experiments._serving_tenants(
+        total_rate=120_000.0, requests_per_tenant=1_000, num_keys=1_500, seed=7
+    )
+    if fast_path is None:
+        config = ServerConfig(max_queue_depth=24)
+    else:
+        try:
+            config = ServerConfig(max_queue_depth=24, fast_path=fast_path)
+        except TypeError:  # pre-refactor tree: one loop, no switch
+            if fast_path:
+                return None
+            config = ServerConfig(max_queue_depth=24)
+    return Server(cluster, tenants, config)
+
+
+def _measure_run(fast_path: Optional[bool], rounds: int = ROUNDS) -> Optional[float]:
+    """Best-of-N wall seconds for Server.run() (construction excluded)."""
+    best = None
+    for _ in range(rounds):
+        server = _build_server(fast_path)
+        if server is None:
+            return None
+        started = time.perf_counter()
+        server.run()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _measure_e2e(rounds: int = ROUNDS) -> float:
+    """Best-of-N wall seconds for the full smoke (construction included)."""
+    import repro.bench.experiments as experiments
+
+    best = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        experiments.run_serving_smoke()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def measure() -> dict:
+    fast_wall = _measure_run(True)
+    legacy_wall = _measure_run(False)
+    e2e_wall = _measure_e2e()
+    peak_rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    result = {
+        "config": "run_serving_smoke: 2 shards (Region-Cache + Zone-Cache), "
+        "2 tenants, 2000 offered ops at 120k ops/s",
+        "offered_ops": OFFERED_OPS,
+        "rounds": ROUNDS,
+        "e2e_wall_s": round(e2e_wall, 6),
+        "e2e_ops_per_sec": round(OFFERED_OPS / e2e_wall, 1),
+        "peak_rss_kib": peak_rss_kib,
+    }
+    if fast_wall is not None:
+        result["fast"] = {
+            "wall_s": round(fast_wall, 6),
+            "ops_per_sec": round(OFFERED_OPS / fast_wall, 1),
+        }
+    if legacy_wall is not None:
+        result["legacy_loop"] = {
+            "wall_s": round(legacy_wall, 6),
+            "ops_per_sec": round(OFFERED_OPS / legacy_wall, 1),
+        }
+    if fast_wall is not None and legacy_wall is not None:
+        result["fast_vs_legacy_loop"] = round(legacy_wall / fast_wall, 2)
+    return result
+
+
+def check(result: dict, snapshot_path: str) -> int:
+    """The CI gate: >30% fast-path ops/sec regression vs snapshot fails.
+
+    The legacy loop runs the same simulation through the same lower
+    layers, so its measured/snapshot ratio estimates how fast this
+    machine is relative to the snapshot machine; the fast-path floor is
+    scaled by that ratio before the tolerance is applied.
+    """
+    with open(snapshot_path, encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    measured_fast = result["fast"]["ops_per_sec"]
+    snapshot_fast = snapshot["fast"]["ops_per_sec"]
+    machine_scale = 1.0
+    if "legacy_loop" in result and "legacy_loop" in snapshot:
+        machine_scale = (
+            result["legacy_loop"]["ops_per_sec"]
+            / snapshot["legacy_loop"]["ops_per_sec"]
+        )
+    floor = snapshot_fast * machine_scale * (1.0 - REGRESSION_TOLERANCE)
+    print(
+        f"perf check: measured {measured_fast:,.0f} ops/s, snapshot "
+        f"{snapshot_fast:,.0f} ops/s, machine scale {machine_scale:.2f}x, "
+        f"floor {floor:,.0f} ops/s"
+    )
+    if measured_fast < floor:
+        print(
+            f"FAIL: fast-path ops/sec regressed more than "
+            f"{REGRESSION_TOLERANCE:.0%} vs BENCH_engine.json"
+        )
+        return 1
+    print("OK: fast path within tolerance of the snapshot")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the measurement as JSON (rebaseline)"
+    )
+    parser.add_argument(
+        "--check", metavar="PATH",
+        help="compare against a snapshot; exit 1 on >30%% regression",
+    )
+    args = parser.parse_args(argv)
+
+    result = measure()
+    print(json.dumps(result, indent=2))
+    if "fast" in result and "legacy_loop" in result:
+        print(
+            f"\nfast {result['fast']['ops_per_sec']:,.0f} ops/s vs legacy loop "
+            f"{result['legacy_loop']['ops_per_sec']:,.0f} ops/s "
+            f"({result['fast_vs_legacy_loop']}x)"
+        )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.check:
+        return check(result, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -598,6 +598,7 @@ def run_serving_sweep(
                 file_media_bytes=shard_file,
                 scale=scale,
                 cache_overrides=tuple(sorted(overrides.items())),
+                cache_stacks=True,
             )
             tenants = _serving_tenants(
                 load_kops * 1000, requests_per_tenant, num_keys, seed
@@ -859,6 +860,7 @@ def run_gc_ablation(
                 + _gc_reclaim_overrides(
                     name, policy, watermark_scale, pace, zones_per_shard
                 ),
+                cache_stacks=True,
             )
             if trace:
                 for shard in cluster.shards:
@@ -1035,6 +1037,7 @@ def run_gc_qos_sweep(
                         cache_overrides=tuple(sorted(base_overrides.items()))
                         + _gc_qos_overrides(name),
                         routing=RoutingConfig(policy=routing),
+                        cache_stacks=True,
                     )
                     if pacing == "adaptive":
                         for shard in cluster.shards:

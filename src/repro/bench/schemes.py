@@ -12,8 +12,9 @@ paper's zone:region ratio (1077 MiB : 16 MiB ≈ 67 : 1 → 64 : 1).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.cache.backends import (
     BlockRegionStore,
@@ -361,3 +362,70 @@ def build_scheme(
     if name == "File-Cache" and file_media_bytes is not None:
         media_bytes = file_media_bytes
     return builder(clock, scale, media_bytes, cache_bytes, **kwargs)
+
+
+# Pristine (never-run) stacks keyed by their full construction shape.
+_STACK_TEMPLATES: Dict[Tuple, SchemeStack] = {}
+
+
+def clear_stack_cache() -> None:
+    """Drop all cached stack templates (tests, memory-sensitive sweeps)."""
+    _STACK_TEMPLATES.clear()
+
+
+def build_scheme_cached(
+    name: str,
+    scale: SchemeScale,
+    media_bytes: int,
+    cache_bytes: Optional[int] = None,
+    file_media_bytes: Optional[int] = None,
+    **kwargs,
+) -> SchemeStack:
+    """:func:`build_scheme`, amortizing construction across sweep cells.
+
+    A pristine template per distinct construction shape is built once
+    and deep-copied per request, so a sweep that rebuilds the same
+    cluster for every cell pays construction-time simulation once.  The
+    win is concentrated where construction itself simulates I/O —
+    File-Cache's ``mkfs`` journal writes; for the other schemes cloning
+    is roughly break-even with a fresh build, so callers with one-off
+    stacks should keep calling :func:`build_scheme`.
+
+    Clones are fully independent — each carries its own clock, device,
+    and state, positioned exactly where a fresh build would leave them —
+    and never alias the template, which is built once and never run.
+    Unhashable overrides (config objects, fault injectors) fall back to
+    an uncached fresh build.
+    """
+    try:
+        key = (
+            name,
+            scale,
+            media_bytes,
+            cache_bytes,
+            file_media_bytes,
+            tuple(sorted(kwargs.items())),
+        )
+        template = _STACK_TEMPLATES.get(key)
+    except TypeError:
+        return build_scheme(
+            name,
+            SimClock(),
+            scale,
+            media_bytes,
+            cache_bytes,
+            file_media_bytes=file_media_bytes,
+            **kwargs,
+        )
+    if template is None:
+        template = build_scheme(
+            name,
+            SimClock(),
+            scale,
+            media_bytes,
+            cache_bytes,
+            file_media_bytes=file_media_bytes,
+            **kwargs,
+        )
+        _STACK_TEMPLATES[key] = template
+    return copy.deepcopy(template)

@@ -56,8 +56,11 @@ class ZtlRegionStore(RegionStore):
 
     def write_region(self, region_id: int, payload: bytes) -> int:
         self.check_region_id(region_id)
-        with self.tracer.span("backend", "write_region", length=len(payload)):
-            return self.layer.write_region(region_id, payload).latency_ns
+        tracer = self.layer.tracer
+        if tracer.enabled:
+            with tracer.span("backend", "write_region", length=len(payload)):
+                return self.layer.write_region(region_id, payload).latency_ns
+        return self.layer.write_region(region_id, payload).latency_ns
 
     def read(self, region_id: int, offset: int, length: int) -> bytes:
         self.check_region_id(region_id)
@@ -65,7 +68,13 @@ class ZtlRegionStore(RegionStore):
             offset, length, self.layer.device.block_size
         )
         aligned_length = min(aligned_length, self.region_size - aligned_offset)
-        with self.tracer.span("backend", "read", offset=offset, length=length):
+        tracer = self.layer.tracer
+        if tracer.enabled:
+            with tracer.span("backend", "read", offset=offset, length=length):
+                data = self.layer.read_region(
+                    region_id, aligned_offset, aligned_length
+                ).data
+        else:
             data = self.layer.read_region(
                 region_id, aligned_offset, aligned_length
             ).data

@@ -57,13 +57,19 @@ class ZoneRegionStore(RegionStore):
             raise ValueError(
                 f"payload must be exactly {self.region_size}B, got {len(payload)}"
             )
-        with self.tracer.span("backend", "write_region", length=len(payload)):
-            latency = 0
-            zone = self.device.zones[region_id]
-            if zone.state != ZoneState.EMPTY:
-                latency += self.device.reset_zone(region_id).latency_ns
-                self.zone_resets += 1
-            latency += self.device.write(zone.start, payload).latency_ns
+        tracer = self.device.tracer
+        if tracer.enabled:
+            with tracer.span("backend", "write_region", length=len(payload)):
+                return self._write_region_impl(region_id, payload)
+        return self._write_region_impl(region_id, payload)
+
+    def _write_region_impl(self, region_id: int, payload: bytes) -> int:
+        latency = 0
+        zone = self.device.zones[region_id]
+        if zone.state != ZoneState.EMPTY:
+            latency += self.device.reset_zone(region_id).latency_ns
+            self.zone_resets += 1
+        latency += self.device.write(zone.start, payload).latency_ns
         return latency
 
     def read(self, region_id: int, offset: int, length: int) -> bytes:
@@ -72,7 +78,13 @@ class ZoneRegionStore(RegionStore):
         aligned_offset, aligned_length, skip = aligned_window(
             offset, length, self.device.block_size
         )
-        with self.tracer.span("backend", "read", offset=offset, length=length):
+        tracer = self.device.tracer
+        if tracer.enabled:
+            with tracer.span("backend", "read", offset=offset, length=length):
+                data = self.device.read(
+                    zone.start + aligned_offset, aligned_length
+                ).data
+        else:
             data = self.device.read(zone.start + aligned_offset, aligned_length).data
         return data[skip : skip + length]
 

@@ -75,6 +75,18 @@ class HybridCache:
         self._clock = clock
         self.store = store
         self.config = config
+        # Hot-path caches: the tracer object is stable for the lifetime
+        # of the stack (subscribing mutates it in place), and the CPU
+        # cost model is fixed at construction.  get/set/delete read
+        # these instead of chasing config/property chains per op.
+        self.tracer = store.tracer
+        self._get_ns = config.cpu.get_ns
+        self._set_ns = config.cpu.set_per_item_ns
+        self._delete_ns = config.cpu.delete_ns
+        self._copy_ns_per_kib = config.cpu.buffer_copy_ns_per_kib
+        self._entry_overhead = EntryCodec.entry_size(
+            b"", b"", checksum=config.checksums
+        )
         self.admission = (
             admission if admission is not None else build_admission(config.admission)
         )
@@ -108,34 +120,57 @@ class HybridCache:
         Expired items (TTL) read as misses and are purged on access.
         """
         start_ns = self._clock.now
-        with self.store.tracer.span("engine", "get"):
-            self._clock.advance(self.config.cpu.get_ns)
-            if self._is_expired(key):
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("engine", "get"):
+                return self._get_impl(key, start_ns)
+        return self._get_impl(key, start_ns)
+
+    def _get_impl(self, key: bytes, start_ns: int) -> Optional[bytes]:
+        clock = self._clock
+        clock.now = start_ns + self._get_ns
+        stats = self.stats
+        if self._expiry:
+            expiry = self._expiry.get(key)
+            if expiry is not None and clock.now >= expiry:
                 self._purge_expired(key)
-                self.stats.ram_lookups.record(False)
+                stats.ram_lookups.record(False)
                 self._finish_lookup(start_ns, hit=False)
                 return None
-            value = self.ram.get(key)
-            if value is not None:
-                self.stats.ram_lookups.record(True)
-                self._finish_lookup(start_ns, hit=True)
-                return value
-            self.stats.ram_lookups.record(False)
-            location = self.index.get(key)
-            if location is None:
-                self._finish_lookup(start_ns, hit=False)
-                return None
-            value = self._read_entry(key, location)
-            if value is None:
-                self.stats.flash_lookups.record(False)
-                self._finish_lookup(start_ns, hit=False)
-                return None
-            self.stats.flash_lookups.record(True)
-            self.regions.touch(location.region_id)
-            if self.config.populate_ram_on_flash_hit:
-                self.ram.put(key, value)
-            self._finish_lookup(start_ns, hit=True)
+        value = self.ram.get(key)
+        if value is not None:
+            ram_lookups = stats.ram_lookups
+            ram_lookups.total += 1
+            ram_lookups.hits += 1
+            lookups = stats.lookups
+            lookups.total += 1
+            lookups.hits += 1
+            recorder = stats.get_latency
+            recorder._samples.append(clock.now - start_ns)
+            recorder._sorted = None
+            stats.finished_at_ns = clock.now
             return value
+        stats.ram_lookups.total += 1
+        location = self.index.get(key)
+        if location is None:
+            lookups = stats.lookups
+            lookups.total += 1
+            recorder = stats.get_latency
+            recorder._samples.append(clock.now - start_ns)
+            recorder._sorted = None
+            stats.finished_at_ns = clock.now
+            return None
+        value = self._read_entry(key, location)
+        if value is None:
+            stats.flash_lookups.record(False)
+            self._finish_lookup(start_ns, hit=False)
+            return None
+        stats.flash_lookups.record(True)
+        self.regions.touch(location.region_id)
+        if self.config.populate_ram_on_flash_hit:
+            self.ram.put(key, value)
+        self._finish_lookup(start_ns, hit=True)
+        return value
 
     def set(self, key: bytes, value: bytes, ttl_seconds: Optional[float] = None) -> bool:
         """Insert/replace an item; returns True if it reached flash.
@@ -144,50 +179,68 @@ class HybridCache:
         expired items read as misses.
         """
         start_ns = self._clock.now
-        with self.store.tracer.span("engine", "set"):
-            self._clock.advance(self.config.cpu.set_per_item_ns)
-            self.stats.sets += 1
-            entry_size = EntryCodec.entry_size(
-                key, value, checksum=self.config.checksums
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("engine", "set"):
+                return self._set_impl(key, value, ttl_seconds, start_ns)
+        return self._set_impl(key, value, ttl_seconds, start_ns)
+
+    def _set_impl(
+        self,
+        key: bytes,
+        value: bytes,
+        ttl_seconds: Optional[float],
+        start_ns: int,
+    ) -> bool:
+        clock = self._clock
+        clock.now = start_ns + self._set_ns
+        stats = self.stats
+        stats.sets += 1
+        entry_size = self._entry_overhead + len(key) + len(value)
+        if entry_size > self.config.region_size:
+            raise ObjectTooLargeError(
+                f"entry of {entry_size}B exceeds region size "
+                f"{self.config.region_size}"
             )
-            if entry_size > self.config.region_size:
-                raise ObjectTooLargeError(
-                    f"entry of {entry_size}B exceeds region size "
-                    f"{self.config.region_size}"
-                )
-            expiry_ns = 0
-            if ttl_seconds is not None:
-                if ttl_seconds <= 0:
-                    raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
-                expiry_ns = self._clock.now + int(ttl_seconds * 1e9)
-                self._expiry[key] = expiry_ns
-            else:
-                self._expiry.pop(key, None)
-            self.ram.put(key, value)
-            if not self.admission.admit(key, value):
-                self._drop_flash_copy(key)
-                self._finish_mutation(start_ns, self.stats.set_latency)
-                return False
-            if not self._buffer.fits(entry_size):
-                self._seal_and_rotate()
-            self._clock.advance(
-                self.config.cpu.buffer_copy_ns_per_kib * (entry_size // 1024)
-            )
-            location = self._buffer.append(key, value, expiry_ns)
-            old = self.index.put(key, location)
-            if old is not None and old.region_id != self._buffer.region_id:
-                self.regions.note_key_removed(old.region_id, key)
-            self._open_keys.add(key)
-            self.stats.sets_admitted += 1
-            self._finish_mutation(start_ns, self.stats.set_latency)
-            return True
+        expiry_ns = 0
+        if ttl_seconds is not None:
+            if ttl_seconds <= 0:
+                raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
+            expiry_ns = clock.now + int(ttl_seconds * 1e9)
+            self._expiry[key] = expiry_ns
+        elif self._expiry:
+            self._expiry.pop(key, None)
+        self.ram.put(key, value)
+        if not self.admission.admit(key, value):
+            self._drop_flash_copy(key)
+            self._finish_mutation(start_ns, stats.set_latency)
+            return False
+        buffer = self._buffer
+        if entry_size > buffer.remaining:
+            self._seal_and_rotate()
+            buffer = self._buffer
+        clock.now += self._copy_ns_per_kib * (entry_size // 1024)
+        location = buffer.append(key, value, expiry_ns)
+        old = self.index.put(key, location)
+        if old is not None and old.region_id != buffer.region_id:
+            self.regions.note_key_removed(old.region_id, key)
+        self._open_keys.add(key)
+        stats.sets_admitted += 1
+        recorder = stats.set_latency
+        recorder._samples.append(clock.now - start_ns)
+        recorder._sorted = None
+        stats.finished_at_ns = clock.now
+        return True
 
     def delete(self, key: bytes) -> bool:
         """Remove a key from every tier; returns True if it existed."""
-        start_ns = self._clock.now
-        self._clock.advance(self.config.cpu.delete_ns)
-        self.stats.deletes += 1
-        self._expiry.pop(key, None)
+        clock = self._clock
+        start_ns = clock.now
+        clock.now = start_ns + self._delete_ns
+        stats = self.stats
+        stats.deletes += 1
+        if self._expiry:
+            self._expiry.pop(key, None)
         in_ram = self.ram.remove(key)
         location = self.index.remove(key)
         if location is not None:
@@ -195,7 +248,10 @@ class HybridCache:
                 self._open_keys.discard(key)
             else:
                 self.regions.note_key_removed(location.region_id, key)
-        self._finish_mutation(start_ns, self.stats.delete_latency)
+        recorder = stats.delete_latency
+        recorder._samples.append(clock.now - start_ns)
+        recorder._sorted = None
+        stats.finished_at_ns = clock.now
         return in_ram or location is not None
 
     def contains(self, key: bytes) -> bool:

@@ -6,6 +6,7 @@ Examples::
     python -m repro table1 --quick        # faster, smaller run
     python -m repro fig5 --csv out.csv    # also dump rows as CSV
     python -m repro all                   # every table and figure
+    python -m repro profile serve --smoke # cProfile a run, top-N by cumtime
 """
 
 from __future__ import annotations
@@ -209,27 +210,86 @@ def _plot_for(name: str, rows: List[dict]) -> str:
     return ""
 
 
+def _rows_for(name: str, smoke: bool, quick: bool) -> List[dict]:
+    """One experiment run, honoring the smoke variants where they exist."""
+    if name == "serve" and smoke:
+        from repro.bench.experiments import run_serving_smoke
+
+        return run_serving_smoke()
+    if name == "gc-sweep" and smoke:
+        from repro.bench.experiments import run_gc_smoke
+
+        return run_gc_smoke()
+    if name == "gc-qos" and smoke:
+        from repro.bench.experiments import run_gc_qos_smoke
+
+        return run_gc_qos_smoke()
+    return EXPERIMENTS[name](quick)
+
+
+def _run_profile(argv: List[str]) -> int:
+    """``repro profile <experiment> [--smoke]``: cProfile one run.
+
+    Perf work should start from data, not guesses — this prints the
+    top-N functions by cumulative time for exactly the code path the
+    named experiment runs.
+    """
+    import cProfile
+    import pstats
+
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Run one experiment under cProfile and print hot functions.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS),
+        help="which experiment to profile",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="profile the smoke variant (serve / gc-sweep / gc-qos)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller/faster run"
+    )
+    parser.add_argument(
+        "--top", type=int, default=25,
+        help="how many functions to print (default 25)",
+    )
+    parser.add_argument(
+        "--sort", choices=("cumulative", "tottime"), default="cumulative",
+        help="stat ordering (default cumulative)",
+    )
+    args = parser.parse_args(argv)
+    profiler = cProfile.Profile()
+    started = time.time()
+    profiler.enable()
+    rows = _rows_for(args.experiment, args.smoke, args.quick)
+    profiler.disable()
+    elapsed = time.time() - started
+    print(
+        f"profiled {args.experiment}"
+        f"{' --smoke' if args.smoke else ''}: "
+        f"{len(rows)} result rows in {elapsed:.2f}s wall clock\n"
+    )
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    return 0
+
+
 def run(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "profile":
+        return _run_profile(argv[1:])
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     all_rows: List[dict] = []
     for name in names:
         started = time.time()
         print(f"running {name} ...", flush=True)
-        if name == "serve" and args.smoke:
-            from repro.bench.experiments import run_serving_smoke
-
-            rows = run_serving_smoke()
-        elif name == "gc-sweep" and args.smoke:
-            from repro.bench.experiments import run_gc_smoke
-
-            rows = run_gc_smoke()
-        elif name == "gc-qos" and args.smoke:
-            from repro.bench.experiments import run_gc_qos_smoke
-
-            rows = run_gc_qos_smoke()
-        else:
-            rows = EXPERIMENTS[name](args.quick)
+        rows = _rows_for(name, args.smoke, args.quick)
         elapsed = time.time() - started
         shown = rows[: args.max_rows]
         print(format_table(shown, title=TITLES[name]))

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import abc
 import math
+from itertools import accumulate
+from typing import List
 
 from repro.errors import ConfigError
 from repro.workloads.distributions import ExponentialSampler
@@ -28,6 +30,38 @@ class ArrivalProcess(abc.ABC):
     @abc.abstractmethod
     def next_arrival_ns(self, now_ns: int) -> int:
         """Virtual time of the next arrival strictly after ``now_ns``."""
+
+    def pregenerate(self, n: int) -> List[int]:
+        """First ``n`` arrival timestamps of the chained stream.
+
+        Bit-identical to ``t = next_arrival_ns(0)`` followed by
+        ``t = next_arrival_ns(t)`` ``n - 1`` times — the recurrence the
+        serving loop runs — but drawn in bulk.  The modulated processes
+        override :meth:`rate_at`; the inverse transform here mirrors
+        ``ExponentialSampler.sample_at`` exactly.
+        """
+        us = self._gaps.draw_uniforms(n)
+        if not isinstance(us, list):
+            us = us.tolist()  # C-speed unboxing; values are identical
+        log = math.log
+        if type(self).rate_at is ArrivalProcess.rate_at:
+            # Constant rate: gaps are independent of elapsed time, so
+            # they fall out of a listcomp (same per-element float op
+            # order as the chained loop) and accumulate() chains them.
+            rate = self.rate_ops_per_sec
+            gaps = [max(1, int((-log(1.0 - u) / rate) * 1e9)) for u in us]
+            return list(accumulate(gaps))
+        rate_at = self.rate_at
+        times: List[int] = []
+        t = 0
+        for u in us:
+            t += max(1, int((-log(1.0 - u) / rate_at(t)) * 1e9))
+            times.append(t)
+        return times
+
+    def rate_at(self, now_ns: int) -> float:
+        """Instantaneous rate; constant for plain Poisson arrivals."""
+        return self.rate_ops_per_sec
 
 
 class PoissonArrivals(ArrivalProcess):

@@ -14,7 +14,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.bench.schemes import SCHEME_NAMES, SchemeScale, SchemeStack, build_scheme
+from repro.bench.schemes import (
+    SCHEME_NAMES,
+    SchemeScale,
+    SchemeStack,
+    build_scheme,
+    build_scheme_cached,
+)
 from repro.errors import ConfigError
 from repro.serve.hashing import ConsistentHashRing
 from repro.sim.clock import SimClock
@@ -40,18 +46,32 @@ class RoutingConfig:
     ``static`` is the PR 3 behavior: every request follows the
     consistent-hash ring, period.  ``gc_aware`` keeps reads on the ring
     (a diverted read would just miss) but re-routes a *write* whose home
-    shard is at or above ``reroute_level`` to the nearest ring successor
-    with strictly lower pressure, looking at most
-    ``max_reroute_distance`` successors ahead — the bound that keeps key
-    affinity: a bounded walk means a later read's home shard and the
-    write's landing shard stay within a known ring neighborhood.
+    shard is at or above ``reroute_level`` to the ring successor with
+    the *best pressure score* among those with strictly lower pressure,
+    looking at most ``max_reroute_distance`` successors ahead — the
+    bound that keeps key affinity: a bounded walk means a later read's
+    home shard and the write's landing shard stay within a known ring
+    neighborhood.
+
+    The score orders candidates first by pressure rank, then by
+    ``stall_weight * gc_stall_us_p99 - headroom_weight * free_units``
+    (lower is better): between two equally-pressured successors the
+    write prefers the one that has stalled foreground traffic least and
+    has the most reclamation headroom left.  Exact ties resolve to the
+    nearest successor on the ring.
     """
 
     policy: str = "static"
     max_reroute_distance: int = 2
     reroute_level: str = "urgent"
+    stall_weight: float = 1.0
+    headroom_weight: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.stall_weight < 0 or self.headroom_weight < 0:
+            raise ConfigError(
+                "stall_weight and headroom_weight must be non-negative"
+            )
         if self.policy not in ROUTING_POLICIES:
             raise ConfigError(
                 f"unknown routing policy {self.policy!r}; "
@@ -170,6 +190,7 @@ class CacheCluster:
         scale: Optional[SchemeScale] = None,
         vnodes: int = 128,
         routing: Optional[RoutingConfig] = None,
+        cache_stacks: bool = False,
     ) -> None:
         if not specs:
             raise ConfigError("cluster needs at least one shard")
@@ -178,18 +199,36 @@ class CacheCluster:
         self.shards: List[Shard] = []
         for index, spec in enumerate(specs):
             name = f"shard{index}"
-            stack = build_scheme(
-                spec.scheme,
-                SimClock(),
-                self.scale,
-                spec.media_bytes,
-                spec.cache_bytes,
-                file_media_bytes=spec.file_media_bytes,
-                **dict(spec.cache_overrides),
-            )
+            if cache_stacks:
+                # Sweep loops rebuild identical clusters per cell; the
+                # cached builder clones a pristine template instead of
+                # re-simulating construction (notably File-Cache mkfs).
+                stack = build_scheme_cached(
+                    spec.scheme,
+                    self.scale,
+                    spec.media_bytes,
+                    spec.cache_bytes,
+                    file_media_bytes=spec.file_media_bytes,
+                    **dict(spec.cache_overrides),
+                )
+            else:
+                stack = build_scheme(
+                    spec.scheme,
+                    SimClock(),
+                    self.scale,
+                    spec.media_bytes,
+                    spec.cache_bytes,
+                    file_media_bytes=spec.file_media_bytes,
+                    **dict(spec.cache_overrides),
+                )
             self.shards.append(Shard(index, name, stack))
         self._by_name = {shard.name: shard for shard in self.shards}
         self.ring = ConsistentHashRing([s.name for s in self.shards], vnodes=vnodes)
+        # Ring lookups are pure functions of the (immutable) ring, so
+        # the serving loop memoizes them per key: the hot keyspace is
+        # small and every arrival would otherwise re-hash.
+        self._home_cache: Dict[bytes, Shard] = {}
+        self._successor_cache: Dict[bytes, Tuple[Shard, ...]] = {}
 
     @classmethod
     def homogeneous(
@@ -203,6 +242,7 @@ class CacheCluster:
         cache_overrides: Tuple[Tuple[str, object], ...] = (),
         vnodes: int = 128,
         routing: Optional[RoutingConfig] = None,
+        cache_stacks: bool = False,
     ) -> "CacheCluster":
         """The common case: N identical shards of one scheme."""
         if num_shards < 1:
@@ -214,37 +254,77 @@ class CacheCluster:
             file_media_bytes=file_media_bytes,
             cache_overrides=cache_overrides,
         )
-        return cls([spec] * num_shards, scale=scale, vnodes=vnodes, routing=routing)
+        return cls(
+            [spec] * num_shards,
+            scale=scale,
+            vnodes=vnodes,
+            routing=routing,
+            cache_stacks=cache_stacks,
+        )
 
     def shard_for(self, key: bytes) -> Shard:
-        return self._by_name[self.ring.node_for(key)]
+        shard = self._home_cache.get(key)
+        if shard is None:
+            shard = self._by_name[self.ring.node_for(key)]
+            self._home_cache[key] = shard
+        return shard
+
+    def successors_for(self, key: bytes) -> Tuple[Shard, ...]:
+        """The (memoized) reroute candidates after ``key``'s home shard."""
+        cached = self._successor_cache.get(key)
+        if cached is None:
+            names = self.ring.nodes_for(key, 1 + self.routing.max_reroute_distance)
+            cached = tuple(self._by_name[name] for name in names[1:])
+            self._successor_cache[key] = cached
+        return cached
 
     def route_for(self, key: bytes, is_write: bool) -> Tuple[Shard, Optional[Shard]]:
         """Serving shard for ``key``, plus the home shard when diverted.
 
         Returns ``(shard, None)`` for ring-faithful routing (always for
         reads and under the static policy).  Under ``gc_aware``, a write
-        whose home shard is at/above ``reroute_level`` lands on the first
-        ring successor (within ``max_reroute_distance``) with strictly
-        lower pressure, returned as ``(successor, home)``; if every
-        nearby successor is just as pressured the write stays home.
+        whose home shard is at/above ``reroute_level`` lands on the
+        best-scoring ring successor (within ``max_reroute_distance``)
+        with strictly lower pressure, returned as ``(successor, home)``;
+        if every nearby successor is just as pressured the write stays
+        home.
         """
         home = self.shard_for(key)
         if not is_write or self.routing.policy != "gc_aware":
             return home, None
+        return self.route_from_home(key, home)
+
+    def route_from_home(
+        self, key: bytes, home: Shard
+    ) -> Tuple[Shard, Optional[Shard]]:
+        """gc_aware write routing with the home shard already resolved."""
         home_rank = home.pressure_rank()
-        if home_rank < PRESSURE_RANK[self.routing.reroute_level]:
+        routing = self.routing
+        if home_rank < PRESSURE_RANK[routing.reroute_level]:
             return home, None
-        successors = self.ring.nodes_for(
-            key, 1 + self.routing.max_reroute_distance
-        )
-        for name in successors[1:]:
-            shard = self._by_name[name]
-            if shard.pressure_rank() < home_rank:
-                home.rerouted_out += 1
-                shard.rerouted_in += 1
-                return shard, home
-        return home, None
+        best: Optional[Shard] = None
+        best_score: Optional[Tuple[int, float]] = None
+        for shard in self.successors_for(key):
+            rank = shard.pressure_rank()
+            if rank >= home_rank:
+                continue
+            pressure = shard.pressure()
+            score = (
+                rank,
+                routing.stall_weight * pressure["gc_stall_us_p99"]
+                - routing.headroom_weight * max(0, pressure["free_units"]),
+            )
+            # Strict < keeps ties on the nearest successor: candidates
+            # iterate in ring order, so an equal score never displaces
+            # an earlier (closer) winner.
+            if best_score is None or score < best_score:
+                best = shard
+                best_score = score
+        if best is None:
+            return home, None
+        home.rerouted_out += 1
+        best.rerouted_in += 1
+        return best, home
 
     @property
     def num_shards(self) -> int:

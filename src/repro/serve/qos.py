@@ -25,6 +25,8 @@ class TokenBucket:
     arrival sequence always sheds the same requests.
     """
 
+    __slots__ = ("rate_per_sec", "burst", "_tokens", "_last_ns", "accepted", "rejected")
+
     def __init__(
         self, rate_per_sec: float, burst: float = 64.0, start_ns: int = 0
     ) -> None:

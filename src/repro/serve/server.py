@@ -9,21 +9,39 @@ full simulated cost of the cache operation — CPU charges, device
 queueing, GC interference — so serving-level queueing delay composes
 with NAND-level latency instead of replacing it.
 
-Determinism: one binary heap ordered by (virtual time, insertion seq),
-all randomness behind seeded RNGs, no wall clock anywhere.  The same
-configs produce byte-identical reports.
+Determinism: every event carries a (virtual time, insertion seq) key,
+all randomness sits behind seeded RNGs, no wall clock anywhere.  The
+same configs produce byte-identical reports.
+
+Two interchangeable executions of the same simulation live here:
+
+* the **fast path** (default) pre-generates each tenant's arrival
+  timestamps and operations as arrays, replaces the binary heap with
+  the run-list idiom of :class:`~repro.sim.sched.EventScheduler`, and
+  inlines the QoS/routing bookkeeping — roughly an order of magnitude
+  more simulated ops/sec;
+* the **legacy path** (``fast_path=False``, or automatically whenever a
+  shard's I/O tracer has subscribers) is the original one-event-per-
+  arrival heap loop, kept as the executable reference the fast path is
+  regression-tested against.
+
+Both produce bit-identical reports; ``tests/test_engine_speed.py``
+holds the equivalence tests.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.serve.cluster import CacheCluster, Shard
 from repro.serve.tenant import Tenant, TenantConfig
+from repro.sim.sched import EventScheduler
 from repro.units import SEC
+from repro.workloads.cachebench import KIND_GET
 
 _ARRIVAL = 0
 _DONE = 1
@@ -37,6 +55,10 @@ class ServerConfig:
     # arrival finding the queue full is rejected, so queue delay — and
     # therefore p99 — stays bounded while shed rate absorbs the overload.
     max_queue_depth: int = 64
+    # Pre-generated array-driven event loop (see module docstring).
+    # Runs only while tracing is off; traced runs take the legacy loop
+    # so span/event sequences stay exactly as they always were.
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -94,6 +116,15 @@ class Server:
     # --- main loop ----------------------------------------------------------
 
     def run(self) -> ServingReport:
+        if self.config.fast_path and not any(
+            shard.stack.cache.store.tracer.enabled
+            for shard in self.cluster.shards
+        ):
+            return self._run_fast()
+        return self._run_legacy()
+
+    def _run_legacy(self) -> ServingReport:
+        """Reference loop: one heap event per arrival, ops drawn lazily."""
         for index, tenant in enumerate(self.tenants):
             if tenant.budget > 0:
                 self._push(tenant.arrivals.next_arrival_ns(0), _ARRIVAL, index)
@@ -103,6 +134,165 @@ class Server:
                 self._on_arrival(time_ns, index)
             else:
                 self._on_done(time_ns, self.cluster.shards[index])
+        return self._report()
+
+    def _run_fast(self) -> ServingReport:
+        """Array-driven loop; bit-identical to :meth:`_run_legacy`.
+
+        Every RNG draw the legacy loop makes per event is pre-drawn here
+        in bulk per stream (streams are independent generators, so
+        draining one early cannot perturb another), and the event heap
+        becomes a descending run-list: with one pending arrival per
+        tenant plus one completion per busy shard in flight, ``insort``
+        into a handful of tuples beats heap sifting.  Event ``seq``
+        numbers are assigned at the same points in the same order as the
+        legacy loop, so ties dequeue identically.
+        """
+        tenants = self.tenants
+        cluster = self.cluster
+        shards = cluster.shards
+        max_depth = self.config.max_queue_depth
+        gc_aware = cluster.routing.policy == "gc_aware"
+        route_from_home = cluster.route_from_home
+        shard_for = cluster.shard_for
+
+        # Per-tenant pre-generated streams: arrival times, op kinds, op
+        # key indices, and fully-prefixed key bytes (memoized — Zipf
+        # reuse means most arrivals hit the same few hundred keys).
+        arrival_times: List[List[int]] = []
+        op_kinds: List[List[int]] = []
+        op_key_indices: List[List[int]] = []
+        op_keys: List[List[bytes]] = []
+        for tenant in tenants:
+            budget = tenant.budget
+            arrival_times.append(
+                tenant.arrivals.pregenerate(budget) if budget > 0 else []
+            )
+            kinds, key_indices = tenant.driver.next_ops(budget)
+            op_kinds.append(kinds)
+            op_key_indices.append(key_indices)
+            prefix = tenant.key_prefix
+            key_bytes = tenant.driver.key_bytes
+            key_cache: Dict[int, bytes] = {}
+            keys: List[bytes] = []
+            for key_index in key_indices:
+                key = key_cache.get(key_index)
+                if key is None:
+                    key = prefix + key_bytes(key_index)
+                    key_cache[key_index] = key
+                keys.append(key)
+            op_keys.append(keys)
+
+        scheduler = EventScheduler()
+        events = scheduler.events
+        seq = 0
+        for index, tenant in enumerate(tenants):
+            if tenant.budget > 0:
+                seq += 1
+                events.append((-arrival_times[index][0], -seq, _ARRIVAL, index))
+        events.sort()
+        cursors = [0] * len(tenants)
+        end_ns = 0
+        last_arrival_ns = 0
+
+        while events:
+            neg_time, _neg_seq, ev_kind, index = events.pop()
+            now_ns = -neg_time
+            serve_shard = None
+            if ev_kind == _ARRIVAL:
+                tenant = tenants[index]
+                last_arrival_ns = now_ns
+                cursor = cursors[index]
+                cursors[index] = cursor + 1
+                tenant.issued = cursor + 1
+                next_cursor = cursor + 1
+                if next_cursor < tenant.budget:
+                    seq += 1
+                    insort(
+                        events,
+                        (-arrival_times[index][next_cursor], -seq, _ARRIVAL, index),
+                    )
+                slo = tenant.slo
+                slo.offered += 1
+                key = op_keys[index][cursor]
+                kind = op_kinds[index][cursor]
+                bucket = tenant.bucket
+                if bucket is not None:
+                    # Inlined TokenBucket.try_take (same float order).
+                    if now_ns > bucket._last_ns:
+                        refill = (
+                            (now_ns - bucket._last_ns) / SEC * bucket.rate_per_sec
+                        )
+                        tokens = bucket._tokens + refill
+                        burst = bucket.burst
+                        bucket._tokens = burst if tokens > burst else tokens
+                        bucket._last_ns = now_ns
+                    if bucket._tokens >= 1.0:
+                        bucket._tokens -= 1.0
+                        bucket.accepted += 1
+                    else:
+                        bucket.rejected += 1
+                        slo.shed_rate_limited += 1
+                        continue
+                if gc_aware and kind != KIND_GET:
+                    shard, rerouted_from = route_from_home(key, shard_for(key))
+                    if rerouted_from is not None:
+                        slo.rerouted += 1
+                else:
+                    shard = shard_for(key)
+                queue = shard.queue
+                if len(queue) >= max_depth:
+                    slo.shed_queue_full += 1
+                    shard.shed_queue_full += 1
+                    continue
+                queue.append((now_ns, index, cursor))
+                if not shard.busy:
+                    serve_shard = shard
+            else:
+                shard = shards[index]
+                shard.busy = False
+                if shard.queue:
+                    serve_shard = shard
+            if serve_shard is not None:
+                shard = serve_shard
+                arrival_ns, tenant_index, cursor = shard.queue.popleft()
+                tenant = tenants[tenant_index]
+                shard.busy = True
+                clock = shard.stack.clock
+                local_ns = shard.epoch_ns + now_ns
+                if local_ns > clock.now:
+                    clock.now = local_ns
+                start_ns = clock.now
+                kind = op_kinds[tenant_index][cursor]
+                hit = tenant.driver.apply_kind(
+                    shard.stack.cache,
+                    kind,
+                    op_key_indices[tenant_index][cursor],
+                    op_keys[tenant_index][cursor],
+                )
+                shard.served += 1
+                shard.busy_ns += clock.now - start_ns
+                done_ns = clock.now - shard.epoch_ns
+                slo = tenant.slo
+                slo.completed += 1
+                latency = done_ns - arrival_ns
+                recorder = slo.latency
+                recorder._samples.append(latency)
+                recorder._sorted = None
+                if latency <= slo.slo_latency_ns:
+                    slo.within_slo += 1
+                if kind == KIND_GET:
+                    slo.gets += 1
+                    if hit:
+                        slo.get_hits += 1
+                if done_ns > end_ns:
+                    end_ns = done_ns
+                seq += 1
+                insort(events, (-done_ns, -seq, _DONE, shard.index))
+
+        scheduler.seq = seq
+        self._end_ns = end_ns
+        self._last_arrival_ns = last_arrival_ns
         return self._report()
 
     def _on_arrival(self, now_ns: int, tenant_index: int) -> None:

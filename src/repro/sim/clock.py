@@ -14,22 +14,26 @@ from repro.units import to_seconds
 
 
 class SimClock:
-    """Monotonic virtual clock measured in integer nanoseconds."""
+    """Monotonic virtual clock measured in integer nanoseconds.
+
+    ``now`` is a plain slot attribute: the hot simulation paths read it
+    several times per cache operation, and a property descriptor there
+    is measurable overhead.  Mutate it only through :meth:`advance` /
+    :meth:`advance_to` (or equivalent forward-only arithmetic in the
+    audited fast paths) — simulated time never rewinds.
+    """
+
+    __slots__ = ("now",)
 
     def __init__(self, start_ns: int = 0) -> None:
         if start_ns < 0:
             raise ValueError(f"start_ns must be non-negative, got {start_ns}")
-        self._now = start_ns
-
-    @property
-    def now(self) -> int:
-        """Current virtual time in nanoseconds."""
-        return self._now
+        self.now = start_ns
 
     @property
     def now_seconds(self) -> float:
         """Current virtual time in float seconds."""
-        return to_seconds(self._now)
+        return to_seconds(self.now)
 
     def advance(self, delta_ns: int) -> int:
         """Move time forward by ``delta_ns`` and return the new time.
@@ -38,17 +42,17 @@ class SimClock:
         """
         if delta_ns < 0:
             raise ValueError(f"cannot advance clock by negative delta {delta_ns}")
-        self._now += delta_ns
-        return self._now
+        self.now += delta_ns
+        return self.now
 
     def advance_to(self, timestamp_ns: int) -> int:
         """Move time forward to ``timestamp_ns`` if it is in the future."""
-        if timestamp_ns > self._now:
-            self._now = timestamp_ns
-        return self._now
+        if timestamp_ns > self.now:
+            self.now = timestamp_ns
+        return self.now
 
     def __repr__(self) -> str:
-        return f"SimClock(now={self._now}ns)"
+        return f"SimClock(now={self.now}ns)"
 
 
 def check_service_time(service_ns: int) -> None:

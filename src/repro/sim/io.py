@@ -62,7 +62,6 @@ class IoOp(enum.Enum):
         return self.value
 
 
-@dataclass
 class IoRequest:
     """One unit of device traffic.
 
@@ -71,42 +70,108 @@ class IoRequest:
     in automatically at submission when a span is open).  ``background``
     requests occupy the pool without blocking the submitter — the model
     for GC/maintenance work the host never waits on directly.
+
+    A hand-rolled ``__slots__`` class (not a dataclass): one request is
+    built per simulated device command, so construction cost is on the
+    engine's critical path.
     """
 
-    op: IoOp
-    offset: int = 0
-    length: int = 0
-    zone: Optional[int] = None
-    layer: str = "device"
-    parent_id: Optional[int] = None
-    background: bool = False
-    request_id: int = -1
-    # Fault-injection bookkeeping: the gate runs at most once per
-    # request (devices may pre-gate before mutating state), and any
-    # injected latency spike is carried to dispatch here.
-    fault_checked: bool = False
-    injected_latency_ns: int = 0
+    __slots__ = (
+        "op",
+        "offset",
+        "length",
+        "zone",
+        "layer",
+        "parent_id",
+        "background",
+        "request_id",
+        "fault_checked",
+        "injected_latency_ns",
+    )
+
+    def __init__(
+        self,
+        op: IoOp,
+        offset: int = 0,
+        length: int = 0,
+        zone: Optional[int] = None,
+        layer: str = "device",
+        parent_id: Optional[int] = None,
+        background: bool = False,
+        request_id: int = -1,
+        fault_checked: bool = False,
+        injected_latency_ns: int = 0,
+    ) -> None:
+        self.op = op
+        self.offset = offset
+        self.length = length
+        self.zone = zone
+        self.layer = layer
+        self.parent_id = parent_id
+        self.background = background
+        self.request_id = request_id
+        # Fault-injection bookkeeping: the gate runs at most once per
+        # request (devices may pre-gate before mutating state), and any
+        # injected latency spike is carried to dispatch here.
+        self.fault_checked = fault_checked
+        self.injected_latency_ns = injected_latency_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IoRequest({self.op}, offset={self.offset}, length={self.length}, "
+            f"zone={self.zone}, layer={self.layer!r}, background={self.background})"
+        )
 
 
-@dataclass
 class IoCompletion:
     """Outcome of a submitted request (successor of the old ``IoResult``).
 
     ``latency_ns`` is what the *submitter* observed: queueing plus
     service for foreground requests, 0 for background reservations.  The
     remaining timestamps describe what actually happened on the media so
-    traces can attribute wait vs service per layer.
+    traces can attribute wait vs service per layer.  Slotted for the
+    same reason as :class:`IoRequest`.
     """
 
-    latency_ns: int
-    data: Optional[bytes] = None
-    request: Optional[IoRequest] = None
-    submitted_ns: int = 0
-    started_ns: int = 0
-    completed_ns: int = 0
-    wait_ns: int = 0
-    service_ns: int = 0
-    channel: int = 0
+    __slots__ = (
+        "latency_ns",
+        "data",
+        "request",
+        "submitted_ns",
+        "started_ns",
+        "completed_ns",
+        "wait_ns",
+        "service_ns",
+        "channel",
+    )
+
+    def __init__(
+        self,
+        latency_ns: int,
+        data: Optional[bytes] = None,
+        request: Optional[IoRequest] = None,
+        submitted_ns: int = 0,
+        started_ns: int = 0,
+        completed_ns: int = 0,
+        wait_ns: int = 0,
+        service_ns: int = 0,
+        channel: int = 0,
+    ) -> None:
+        self.latency_ns = latency_ns
+        self.data = data
+        self.request = request
+        self.submitted_ns = submitted_ns
+        self.started_ns = started_ns
+        self.completed_ns = completed_ns
+        self.wait_ns = wait_ns
+        self.service_ns = service_ns
+        self.channel = channel
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IoCompletion(latency_ns={self.latency_ns}, "
+            f"completed_ns={self.completed_ns}, channel={self.channel})"
+        )
 
 
 @dataclass(frozen=True)
@@ -181,10 +246,11 @@ class ResourcePool:
         pool fills up the same way but nobody is blocked issuing the
         request, so the wait is not charged to ``total_wait_ns``.
         """
-        check_service_time(service_ns)
-        channel = self._channel_for(offset)
+        if service_ns < 0:
+            check_service_time(service_ns)
+        channel = 0 if self.config.channels == 1 else self._channel_for(offset)
         slots = self._slots[channel]
-        slot = min(range(len(slots)), key=slots.__getitem__)
+        slot = slots.index(min(slots))
         start = max(now_ns, slots[slot])
         wait = start - now_ns
         slots[slot] = start + service_ns
@@ -272,6 +338,16 @@ class IoTracer:
     tracer instance.
     """
 
+    __slots__ = (
+        "_clock",
+        "records",
+        "_subscribers",
+        "_stack",
+        "_next_id",
+        "_capture",
+        "enabled",
+    )
+
     def __init__(self, clock: Optional[SimClock] = None) -> None:
         self._clock = clock
         self.records: List[TraceRecord] = []
@@ -279,24 +355,31 @@ class IoTracer:
         self._stack: List[int] = []
         self._next_id = 0
         self._capture = False
+        # ``enabled`` is a plain attribute (not a property) maintained by
+        # enable/disable/subscribe: every layer checks it per operation,
+        # and that check must be a single attribute load so a disabled
+        # tracer costs nothing on the hot path.
+        self.enabled = False
 
     # --- lifecycle ------------------------------------------------------------
 
-    @property
-    def enabled(self) -> bool:
-        return self._capture or bool(self._subscribers)
+    def _refresh_enabled(self) -> None:
+        self.enabled = self._capture or bool(self._subscribers)
 
     def enable(self) -> "IoTracer":
         """Start capturing records (returns self for chaining)."""
         self._capture = True
+        self._refresh_enabled()
         return self
 
     def disable(self) -> None:
         self._capture = False
+        self._refresh_enabled()
 
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
         """Stream every record to ``callback`` (independent of capture)."""
         self._subscribers.append(callback)
+        self._refresh_enabled()
 
     def bind_clock(self, clock: SimClock) -> None:
         """Attach the simulation clock (first binding wins)."""
@@ -537,7 +620,9 @@ class IoPipeline:
         """
         completion = self._dispatch(request, service_ns, self.clock.now)
         if not request.background:
-            self.clock.advance_to(completion.completed_ns)
+            clock = self.clock
+            if completion.completed_ns > clock.now:
+                clock.now = completion.completed_ns
         if self.tracer.enabled:
             self.tracer.on_completion(completion)
         return completion
@@ -578,9 +663,15 @@ class IoPipeline:
             self.fault_gate(request, service_ns)
             if request.injected_latency_ns:
                 service_ns += request.injected_latency_ns
-        request.request_id = self.tracer.allocate_id()
-        if request.parent_id is None:
-            request.parent_id = self.tracer.current_parent
+        tracer = self.tracer
+        if tracer.enabled:
+            # Ids/parent links only matter to trace records; skipping the
+            # allocation when tracing is off keeps the disabled tracer
+            # truly free.  The shared counter stays monotonic, so a
+            # tracer enabled mid-run still produces unambiguous ids.
+            request.request_id = tracer.allocate_id()
+            if request.parent_id is None:
+                request.parent_id = tracer.current_parent
         if request.background:
             done, wait, channel = self.pool.reserve_background(
                 now, service_ns, request.offset

@@ -9,6 +9,12 @@ from __future__ import annotations
 
 import random
 import zlib
+from typing import Sequence
+
+try:  # Optional: bulk draws vectorize through numpy when present.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
 
 
 def make_rng(seed: int, stream: str = "") -> random.Random:
@@ -28,3 +34,56 @@ def make_rng(seed: int, stream: str = "") -> random.Random:
             0x7FFF_FFFF_FFFF_FFFF
         )
     return random.Random(seed)
+
+
+def bulk_random(rng: random.Random, n: int) -> Sequence[float]:
+    """Draw ``n`` uniforms bit-identical to ``n`` calls of ``rng.random()``.
+
+    CPython's ``random()`` and numpy's legacy ``RandomState.random_sample``
+    run the *same* Mersenne-Twister ``genrand_res53`` recurrence, so the
+    617-word state can be handed to numpy, drawn from in bulk, and handed
+    back — the Python generator continues exactly where a scalar loop
+    would have left it.  Falls back to a plain loop for tiny batches or
+    when numpy is unavailable.
+
+    Returns a float sequence (``numpy.ndarray`` of float64 or a list);
+    element values are identical either way.
+    """
+    if n <= 0:
+        return []
+    if _np is None or n < 32:
+        draw = rng.random
+        return [draw() for _ in range(n)]
+    version, internal, gauss = rng.getstate()
+    bit_gen, state = _shared_state()
+    # The MT19937 bit-generator ``state`` dict is ~2x faster to set/get
+    # than the legacy ``RandomState.set_state`` tuple API and transfers
+    # the identical 624-word key + position.
+    bit_gen.state = {
+        "bit_generator": "MT19937",
+        "state": {
+            "key": _np.array(internal[:-1], dtype=_np.uint32),
+            "pos": internal[-1],
+        },
+    }
+    out = state.random_sample(n)
+    after = bit_gen.state["state"]
+    rng.setstate(
+        (version, tuple(after["key"].tolist()) + (after["pos"],), gauss)
+    )
+    return out
+
+
+_SHARED_STATE = None
+
+
+def _shared_state():
+    """One reusable (MT19937, RandomState) pair: constructing fresh ones
+    seeds from OS entropy (slow); the state hand-off overwrites the whole
+    state anyway.  The RandomState wraps the *same* bit generator, so
+    ``random_sample`` consumes exactly the words the state dict reports."""
+    global _SHARED_STATE
+    if _SHARED_STATE is None:
+        bit_gen = _np.random.MT19937(0)
+        _SHARED_STATE = (bit_gen, _np.random.RandomState(bit_gen))
+    return _SHARED_STATE

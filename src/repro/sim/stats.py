@@ -14,6 +14,8 @@ from typing import Dict, List, Optional
 class Counter:
     """Named monotonic counter."""
 
+    __slots__ = ("name", "value")
+
     def __init__(self, name: str = "counter") -> None:
         self.name = name
         self.value = 0
@@ -32,6 +34,8 @@ class Counter:
 
 class RatioStat:
     """Tracks successes over trials (e.g. cache hits over lookups)."""
+
+    __slots__ = ("name", "hits", "total")
 
     def __init__(self, name: str = "ratio") -> None:
         self.name = name
@@ -63,7 +67,15 @@ class RatioStat:
 
 
 class LatencyRecorder:
-    """Collects latency samples (ns) and reports exact percentiles."""
+    """Collects latency samples (ns) and reports exact percentiles.
+
+    The fast paths append to ``_samples`` directly (and clear
+    ``_sorted``) instead of calling :meth:`record`; keep any new
+    bookkeeping inside those two fields so the inlined sites stay
+    faithful.
+    """
+
+    __slots__ = ("name", "_samples", "_sorted")
 
     def __init__(self, name: str = "latency") -> None:
         self.name = name

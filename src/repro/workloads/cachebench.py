@@ -11,16 +11,24 @@ minute), hit ratio, WAF breakdown, and latency percentiles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, NamedTuple, Tuple
 
 from repro.cache.engine import HybridCache
 from repro.errors import ConfigError
-from repro.sim.rng import make_rng
+from repro.sim.rng import bulk_random, make_rng
 from repro.workloads.distributions import (
     UniformSampler,
     ValueSizeSampler,
     ZipfSampler,
 )
+
+# Integer op kinds for the pre-generated fast path: comparing small ints
+# in the serving loop is markedly cheaper than string comparison, and
+# the kinds array packs tighter than one CacheOp object per arrival.
+KIND_GET = 0
+KIND_SET = 1
+KIND_DELETE = 2
+KIND_NAMES = ("get", "set", "delete")
 
 
 @dataclass(frozen=True)
@@ -111,8 +119,7 @@ class WorkloadResult:
         return self.waf_app * self.waf_device
 
 
-@dataclass(frozen=True)
-class CacheOp:
+class CacheOp(NamedTuple):
     """One generated operation, decoupled from its execution.
 
     The closed-loop driver applies each op immediately; the serving
@@ -120,6 +127,9 @@ class CacheOp:
     queue drains.  Value bytes are materialized at *apply* time so the
     size-sampler RNG stream is identical in both modes (ops that get
     shed never draw from it).
+
+    A NamedTuple rather than a dataclass: op construction sits on the
+    generation hot path and tuples allocate in one step.
     """
 
     kind: str  # "get" | "set" | "delete"
@@ -137,17 +147,29 @@ class CacheBenchDriver:
             config.value_sizes, config.value_weights, config.seed
         )
         self._ops_rng = make_rng(config.seed, "opmix")
+        # key/value memos: both are pure functions of their arguments and
+        # the keyspace is small and reused constantly under Zipf.
+        self._key_cache: Dict[int, bytes] = {}
+        self._value_cache: Dict[Tuple[int, int], bytes] = {}
 
     def key_bytes(self, key_index: int) -> bytes:
         """Fixed-width printable key, like CacheBench's generated keys."""
-        return f"k{key_index:0{self.config.key_size - 1}d}".encode()[
-            : self.config.key_size
-        ]
+        cached = self._key_cache.get(key_index)
+        if cached is None:
+            cached = f"k{key_index:0{self.config.key_size - 1}d}".encode()[
+                : self.config.key_size
+            ]
+            self._key_cache[key_index] = cached
+        return cached
 
     def value_bytes(self, key_index: int, size: int) -> bytes:
-        unit = f"v{key_index:014d}".encode()
-        reps = -(-size // len(unit))
-        return (unit * reps)[:size]
+        cached = self._value_cache.get((key_index, size))
+        if cached is None:
+            unit = f"v{key_index:014d}".encode()
+            reps = -(-size // len(unit))
+            cached = (unit * reps)[:size]
+            self._value_cache[(key_index, size)] = cached
+        return cached
 
     def run(self, cache: HybridCache) -> WorkloadResult:
         """Execute the mix; stats are reset after warm-up."""
@@ -202,6 +224,49 @@ class CacheBenchDriver:
             key_index = self._keys.sample()
         return CacheOp("delete", key_index)
 
+    def next_ops(self, n: int) -> Tuple[List[int], List[int]]:
+        """Pre-draw ``n`` ops, bit-identical to ``n`` :meth:`next_op` calls.
+
+        Returns parallel ``(kinds, key_indices)`` lists with ``KIND_*``
+        integer kinds.  The op-mix, Zipf and uniform-delete streams are
+        independent generators, so draining each in bulk preserves every
+        per-stream draw sequence; the Zipf draws are consumed in op
+        order by the get/set ops exactly as the scalar path would.
+        """
+        config = self.config
+        us = bulk_random(self._ops_rng, n)
+        get_t = config.get_ratio
+        set_t = config.get_ratio + config.set_ratio
+        kinds = [
+            KIND_GET if u < get_t else (KIND_SET if u < set_t else KIND_DELETE)
+            for u in us
+        ]
+        if not config.delete_uniform:
+            # Every op (deletes included) draws from the Zipf stream in
+            # op order, so one bulk draw covers the whole batch.
+            return kinds, self._keys.sample_many(n)
+        num_deletes = kinds.count(KIND_DELETE)
+        zipf_keys = self._keys.sample_many(n - num_deletes)
+        if num_deletes == 0:
+            return kinds, zipf_keys
+        key_indices = [0] * n
+        zi = 0
+        first_cold_rank = int(config.num_keys * (1.0 - config.delete_cold_fraction))
+        cold_span = max(1, config.num_keys - first_cold_rank)
+        sample_delete = self._delete_keys.sample
+        key_of_rank = self._keys.key_of_rank
+        for i, kind in enumerate(kinds):
+            if kind != KIND_DELETE:
+                key_indices[i] = zipf_keys[zi]
+                zi += 1
+            else:
+                # randrange takes the *top* bits with rejection — numpy
+                # masks the bottom bits — so delete draws stay scalar.
+                key_indices[i] = key_of_rank(
+                    first_cold_rank + sample_delete() % cold_span
+                )
+        return kinds, key_indices
+
     def apply_op(
         self, cache: HybridCache, op: CacheOp, key_prefix: bytes = b""
     ) -> bool:
@@ -219,6 +284,26 @@ class CacheBenchDriver:
             return value is not None
         if op.kind == "set":
             cache.set(key, self.value_bytes(op.key_index, self._sizes.sample()))
+            return False
+        cache.delete(key)
+        return False
+
+    def apply_kind(
+        self, cache: HybridCache, kind: int, key_index: int, key: bytes
+    ) -> bool:
+        """:meth:`apply_op` for the pre-generated fast path.
+
+        Takes the ``KIND_*`` integer and the already-built key so the
+        serving loop neither constructs a CacheOp nor re-derives key
+        bytes.  Draw-for-draw identical to :meth:`apply_op`.
+        """
+        if kind == KIND_GET:
+            value = cache.get(key)
+            if value is None and self.config.set_on_miss:
+                cache.set(key, self.value_bytes(key_index, self._sizes.sample()))
+            return value is not None
+        if kind == KIND_SET:
+            cache.set(key, self.value_bytes(key_index, self._sizes.sample()))
             return False
         cache.delete(key)
         return False

@@ -10,9 +10,14 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from repro.sim.rng import make_rng
+from repro.sim.rng import bulk_random, make_rng
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
 
 
 class UniformSampler:
@@ -53,10 +58,40 @@ class ZipfSampler:
         # Map popularity ranks onto shuffled key ids.
         self._rank_to_key = list(range(num_keys))
         make_rng(seed, "zipf.shuffle").shuffle(self._rank_to_key)
+        # Built lazily on the first sample_many(); plain sample() never
+        # pays for the array copies.
+        self._cdf_array = None
+        self._rank_array = None
 
     def sample(self) -> int:
         rank = bisect.bisect_left(self._cdf, self._rng.random())
         return self._rank_to_key[min(rank, self.num_keys - 1)]
+
+    def sample_many(self, n: int) -> List[int]:
+        """Draw ``n`` key ids, bit-identical to ``n`` ``sample()`` calls.
+
+        ``numpy.searchsorted(side="left")`` places a probe exactly where
+        ``bisect.bisect_left`` does, so the vectorized inverse-CDF walk
+        reproduces the scalar path draw for draw.
+        """
+        if n <= 0:
+            return []
+        us = bulk_random(self._rng, n)
+        if _np is not None and isinstance(us, _np.ndarray):
+            if self._cdf_array is None:
+                self._cdf_array = _np.array(self._cdf, dtype=_np.float64)
+                self._rank_array = _np.array(self._rank_to_key, dtype=_np.int64)
+            ranks = _np.searchsorted(self._cdf_array, us, side="left")
+            if self.num_keys > 1:
+                _np.minimum(ranks, self.num_keys - 1, out=ranks)
+            else:
+                ranks = _np.zeros(n, dtype=_np.int64)
+            return self._rank_array[ranks].tolist()
+        cdf = self._cdf
+        last = self.num_keys - 1
+        rank_to_key = self._rank_to_key
+        bl = bisect.bisect_left
+        return [rank_to_key[min(bl(cdf, u), last)] for u in us]
 
     def key_of_rank(self, rank: int) -> int:
         """Key id holding popularity rank ``rank`` (0 = hottest)."""
@@ -122,6 +157,30 @@ class ExponentialSampler:
         # At least 1 ns so two arrivals never share a timestamp and the
         # event order stays well-defined.
         return max(1, int(gap_seconds * 1e9))
+
+    def draw_uniforms(self, n: int) -> Sequence[float]:
+        """Expose ``n`` raw uniforms from this stream (see bulk_random).
+
+        Callers that modulate the rate per draw (diurnal/burst arrival
+        processes) take the uniforms in bulk and apply the inverse
+        transform themselves; the arithmetic must mirror
+        :meth:`sample_at` exactly:
+        ``max(1, int((-log(1 - u) / rate) * 1e9))``.
+        """
+        return bulk_random(self._rng, n)
+
+    def sample_many(self, n: int, rate_per_sec: Optional[float] = None) -> List[int]:
+        """``n`` gaps (ns) at a fixed rate, bit-identical to a scalar loop."""
+        rate = self.rate_per_sec if rate_per_sec is None else rate_per_sec
+        if rate <= 0:
+            raise ValueError(f"rate_per_sec must be positive, got {rate}")
+        log = math.log
+        # CPython's expovariate is -log(1 - random()) / lambd; keep the
+        # float operation order identical so int truncation matches.
+        return [
+            max(1, int((-log(1.0 - u) / rate) * 1e9))
+            for u in bulk_random(self._rng, n)
+        ]
 
 
 class ValueSizeSampler:

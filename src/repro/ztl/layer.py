@@ -109,6 +109,9 @@ class RegionTranslationLayer:
                 f"device max_open_zones {device.config.max_open_zones}"
             )
         self.device = device
+        # Plain attribute: shared with the underlying device, read per
+        # operation by the backend above and by GC below.
+        self.tracer = device.tracer
         self.config = config
         self._on_drop = on_drop
         self.region_size = config.region_size
@@ -131,11 +134,6 @@ class RegionTranslationLayer:
             unit_bytes=config.region_size,
         )
         self.gc.bind_lookup(self._region_at, self._drop_region)
-
-    @property
-    def tracer(self) -> IoTracer:
-        """The I/O tracer shared with the underlying device."""
-        return self.device.tracer
 
     # --- capacity ------------------------------------------------------------------
 
@@ -160,35 +158,41 @@ class RegionTranslationLayer:
             raise ValueError(
                 f"region write must be exactly {self.region_size}B, got {len(data)}"
             )
-        with self.tracer.span("ztl", "write_region", length=len(data)):
-            self.invalidate_region(region_id)
-            last_error: Optional[ZoneDeadError] = None
-            for _ in range(4):
-                record = self._allocate_host_record()
-                try:
-                    result = self._write_to_record(region_id, record, data)
-                    break
-                except ZoneDeadError as error:
-                    # The open zone died under us: retire it and land the
-                    # region in another open zone.
-                    last_error = error
-                    zone = error.zone_index
-                    self._retire_zone(
-                        zone if zone is not None else record.zone_index
-                    )
-            else:
-                assert last_error is not None
-                raise last_error
-            self.stats.host_region_writes += 1
-            # Background thread check (paper: runs continuously; we piggyback).
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("ztl", "write_region", length=len(data)):
+                return self._write_region_impl(region_id, data)
+        return self._write_region_impl(region_id, data)
+
+    def _write_region_impl(self, region_id: int, data: bytes) -> IoCompletion:
+        self.invalidate_region(region_id)
+        last_error: Optional[ZoneDeadError] = None
+        for _ in range(4):
+            record = self._allocate_host_record()
             try:
-                self.gc.maybe_collect()
-            except PowerCutError:
-                raise
-            except RetryableError:
-                # Transient device error on the GC stream: give up this
-                # pace step, the next check resumes where it stopped.
-                self.stats.gc_retries += 1
+                result = self._write_to_record(region_id, record, data)
+                break
+            except ZoneDeadError as error:
+                # The open zone died under us: retire it and land the
+                # region in another open zone.
+                last_error = error
+                zone = error.zone_index
+                self._retire_zone(
+                    zone if zone is not None else record.zone_index
+                )
+        else:
+            assert last_error is not None
+            raise last_error
+        self.stats.host_region_writes += 1
+        # Background thread check (paper: runs continuously; we piggyback).
+        try:
+            self.gc.maybe_collect()
+        except PowerCutError:
+            raise
+        except RetryableError:
+            # Transient device error on the GC stream: give up this
+            # pace step, the next check resumes where it stopped.
+            self.stats.gc_retries += 1
         return result
 
     def read_region(
@@ -205,8 +209,11 @@ class RegionTranslationLayer:
             )
         base = location.byte_offset(self.zone_size, self.region_size)
         self.stats.host_reads += 1
-        with self.tracer.span("ztl", "read_region", offset=offset, length=length):
-            return self.device.read(base + offset, length)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("ztl", "read_region", offset=offset, length=length):
+                return self.device.read(base + offset, length)
+        return self.device.read(base + offset, length)
 
     def has_region(self, region_id: int) -> bool:
         return region_id in self.map

@@ -1,0 +1,318 @@
+"""Fast-path engine equivalence tests.
+
+The fast serving path (pre-generated arrival/op arrays + run-list
+scheduler + inlined QoS accounting) must be *observably identical* to
+the legacy one-event-per-arrival heap loop:
+
+* the run-list scheduler dequeues in exactly the ``(time, seq)`` order a
+  reference ``heapq`` produces, across arbitrary push/pop interleavings
+  (hypothesis property);
+* fast and legacy loops produce equal tenant and shard rows on the
+  serving smoke configuration;
+* enabling tracing (which routes to the legacy loop and records spans)
+  changes no measured value — the no-op tracer truly is a no-op;
+* ``build_scheme_cached`` clones behave exactly like fresh builds and
+  are independent of each other;
+* best-score gc_aware routing picks the least-stalled / most-headroom
+  successor and resolves exact ties to the nearest ring successor.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.bench.schemes import (
+    SchemeScale,
+    build_scheme,
+    build_scheme_cached,
+    clear_stack_cache,
+)
+from repro.serve import CacheCluster, RoutingConfig, Server, ServerConfig, ShardSpec
+from repro.serve.cluster import PRESSURE_RANK
+from repro.sim.clock import SimClock
+from repro.sim.sched import EventScheduler
+from repro.units import KIB
+from repro.workloads.cachebench import CacheBenchConfig, CacheBenchDriver
+
+
+# --- scheduler order property ---------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.integers(0, 40), st.integers(0, 1), st.integers(0, 7)),
+        max_size=60,
+    ),
+    plan=st.lists(st.booleans(), max_size=140),
+)
+def test_scheduler_matches_heapq_order(events, plan):
+    """Any interleaving of pushes and pops dequeues in heapq order."""
+    sched = EventScheduler()
+    heap = []
+    seq = 0
+    pending = list(events)
+    # plan: True → pop one event (if any), False → push the next event
+    # (if any); then drain.  Equal times exercise the seq tie-break.
+    for do_pop in plan:
+        if do_pop:
+            if heap:
+                assert sched.pop() == heapq.heappop(heap)
+        elif pending:
+            time_ns, kind, index = pending.pop(0)
+            sched.push(time_ns, kind, index)
+            seq += 1
+            heapq.heappush(heap, (time_ns, seq, kind, index))
+    while heap:
+        assert sched.pop() == heapq.heappop(heap)
+    assert len(sched) == 0
+    assert not sched
+
+
+def test_scheduler_equal_times_dequeue_in_push_order():
+    sched = EventScheduler()
+    for index in range(8):
+        sched.push(100, 0, index)
+    assert [sched.pop()[3] for _ in range(8)] == list(range(8))
+
+
+# --- fast loop vs legacy loop vs traced loop ------------------------------------
+
+
+def _smoke_server(fast_path: bool, trace: bool = False) -> Server:
+    """The run_serving_smoke cluster/tenants with a selectable loop."""
+    import repro.bench.experiments as experiments
+
+    scale = experiments._serving_scale()
+    media = 12 * scale.zone_size
+    specs = [
+        ShardSpec(
+            "Region-Cache",
+            media_bytes=media,
+            cache_bytes=9 * scale.zone_size,
+            cache_overrides=(("eviction_policy", "fifo"), ("reclaim_window", 32)),
+        ),
+        ShardSpec(
+            "Zone-Cache",
+            media_bytes=media,
+            cache_overrides=(("eviction_policy", "fifo"),),
+        ),
+    ]
+    cluster = CacheCluster(specs, scale=scale)
+    if trace:
+        for shard in cluster.shards:
+            shard.stack.cache.store.tracer.enable()
+    tenants = experiments._serving_tenants(
+        total_rate=120_000.0, requests_per_tenant=1_000, num_keys=1_500, seed=7
+    )
+    return Server(
+        cluster, tenants, ServerConfig(max_queue_depth=24, fast_path=fast_path)
+    )
+
+
+def _report_rows(server: Server):
+    report = server.run()
+    return (
+        report.tenant_rows,
+        report.shard_rows,
+        report.offered,
+        report.completed,
+        report.shed,
+    )
+
+
+def test_fast_loop_rows_equal_legacy_loop_rows():
+    assert _report_rows(_smoke_server(True)) == _report_rows(_smoke_server(False))
+
+
+def test_traced_run_rows_equal_untraced_rows():
+    """Tracing must observe, never perturb: same rows with spans on.
+
+    A tracer with capture enabled also forces the legacy loop, so this
+    doubles as traced-legacy vs untraced-fast equivalence.
+    """
+    traced = _smoke_server(True, trace=True)
+    # Tracing routes to the legacy loop even with fast_path requested.
+    tracer = traced.cluster.shards[0].stack.cache.store.tracer
+    assert tracer.enabled
+    traced_rows = _report_rows(traced)
+    assert len(tracer.records) > 0  # spans were actually recorded
+    assert traced_rows == _report_rows(_smoke_server(True))
+
+
+# --- cached stack construction --------------------------------------------------
+
+
+class TestBuildSchemeCached:
+    SCALE = SchemeScale(
+        zone_size=256 * KIB,
+        region_size=16 * KIB,
+        pages_per_block=16,
+        ram_bytes=32 * KIB,
+    )
+
+    def _run_workload(self, stack):
+        driver = CacheBenchDriver(
+            CacheBenchConfig(num_ops=400, warmup_ops=100, num_keys=120, seed=11)
+        )
+        return driver.run(stack.cache)
+
+    def test_cached_stack_rows_equal_fresh_build(self):
+        clear_stack_cache()
+        fresh = build_scheme(
+            "Region-Cache",
+            SimClock(),
+            self.SCALE,
+            12 * self.SCALE.zone_size,
+            9 * self.SCALE.zone_size,
+            eviction_policy="fifo",
+        )
+        cached = build_scheme_cached(
+            "Region-Cache",
+            self.SCALE,
+            12 * self.SCALE.zone_size,
+            9 * self.SCALE.zone_size,
+            eviction_policy="fifo",
+        )
+        assert self._run_workload(fresh) == self._run_workload(cached)
+
+    def test_cached_clones_are_independent(self):
+        clear_stack_cache()
+        args = ("Zone-Cache", self.SCALE, 8 * self.SCALE.zone_size)
+        first = build_scheme_cached(*args)
+        second = build_scheme_cached(*args)
+        assert first.cache is not second.cache
+        assert first.clock is not second.clock
+        result = self._run_workload(first)
+        assert result.operations > 0
+        # The sibling clone saw none of that traffic.
+        assert second.cache.stats.operations == 0
+        assert second.clock.now != first.clock.now
+        # And a third clone reproduces the first run exactly.
+        assert self._run_workload(build_scheme_cached(*args)) == result
+
+    def test_unhashable_overrides_fall_back_to_fresh_build(self):
+        clear_stack_cache()
+        from repro.ztl.gc import GcConfig
+
+        stack = build_scheme_cached(
+            "Region-Cache",
+            self.SCALE,
+            12 * self.SCALE.zone_size,
+            9 * self.SCALE.zone_size,
+            gc=GcConfig(min_empty_zones=2),
+        )
+        assert stack.cache.stats.operations == 0
+
+
+# --- best-score gc_aware routing ------------------------------------------------
+
+
+def _zone_cluster(num_shards=4, routing=None):
+    scale = SchemeScale(
+        zone_size=256 * KIB,
+        region_size=16 * KIB,
+        pages_per_block=16,
+        ram_bytes=32 * KIB,
+    )
+    return CacheCluster.homogeneous(
+        "Zone-Cache",
+        num_shards,
+        8 * scale.zone_size,
+        None,
+        scale=scale,
+        cache_overrides=(("eviction_policy", "fifo"),),
+        routing=routing,
+    )
+
+
+def _fake_pressure(shard, level, stall_us, free_units):
+    shard.pressure_rank = lambda: PRESSURE_RANK[level]
+    shard.pressure = lambda: {
+        "layer": "fake",
+        "level": level,
+        "free_units": free_units,
+        "gc_stall_us_p99": stall_us,
+    }
+
+
+class TestBestScoreRouting:
+    def test_picks_best_score_not_first_lower_rank(self):
+        cluster = _zone_cluster(
+            routing=RoutingConfig(policy="gc_aware", max_reroute_distance=3)
+        )
+        key = b"score-key"
+        home = cluster.shard_for(key)
+        successors = cluster.successors_for(key)
+        assert len(successors) == 3
+        _fake_pressure(home, "emergency", 500.0, 0)
+        # Nearest successor is eligible but heavily stalled; the second
+        # is equally ranked with less stall — old first-lower-rank
+        # routing would stop at successors[0].
+        _fake_pressure(successors[0], "background", 400.0, 5)
+        _fake_pressure(successors[1], "background", 10.0, 5)
+        _fake_pressure(successors[2], "urgent", 0.0, 50)
+        shard, rerouted_from = cluster.route_from_home(key, home)
+        assert rerouted_from is home
+        assert shard is successors[1]
+
+    def test_lower_rank_beats_better_stall_score(self):
+        cluster = _zone_cluster(
+            routing=RoutingConfig(policy="gc_aware", max_reroute_distance=3)
+        )
+        key = b"rank-first"
+        home = cluster.shard_for(key)
+        successors = cluster.successors_for(key)
+        _fake_pressure(home, "emergency", 500.0, 0)
+        # idle rank wins over background rank regardless of the
+        # stall/headroom components: rank is the primary score term.
+        _fake_pressure(successors[0], "background", 0.0, 1000)
+        _fake_pressure(successors[1], "idle", 300.0, 0)
+        _fake_pressure(successors[2], "idle", 300.0, 0)
+        shard, _ = cluster.route_from_home(key, home)
+        assert shard is successors[1]
+
+    def test_exact_ties_resolve_to_nearest_successor(self):
+        cluster = _zone_cluster(
+            routing=RoutingConfig(policy="gc_aware", max_reroute_distance=3)
+        )
+        key = b"tie-key"
+        home = cluster.shard_for(key)
+        successors = cluster.successors_for(key)
+        _fake_pressure(home, "urgent", 100.0, 1)
+        for successor in successors:
+            _fake_pressure(successor, "idle", 25.0, 8)
+        shard, rerouted_from = cluster.route_from_home(key, home)
+        assert rerouted_from is home
+        assert shard is successors[0]
+
+    def test_headroom_breaks_equal_stall(self):
+        cluster = _zone_cluster(
+            routing=RoutingConfig(
+                policy="gc_aware", max_reroute_distance=3, headroom_weight=2.0
+            )
+        )
+        key = b"headroom"
+        home = cluster.shard_for(key)
+        successors = cluster.successors_for(key)
+        _fake_pressure(home, "emergency", 0.0, 0)
+        _fake_pressure(successors[0], "idle", 25.0, 2)
+        _fake_pressure(successors[1], "idle", 25.0, 40)
+        _fake_pressure(successors[2], "idle", 25.0, 2)
+        shard, _ = cluster.route_from_home(key, home)
+        assert shard is successors[1]
+
+    def test_stays_home_when_everyone_is_as_pressured(self):
+        cluster = _zone_cluster(
+            routing=RoutingConfig(policy="gc_aware", max_reroute_distance=3)
+        )
+        key = b"no-escape"
+        home = cluster.shard_for(key)
+        for shard in cluster.shards:
+            _fake_pressure(shard, "emergency", 10.0, 0)
+        routed, rerouted_from = cluster.route_from_home(key, home)
+        assert routed is home
+        assert rerouted_from is None

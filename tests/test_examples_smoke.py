@@ -1,12 +1,15 @@
 """Smoke test: the quickstart example must run end to end."""
 
 import subprocess
+
+import pytest
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+@pytest.mark.slow
 def test_quickstart_runs():
     result = subprocess.run(
         [sys.executable, str(REPO_ROOT / "examples" / "quickstart.py")],

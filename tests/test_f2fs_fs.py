@@ -177,6 +177,7 @@ class TestF2fsCleaning:
                 tag, extent
             )
 
+    @pytest.mark.slow
     def test_more_provisioning_less_waf(self):
         """The Table 1 trend: higher OP ratio → lower FS-level WAF."""
         wafs = {}

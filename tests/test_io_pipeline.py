@@ -334,6 +334,7 @@ class TestGoldenSeed:
         assert device.stats.read_latency.p99() == 16_055_567
         assert device.stats.write_latency.p99() == 15_999_019
 
+    @pytest.mark.slow
     def test_fig2_golden(self):
         rows = run_fig2_overall(zones=12, cache_zones=9, file_zones=18, num_ops=4000)
         expected = {

@@ -396,6 +396,7 @@ class TestGoldenDeterminism:
         assert fs.cleaner.blocks_migrated == 0
         assert fs.stats.write_amplification == 2.0156666666666667
 
+    @pytest.mark.slow
     def test_fig2_rows_golden(self):
         from repro.bench.experiments import run_fig2_overall
 
@@ -590,6 +591,7 @@ class TestGcColumnFamily:
 # --------------------------------------------------------------------------
 
 class TestGcAblation:
+    @pytest.mark.slow
     def test_sweep_rows_with_full_attribution(self):
         from repro.bench.experiments import run_gc_ablation
         from repro.bench.schemes import SCHEME_NAMES

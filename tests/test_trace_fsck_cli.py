@@ -154,6 +154,7 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
 
+    @pytest.mark.slow
     def test_cli_runs_fig3_quick(self, capsys, tmp_path):
         csv_path = tmp_path / "out.csv"
         code = run(["fig3", "--quick", "--csv", str(csv_path), "--max-rows", "5"])
