@@ -84,7 +84,7 @@ def _device_columns(stack: SchemeStack) -> Dict[str, object]:
         return {}
     stats = device.stats
     pool = device.pipeline.pool
-    return {
+    cols = {
         "dev_read_p99_us": stats.read_latency.p99() / 1000,
         "dev_write_p99_us": stats.write_latency.p99() / 1000,
         "dev_wait_ms": pool.total_wait_ns / 1e6,
@@ -92,6 +92,38 @@ def _device_columns(stack: SchemeStack) -> Dict[str, object]:
         "dev_util": pool.utilization(stack.clock.now),
         "io_channels": pool.config.channels,
         "io_queue_depth": pool.config.queue_depth,
+    }
+    cols.update(_zone_mgmt_columns([device]))
+    return cols
+
+
+def _zone_mgmt_columns(devices) -> Dict[str, object]:
+    """Zone-management service-time columns — the ``zns_*`` family.
+
+    Summed over every device that exposes a
+    :class:`~repro.flash.zone.ZoneMgmtStats` (conventional SSDs have no
+    zones and contribute zeros), so the same helper serves single-stack
+    rows and fleet rows.  The ``*_us`` columns are the service time the
+    zone commands were charged through the I/O pipeline, which is why
+    they reconcile exactly with the tracer's OPEN/CLOSE/FINISH/RESET
+    span attribution (asserted in ``tests/test_zone_lifecycle.py``).
+    """
+    open_ns = close_ns = finish_ns = reset_ns = forced = 0
+    for device in devices:
+        mgmt = getattr(device, "zone_mgmt", None)
+        if mgmt is None:
+            continue
+        open_ns += mgmt.open_ns
+        close_ns += mgmt.close_ns
+        finish_ns += mgmt.finish_ns
+        reset_ns += mgmt.reset_ns
+        forced += mgmt.forced_closes
+    return {
+        "zns_open_us": open_ns / 1000,
+        "zns_close_us": close_ns / 1000,
+        "zns_finish_us": finish_ns / 1000,
+        "zns_reset_us": reset_ns / 1000,
+        "zns_forced_close": forced,
     }
 
 
@@ -952,6 +984,19 @@ def _gc_qos_overrides(name: str) -> tuple:
             pace_regions=8,
         )
         return (("gc", gc),)
+    if name == "Z-Cache":
+        # Same watermarks as Region-Cache so the comparison isolates the
+        # hot/cold separation, but victims are scored cold-first: finish
+        # (and decay) cold zones instead of copying hot ones.
+        gc = GcConfig(
+            min_empty_zones=4,
+            urgent_empty_zones=2,
+            emergency_empty_zones=1,
+            victim_valid_threshold=0.90,
+            pace_regions=8,
+            policy="cold_defer",
+        )
+        return (("gc", gc),)
     if name == "File-Cache":
         cleaner = CleanerConfig(
             low_watermark=4,
@@ -1108,5 +1153,135 @@ def run_gc_qos_smoke(seed: int = 7) -> List[Dict[str, object]]:
         offered_kops=(12.0,),
         requests_per_tenant=4_000,
         schemes=("Region-Cache",),
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------
+# Zone-management cost ablation — {zero, measured} × {Region-Cache, Z-Cache}
+# --------------------------------------------------------------------------
+
+def run_zone_cost_ablation(
+    scale: Optional[SchemeScale] = None,
+    zones_per_shard: int = 10,
+    cache_zones_per_shard: int = 6,
+    num_shards: int = 2,
+    offered_kops: tuple = (12.0,),
+    requests_per_tenant: int = 8_000,
+    num_keys: Optional[int] = None,
+    max_queue_depth: int = 48,
+    schemes: tuple = ("Region-Cache", "Z-Cache"),
+    cost_presets: tuple = ("zero", "measured"),
+    pacing: str = "adaptive",
+    routing: str = "gc_aware",
+    stall_slo_ms: float = 1.0,
+    adjust_interval_steps: int = 16,
+    seed: int = 7,
+) -> List[Dict[str, object]]:
+    """Zone-management cost ablation (`repro zone-cost`).
+
+    The cost-model question the gc-qos sweep cannot answer: with zone
+    commands free (the simulator's historical default) Region-Cache and
+    Z-Cache reclaim at the same price, so hot/cold separation only moves
+    copy traffic.  Once opens/closes/finishes/resets carry their
+    measured service times (the "Hidden Cost of Zone Management" ZNS
+    characterization), Z-Cache's cold-first reclaim — victims chosen so
+    their survivors were *already* segregated into cold zones — copies
+    less and therefore issues fewer of the newly-expensive commands per
+    reclaimed zone.  One row per (scheme, cost preset, load) at the
+    gc-qos knee; read web_p99_us down the preset column.
+    """
+    from repro.flash.zone import ZoneCostConfig
+    from repro.reclaim import AdaptivePacingConfig
+    from repro.serve import CacheCluster, RoutingConfig, Server, ServerConfig
+
+    presets: Dict[str, "ZoneCostConfig"] = {
+        "zero": ZoneCostConfig(),
+        "measured": ZoneCostConfig.measured(),
+    }
+    scale = scale or _serving_scale()
+    media = zones_per_shard * scale.zone_size
+    cache_bytes = cache_zones_per_shard * scale.zone_size
+    if num_keys is None:
+        num_keys = int(1.05 * num_shards * media / 1568)
+    navy = {"eviction_policy": "fifo", "reclaim_window": 128}
+    adaptive = AdaptivePacingConfig(
+        stall_slo_ns=int(stall_slo_ms * 1e6),
+        interval_steps=adjust_interval_steps,
+    )
+    rows: List[Dict[str, object]] = []
+    for name in schemes:
+        for preset in cost_presets:
+            costs = presets[preset]
+            for load_kops in offered_kops:
+                cluster = CacheCluster.homogeneous(
+                    name,
+                    num_shards,
+                    media,
+                    cache_bytes,
+                    scale=scale,
+                    cache_overrides=tuple(sorted(navy.items()))
+                    + _gc_qos_overrides(name)
+                    + (("zone_costs", costs),),
+                    routing=RoutingConfig(policy=routing),
+                    cache_stacks=True,
+                )
+                if pacing == "adaptive":
+                    for shard in cluster.shards:
+                        shard.stack.enable_adaptive_pacing(adaptive)
+                tenants = _serving_tenants(
+                    load_kops * 1000, requests_per_tenant, num_keys, seed
+                )
+                report = Server(
+                    cluster,
+                    tenants,
+                    ServerConfig(max_queue_depth=max_queue_depth),
+                ).run()
+                gc_cols = [_gc_columns(shard.stack) for shard in cluster.shards]
+                web = next(
+                    r for r in report.tenant_rows if r["tenant"] == "web"
+                )
+                batch = next(
+                    r for r in report.tenant_rows if r["tenant"] == "batch"
+                )
+                row: Dict[str, object] = {
+                    "scheme": name,
+                    "cost_preset": preset,
+                    "pacing": pacing,
+                    "routing": routing,
+                    "offered_total_kops": load_kops,
+                    "web_p99_us": web["p99_us"],
+                    "web_goodput_kops": web["goodput_kops"],
+                    "web_slo_attainment": web["slo_attainment"],
+                    "batch_p99_us": batch["p99_us"],
+                    "batch_goodput_kops": batch["goodput_kops"],
+                    "cluster_shed_rate": report.shed_rate,
+                    "gc_victims": sum(c["gc_victims"] for c in gc_cols),
+                    "gc_migrated_units": sum(
+                        c["gc_migrated_units"] for c in gc_cols
+                    ),
+                    "gc_copied_bytes": sum(
+                        c["gc_copied_bytes"] for c in gc_cols
+                    ),
+                    "gc_stall_us_p99": max(
+                        c["gc_stall_us_p99"] for c in gc_cols
+                    ),
+                }
+                row.update(_zone_mgmt_columns([
+                    shard.stack.substrate.get("device")
+                    for shard in cluster.shards
+                    if shard.stack.substrate.get("device") is not None
+                ]))
+                rows.append(row)
+    return rows
+
+
+def run_zone_cost_smoke(seed: int = 7) -> List[Dict[str, object]]:
+    """`repro zone-cost --smoke`: both schemes × both cost presets at the
+    knee with the gc-qos smoke's request stream — four rows, CI-sized,
+    long enough that reclaim actually runs in every cell (shorter
+    streams never reach the knee and the ablation reads as a no-op)."""
+    return run_zone_cost_ablation(
+        requests_per_tenant=4_000,
         seed=seed,
     )

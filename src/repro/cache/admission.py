@@ -138,6 +138,11 @@ class TinyLfuAdmission(AdmissionPolicy):
             self.sketch.halve()
         return seen_before + 1 >= self.threshold
 
+    def frequency(self, key: bytes) -> int:
+        """Frequency estimate without recording an access — the read-only
+        probe Z-Cache's hot/cold classifier uses at region-flush time."""
+        return self.sketch.estimate(key)
+
 
 ADMISSION_POLICIES = ("admit-all", "probabilistic", "size-threshold", "tinylfu")
 

@@ -15,7 +15,7 @@ Region-Cache   flexible regions through the zone translation layer
 from repro.cache.backends.base import RegionStore, WafBreakdown, WafRaw
 from repro.cache.backends.block import BlockRegionStore
 from repro.cache.backends.file import FileRegionStore
-from repro.cache.backends.zone import ZoneRegionStore
+from repro.cache.backends.zone import ZCacheRegionStore, ZoneRegionStore
 from repro.cache.backends.region import ZtlRegionStore
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "WafRaw",
     "BlockRegionStore",
     "FileRegionStore",
+    "ZCacheRegionStore",
     "ZoneRegionStore",
     "ZtlRegionStore",
 ]

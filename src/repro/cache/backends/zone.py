@@ -14,10 +14,15 @@ worth of bytes.
 
 from __future__ import annotations
 
+from repro.cache.admission import CountMinSketch
 from repro.cache.backends.base import RegionStore, WafBreakdown, WafRaw, aligned_window
+from repro.cache.backends.region import ZtlRegionStore
+from repro.cache.item import EntryCodec
+from repro.errors import CacheConfigError
 from repro.flash.zone import ZoneState
 from repro.flash.znsssd import ZnsSsd
 from repro.sim.io import IoTracer
+from repro.ztl.layer import RegionTranslationLayer
 
 
 class ZoneRegionStore(RegionStore):
@@ -110,3 +115,79 @@ class ZoneRegionStore(RegionStore):
             dev_host=stats.host_write_bytes,
             dev_total=stats.media_write_bytes,
         )
+
+
+class ZCacheRegionStore(ZtlRegionStore):
+    """Z-Cache: the Region-Cache layout with hot/cold zone separation.
+
+    The Z-CacheLib scheme (arxiv 2410.11260, the source paper's authors):
+    at region-flush time the store classifies the region by the TinyLFU
+    frequency of the keys it carries — the same seeded
+    :class:`~repro.cache.admission.CountMinSketch` the admission policy
+    already feeds — and routes majority-hot regions to lifetime group 0,
+    the rest to the coldest group.  Hot regions (rewritten soon) then
+    fill different zones than cold ones, so invalidations concentrate:
+    hot zones decay toward empty on their own while cold zones stay
+    valid and are reclaimed by finishing, not copying (pair with
+    ``GcConfig(policy="cold_defer")``).
+
+    Classification walks the packed payload with
+    :meth:`EntryCodec.scan_region`; with per-item checksums enabled and
+    a non-default salt the walk may stop early on the first checksummed
+    entry, which only makes classification coarser, never wrong.
+    """
+
+    def __init__(
+        self,
+        layer: RegionTranslationLayer,
+        num_regions: int,
+        sketch: CountMinSketch,
+        hot_threshold: int = 2,
+    ) -> None:
+        super().__init__(layer, num_regions)
+        if layer.config.host_groups < 2:
+            raise CacheConfigError(
+                "Z-Cache needs a layer with host_groups >= 2 "
+                f"(got {layer.config.host_groups})"
+            )
+        if hot_threshold < 1:
+            raise CacheConfigError(
+                f"hot_threshold must be >= 1, got {hot_threshold}"
+            )
+        self.sketch = sketch
+        self.hot_threshold = hot_threshold
+        self.cold_group = layer.config.host_groups - 1
+        self.hot_regions = 0
+        self.cold_regions = 0
+
+    @property
+    def scheme_name(self) -> str:
+        return "Z-Cache"
+
+    def write_region(self, region_id: int, payload: bytes) -> int:
+        self.check_region_id(region_id)
+        group = self._classify(payload)
+        tracer = self.layer.tracer
+        if tracer.enabled:
+            with tracer.span("backend", "write_region", length=len(payload)):
+                return self.layer.write_region(
+                    region_id, payload, group=group
+                ).latency_ns
+        return self.layer.write_region(region_id, payload, group=group).latency_ns
+
+    def _classify(self, payload: bytes) -> int:
+        """Majority vote over the region's keys: hot stream or cold."""
+        entries, _ = EntryCodec.scan_region(payload)
+        if not entries:
+            return self.cold_group
+        estimate = self.sketch.estimate
+        threshold = self.hot_threshold
+        hot = 0
+        for _, _, entry in entries:
+            if estimate(entry.key) >= threshold:
+                hot += 1
+        if 2 * hot >= len(entries):
+            self.hot_regions += 1
+            return 0
+        self.cold_regions += 1
+        return self.cold_group

@@ -102,6 +102,10 @@ class CacheConfig:
     # explicit AdmissionPolicy passed to HybridCache still wins; this
     # field makes the choice declarative so scheme builders and the
     # serving cluster can select per-instance admission by config alone.
+    # Z-Cache additionally reuses the tinylfu policy's CountMinSketch as
+    # its flush-time hot/cold classifier, so a Z-Cache stack always
+    # carries a tinylfu admission config even when the threshold admits
+    # everything (see ``repro.cache.backends.zone.ZCacheRegionStore``).
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
 
     def __post_init__(self) -> None:

@@ -98,6 +98,14 @@ def _gc_qos(quick: bool) -> List[dict]:
     return run_gc_qos_sweep()
 
 
+def _zone_cost(quick: bool) -> List[dict]:
+    from repro.bench.experiments import run_zone_cost_ablation
+
+    if quick:
+        return run_zone_cost_ablation(requests_per_tenant=4_000)
+    return run_zone_cost_ablation()
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
     "fig2": _fig2,
     "fig3": _fig3,
@@ -108,6 +116,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
     "serve": _serve,
     "gc-sweep": _gc_sweep,
     "gc-qos": _gc_qos,
+    "zone-cost": _zone_cost,
 }
 
 TITLES = {
@@ -120,6 +129,7 @@ TITLES = {
     "serve": "Serving sweep: offered load vs p99 and shed rate per scheme",
     "gc-sweep": "GC ablation: victim policy x watermark x pacing per scheme",
     "gc-qos": "GC-QoS co-scheduling: adaptive pacing x GC-aware routing",
+    "zone-cost": "Zone-cost ablation: {zero, measured} costs x {Region, Z}-Cache",
 }
 
 
@@ -156,7 +166,8 @@ def build_parser() -> argparse.ArgumentParser:
             "with 'serve': tiny mixed-fleet run (2 shards, 2 tenants, "
             "~2k requests) used as the CI smoke test; with 'gc-sweep': "
             "two policies with tracing on, verifying reclaim spans; with "
-            "'gc-qos': one scheme, all four pacing x routing combos"
+            "'gc-qos': one scheme, all four pacing x routing combos; with "
+            "'zone-cost': both schemes x both cost presets, short stream"
         ),
     )
     return parser
@@ -199,6 +210,14 @@ def _plot_for(name: str, rows: List[dict]) -> str:
         return scheme_bars(
             labeled, "web_p99_us", label_key="combo", title="web tenant p99 (us)"
         )
+    if name == "zone-cost":
+        labeled = [
+            {**r, "combo": f"{r['scheme'][:6]}/{r['cost_preset']}"}
+            for r in rows
+        ]
+        return scheme_bars(
+            labeled, "web_p99_us", label_key="combo", title="web tenant p99 (us)"
+        )
     if name == "gc-sweep":
         labeled = [
             {**r, "combo": f"{r['scheme']}/{r['gc_policy']}@w{r['watermark_scale']}"}
@@ -224,6 +243,10 @@ def _rows_for(name: str, smoke: bool, quick: bool) -> List[dict]:
         from repro.bench.experiments import run_gc_qos_smoke
 
         return run_gc_qos_smoke()
+    if name == "zone-cost" and smoke:
+        from repro.bench.experiments import run_zone_cost_smoke
+
+        return run_zone_cost_smoke()
     return EXPERIMENTS[name](quick)
 
 

@@ -26,7 +26,7 @@ from repro.errors import (
 )
 from repro.flash.device import DeviceStats
 from repro.flash.nand import NandGeometry, NandTiming
-from repro.flash.zone import Zone, ZoneState
+from repro.flash.zone import Zone, ZoneCostConfig, ZoneMgmtStats, ZoneState
 from repro.sim.clock import SimClock
 from repro.sim.faults import FaultInjector, FaultKind
 from repro.sim.io import IoCompletion, IoOp, IoPipeline, IoRequest, IoTracer, PoolConfig
@@ -46,6 +46,9 @@ class ZnsConfig:
     zone_size: int = 0  # 0 → derive: 16 NAND blocks per zone
     max_open_zones: int = 14
     max_active_zones: int = 14
+    # Per-transition service costs; all-zero default keeps the historical
+    # free-transition model (and every golden) bit-identical.
+    zone_costs: ZoneCostConfig = field(default_factory=ZoneCostConfig)
 
     def resolved_zone_size(self) -> int:
         if self.zone_size:
@@ -87,6 +90,12 @@ class ZnsSsd:
         # read this once per operation on the hot path.
         self.tracer = self.pipeline.tracer
         self._stats = DeviceStats()
+        self.zone_mgmt = ZoneMgmtStats()
+        self._zone_costs = config.zone_costs
+        # LRU clock over open zones: bumped on every write/append/open so
+        # the forced-close victim is the least-recently-written open zone.
+        self._open_touch: Dict[int, int] = {}
+        self._touch_tick = 0
         self._pages: Dict[int, bytes] = {}
         self._page_size = config.geometry.page_size
         self._capacity_bytes = self.num_zones * zone_size
@@ -263,6 +272,7 @@ class ZnsSsd:
         self.pipeline.fault_gate(request, service_ns)
         zone.check_writable(offset, len(data))
         self._ensure_open_budget(zone)
+        self._note_write_open(zone)
         self._maybe_tear(zone, offset, data, service_ns)
         self._store(offset, data)
         zone.advance(len(data))
@@ -297,8 +307,10 @@ class ZnsSsd:
         # background and *later* commands queue behind it.
         completion = self.pipeline.submit(
             request,
-            self.config.timing.command_overhead_ns,
+            self.config.timing.command_overhead_ns + self._zone_costs.reset_ns,
         )
+        self.zone_mgmt.resets += 1
+        self.zone_mgmt.reset_ns += completion.service_ns
         if had_data:
             blocks = self.zone_size // self.config.geometry.block_size
             self.pipeline.submit(
@@ -320,23 +332,42 @@ class ZnsSsd:
         self._poll_zone_faults()
         self._check_zone_index(zone_index)
         self.zones[zone_index].finish()
-        return self._zone_command(IoOp.FINISH, zone_index)
+        completion = self._zone_command(
+            IoOp.FINISH, zone_index, self._zone_costs.finish_ns
+        )
+        self.zone_mgmt.finishes += 1
+        self.zone_mgmt.finish_ns += completion.service_ns
+        return completion
 
     def open_zone(self, zone_index: int) -> IoCompletion:
         """Explicitly open a zone (counts against max-open)."""
         self._poll_zone_faults()
         self._check_zone_index(zone_index)
         zone = self.zones[zone_index]
-        if not zone.is_open:
+        newly_open = not zone.is_open
+        if newly_open:
             self._ensure_open_budget(zone)
         zone.open_explicit()
-        return self._zone_command(IoOp.OPEN, zone_index)
+        completion = self._zone_command(
+            IoOp.OPEN, zone_index, self._zone_costs.open_ns if newly_open else 0
+        )
+        if newly_open:
+            self.zone_mgmt.explicit_opens += 1
+            self._touch_tick += 1
+            self._open_touch[zone_index] = self._touch_tick
+        self.zone_mgmt.open_ns += completion.service_ns
+        return completion
 
     def close_zone(self, zone_index: int) -> IoCompletion:
         """Close an open zone (frees an open slot, keeps an active slot)."""
         self._check_zone_index(zone_index)
         self.zones[zone_index].close()
-        return self._zone_command(IoOp.CLOSE, zone_index)
+        completion = self._zone_command(
+            IoOp.CLOSE, zone_index, self._zone_costs.close_ns
+        )
+        self.zone_mgmt.closes += 1
+        self.zone_mgmt.close_ns += completion.service_ns
+        return completion
 
     # --- fault handling --------------------------------------------------------------
 
@@ -399,6 +430,7 @@ class ZnsSsd:
         self.pipeline.fault_gate(request, service_ns)
         zone.check_writable(offset, len(data))
         self._ensure_open_budget(zone)
+        self._note_write_open(zone)
         if self.pipeline.faults is not None:
             now = self._clock.now if virtual_now is None else virtual_now
             torn = self._maybe_tear(zone, offset, data, service_ns, now=now,
@@ -442,10 +474,12 @@ class ZnsSsd:
 
     # --- internals -------------------------------------------------------------------
 
-    def _zone_command(self, op: IoOp, zone_index: int) -> IoCompletion:
+    def _zone_command(
+        self, op: IoOp, zone_index: int, extra_ns: int = 0
+    ) -> IoCompletion:
         return self.pipeline.submit(
             IoRequest(op, self.zones[zone_index].start, zone=zone_index, layer="zns"),
-            self.config.timing.command_overhead_ns,
+            self.config.timing.command_overhead_ns + extra_ns,
         )
 
     def _load(self, offset: int, length: int) -> bytes:
@@ -514,19 +548,65 @@ class ZnsSsd:
         self._stats.media_write_bytes += length  # no device GC: WA == 1.0
 
     def _ensure_open_budget(self, zone: Zone) -> None:
-        """Enforce max-open/max-active before a zone becomes (implicitly) open."""
+        """Enforce max-open/max-active before a zone becomes (implicitly) open.
+
+        With ``zone_costs.forced_close`` enabled, exceeding the open cap
+        closes the least-recently-written open zone (charged through the
+        pipeline) instead of raising — the contention model real drives
+        implement in firmware.  The active cap always raises: closing an
+        open zone keeps it active, so forcing closes cannot free an
+        active slot for a never-written zone.
+        """
         if zone.is_open:
             return
         if self.open_zone_count >= self.config.max_open_zones:
-            raise ZoneResourceError(
-                f"opening zone {zone.index} would exceed max_open_zones="
-                f"{self.config.max_open_zones}"
-            )
+            if not self._zone_costs.forced_close:
+                raise ZoneResourceError(
+                    f"opening zone {zone.index} would exceed max_open_zones="
+                    f"{self.config.max_open_zones}"
+                )
+            self._force_close_lru()
         if not zone.is_active and self.active_zone_count >= self.config.max_active_zones:
             raise ZoneResourceError(
                 f"activating zone {zone.index} would exceed max_active_zones="
                 f"{self.config.max_active_zones}"
             )
+
+    def _force_close_lru(self) -> None:
+        """Close the least-recently-written open zone to free an open slot."""
+        touch = self._open_touch
+        victim = min(
+            (z for z in self.zones if z.is_open),
+            key=lambda z: touch.get(z.index, 0),
+        )
+        victim.close()
+        completion = self.pipeline.submit(
+            IoRequest(IoOp.CLOSE, victim.start, zone=victim.index, layer="zns"),
+            self.config.timing.command_overhead_ns + self._zone_costs.close_ns,
+        )
+        mgmt = self.zone_mgmt
+        mgmt.forced_closes += 1
+        mgmt.close_ns += completion.service_ns
+
+    def _note_write_open(self, zone: Zone) -> None:
+        """Touch the LRU clock; charge the implicit open when costed.
+
+        Zero-cost implicit opens are counted but charge nothing and emit
+        no trace record — the historical free-transition model.
+        """
+        self._touch_tick += 1
+        self._open_touch[zone.index] = self._touch_tick
+        if zone.is_open:
+            return
+        mgmt = self.zone_mgmt
+        mgmt.implicit_opens += 1
+        cost = self._zone_costs.open_ns
+        if cost:
+            completion = self.pipeline.submit(
+                IoRequest(IoOp.OPEN, zone.start, zone=zone.index, layer="zns"),
+                cost,
+            )
+            mgmt.open_ns += completion.service_ns
 
     def _check_zone_index(self, zone_index: int) -> None:
         if not 0 <= zone_index < self.num_zones:

@@ -36,6 +36,7 @@ from repro.reclaim.pacer import AdaptivePacingConfig, PacerConfig, ReclaimPacer
 from repro.reclaim.policy import (
     POLICY_NAMES,
     AgeThresholdPolicy,
+    ColdDeferPolicy,
     CostBenefitPolicy,
     GreedyPolicy,
     RandomPolicy,
@@ -48,6 +49,7 @@ from repro.reclaim.policy import (
 __all__ = [
     "AdaptivePacingConfig",
     "AgeThresholdPolicy",
+    "ColdDeferPolicy",
     "CostBenefitPolicy",
     "GreedyPolicy",
     "POLICY_NAMES",

@@ -26,13 +26,16 @@ class VictimView(NamedTuple):
 
     ``victim_id`` is layer-local (block index, zone index, section id,
     region id); ``age`` is in layer ticks since the container was last
-    written (0 when the layer does not track recency).
+    written (0 when the layer does not track recency).  ``group`` is the
+    lifetime group the container was allocated from (0 = hottest; layers
+    without hot/cold separation leave it 0).
     """
 
     victim_id: int
     valid_count: int
     valid_fraction: float
     age: int = 0
+    group: int = 0
 
 
 class VictimPolicy(abc.ABC):
@@ -97,6 +100,29 @@ class AgeThresholdPolicy(VictimPolicy):
         return (young, view.valid_count)
 
 
+class ColdDeferPolicy(VictimPolicy):
+    """Lazy hot/cold-aware reclaim: harvest decayed hot zones, defer cold.
+
+    The Z-CacheLib argument (arxiv 2410.11260): once flush-time
+    classification separates lifetimes, hot-group containers invalidate
+    themselves — waiting turns them into near-empty victims that are
+    almost free to reclaim.  Cold-group containers stay valid, so
+    copying them moves a nearly full container for no gain; they are
+    better left *finished* (sealed, holding stable data) until the
+    emergency floor forces the issue.  Score prefers the hottest group
+    first and breaks ties greedily, so cold containers are only
+    reclaimed when no hot candidate exists.  Group-blind greedy lacks
+    exactly this deferral: a cold container with one invalid unit can
+    out-score a hot one still mid-decay, and its survivors get recopied
+    forever.
+    """
+
+    name = "cold_defer"
+
+    def score(self, view: VictimView):
+        return (view.group, view.valid_count)
+
+
 class RandomPolicy(VictimPolicy):
     """Uniform random victim — the ablation baseline every deliberate
     policy must beat.  Seeded, so runs stay reproducible."""
@@ -115,7 +141,7 @@ class RandomPolicy(VictimPolicy):
         return views[self._rng.randrange(len(views))].victim_id
 
 
-POLICY_NAMES = ("greedy", "cost_benefit", "age_threshold", "random")
+POLICY_NAMES = ("greedy", "cost_benefit", "age_threshold", "random", "cold_defer")
 
 
 def make_victim_policy(
@@ -129,6 +155,8 @@ def make_victim_policy(
         return CostBenefitPolicy()
     if name == "age_threshold":
         return AgeThresholdPolicy(age_threshold)
+    if name == "cold_defer":
+        return ColdDeferPolicy()
     return RandomPolicy(seed)
 
 

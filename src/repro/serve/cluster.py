@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.schemes import (
-    SCHEME_NAMES,
+    ALL_SCHEME_NAMES,
     SchemeScale,
     SchemeStack,
     build_scheme,
@@ -100,9 +100,9 @@ class ShardSpec:
     cache_overrides: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.scheme not in SCHEME_NAMES:
+        if self.scheme not in ALL_SCHEME_NAMES:
             raise ConfigError(
-                f"unknown scheme {self.scheme!r}; expected one of {SCHEME_NAMES}"
+                f"unknown scheme {self.scheme!r}; expected one of {ALL_SCHEME_NAMES}"
             )
         if self.media_bytes <= 0:
             raise ConfigError("media_bytes must be positive")

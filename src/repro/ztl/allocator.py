@@ -41,6 +41,9 @@ class ZoneRecord:
     # Book tick of the zone's most recent slot write; age = tick - mtime
     # feeds cost-benefit victim selection (repro.reclaim).
     mtime: int = 0
+    # Lifetime group the zone was allocated from (0 = hottest stream).
+    # Single-group books leave every record at 0.
+    group: int = 0
 
     def __post_init__(self) -> None:
         self.bitmap = SlotBitmap(self.slots_per_zone)
@@ -67,6 +70,7 @@ class ZoneBook:
         slots_per_zone: int,
         host_open_target: int,
         reserved_for_gc: int = 1,
+        num_groups: int = 1,
     ) -> None:
         if num_zones < 2:
             raise ValueError(f"need at least 2 zones, got {num_zones}")
@@ -76,19 +80,26 @@ class ZoneBook:
             raise ValueError("host_open_target must be >= 1")
         if not 0 <= reserved_for_gc < num_zones:
             raise ValueError("reserved_for_gc must be in [0, num_zones)")
+        if num_groups < 1:
+            raise ValueError("num_groups must be >= 1")
         self.slots_per_zone = slots_per_zone
         self.host_open_target = host_open_target
         # Host writes may not drain the empty pool below this: the GC
         # stream always has somewhere to migrate survivors.
         self.reserved_for_gc = reserved_for_gc
+        # Lifetime groups: each group keeps its own host-open pool, so
+        # regions with different expected lifetimes never share a zone
+        # (Z-CacheLib's lifetime-grouped allocation).  Group 0 is the
+        # hottest stream; the GC stream writes into the coldest group.
+        self.num_groups = num_groups
         self.records: List[ZoneRecord] = [
             ZoneRecord(i, slots_per_zone) for i in range(num_zones)
         ]
         self._empty: List[int] = list(range(num_zones))
-        self._host_open: List[int] = []
+        self._host_open: List[List[int]] = [[] for _ in range(num_groups)]
         self._gc_open: Optional[int] = None
         self._finished: List[int] = []
-        self._rr_cursor = 0
+        self._rr_cursor: List[int] = [0] * num_groups
         # Logical write clock: bumped once per slot write, never rewinds.
         self.tick = 0
 
@@ -100,7 +111,10 @@ class ZoneBook:
 
     @property
     def host_open_zones(self) -> List[int]:
-        return list(self._host_open)
+        return [z for pool in self._host_open for z in pool]
+
+    def host_open_zones_in(self, group: int) -> List[int]:
+        return list(self._host_open[group])
 
     @property
     def finished_zones(self) -> List[int]:
@@ -119,29 +133,41 @@ class ZoneBook:
 
     # --- allocation -----------------------------------------------------------------
 
-    def allocate_host_slot(self) -> ZoneRecord:
-        """Zone record to write the next host region into (round-robin).
+    def allocate_host_slot(self, group: int = 0) -> ZoneRecord:
+        """Zone record to write the next host region into (round-robin
+        within ``group``'s open pool).
 
-        Raises :class:`TranslationFullError` when no open zone has space
-        and no empty zone can be opened — the caller must GC first.
+        Raises :class:`TranslationFullError` when no open zone in the
+        group has space and no empty zone can be opened — the caller
+        must GC first.
         """
-        self._refill_host_open()
-        if not self._host_open:
+        if not 0 <= group < self.num_groups:
+            raise ValueError(f"group {group} outside [0, {self.num_groups})")
+        self._refill_host_open(group)
+        pool = self._host_open[group]
+        if not pool:
             raise TranslationFullError("no empty zones left for host writes")
-        self._rr_cursor %= len(self._host_open)
-        record = self.records[self._host_open[self._rr_cursor]]
-        self._rr_cursor = (self._rr_cursor + 1) % max(1, len(self._host_open))
+        cursor = self._rr_cursor[group] % len(pool)
+        record = self.records[pool[cursor]]
+        self._rr_cursor[group] = (cursor + 1) % max(1, len(pool))
         return record
 
     def allocate_gc_slot(self) -> ZoneRecord:
-        """Zone record for a GC migration write (separate stream)."""
+        """Zone record for a GC migration write (separate stream).
+
+        GC zones carry the coldest group label: their contents are
+        migration survivors, which by construction outlived their
+        original zone.
+        """
         if self._gc_open is None or self.records[self._gc_open].is_full:
             if self._gc_open is not None:
                 self.mark_finished(self._gc_open)
             if not self._empty:
                 raise TranslationFullError("no empty zone for the GC stream")
             self._gc_open = self._empty.pop(0)
-            self.records[self._gc_open].use = ZoneUse.GC_OPEN
+            record = self.records[self._gc_open]
+            record.use = ZoneUse.GC_OPEN
+            record.group = self.num_groups - 1
         return self.records[self._gc_open]
 
     def note_slot_written(self, record: ZoneRecord) -> None:
@@ -158,8 +184,8 @@ class ZoneBook:
         record = self.records[zone_index]
         if record.use is ZoneUse.DEAD:
             return
-        if record.use == ZoneUse.HOST_OPEN and zone_index in self._host_open:
-            self._host_open.remove(zone_index)
+        if record.use == ZoneUse.HOST_OPEN:
+            self._drop_host_open(zone_index)
         if record.use == ZoneUse.GC_OPEN and self._gc_open == zone_index:
             self._gc_open = None
         record.use = ZoneUse.FINISHED
@@ -177,8 +203,7 @@ class ZoneBook:
             return
         if zone_index in self._empty:
             self._empty.remove(zone_index)
-        if zone_index in self._host_open:
-            self._host_open.remove(zone_index)
+        self._drop_host_open(zone_index)
         if zone_index in self._finished:
             self._finished.remove(zone_index)
         if self._gc_open == zone_index:
@@ -193,31 +218,40 @@ class ZoneBook:
             return
         if zone_index in self._finished:
             self._finished.remove(zone_index)
-        if zone_index in self._host_open:
-            self._host_open.remove(zone_index)
+        self._drop_host_open(zone_index)
         if self._gc_open == zone_index:
             self._gc_open = None
         record.use = ZoneUse.EMPTY
         record.bitmap.clear_all()
         record.next_slot = 0
+        record.group = 0
         self._empty.append(zone_index)
 
     # --- internals ----------------------------------------------------------------------
 
-    def _refill_host_open(self) -> None:
-        self._host_open = [
-            z for z in self._host_open if not self.records[z].is_full
+    def _drop_host_open(self, zone_index: int) -> None:
+        for pool in self._host_open:
+            if zone_index in pool:
+                pool.remove(zone_index)
+
+    def _refill_host_open(self, group: int = 0) -> None:
+        pool = [
+            z for z in self._host_open[group] if not self.records[z].is_full
         ]
+        self._host_open[group] = pool
         while (
-            len(self._host_open) < self.host_open_target
+            len(pool) < self.host_open_target
             and len(self._empty) > self.reserved_for_gc
         ):
             zone_index = self._empty.pop(0)
-            self.records[zone_index].use = ZoneUse.HOST_OPEN
-            self._host_open.append(zone_index)
+            record = self.records[zone_index]
+            record.use = ZoneUse.HOST_OPEN
+            record.group = group
+            pool.append(zone_index)
 
     def __repr__(self) -> str:
+        open_count = sum(len(pool) for pool in self._host_open)
         return (
-            f"ZoneBook(empty={len(self._empty)}, open={len(self._host_open)}, "
+            f"ZoneBook(empty={len(self._empty)}, open={open_count}, "
             f"finished={len(self._finished)}, gc={self._gc_open})"
         )

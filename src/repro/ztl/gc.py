@@ -137,6 +137,7 @@ class _ZoneReclaimSource(ReclaimSource):
                     valid_count=record.valid_count,
                     valid_fraction=record.valid_fraction,
                     age=self.book.tick - record.mtime,
+                    group=record.group,
                 )
             )
         return views

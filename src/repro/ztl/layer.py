@@ -45,6 +45,11 @@ class ZtlConfig:
 
     region_size: int
     host_open_zones: int = 2
+    # Lifetime groups for host writes: each group gets its own pool of
+    # ``host_open_zones`` open zones, so regions with different expected
+    # lifetimes never share a zone (Z-Cache's hot/cold separation).
+    # 1 = the historical single-stream layout.
+    host_groups: int = 1
     usable_zones: int = 0  # 0 → all zones
     # Use the ZNS Zone Append command instead of positioned writes: the
     # device picks the in-zone offset, so the host never races the write
@@ -102,11 +107,14 @@ class RegionTranslationLayer:
             raise ValueError(
                 f"usable_zones {num_zones} must be in [2, {device.num_zones}]"
             )
+        if config.host_groups < 1:
+            raise ValueError(f"host_groups must be >= 1, got {config.host_groups}")
         # Host streams + the GC stream must fit in the device's open budget.
-        if config.host_open_zones + 1 > device.config.max_open_zones:
+        if config.host_open_zones * config.host_groups + 1 > device.config.max_open_zones:
             raise ValueError(
-                f"host_open_zones {config.host_open_zones} + 1 GC stream exceeds "
-                f"device max_open_zones {device.config.max_open_zones}"
+                f"host_open_zones {config.host_open_zones} x host_groups "
+                f"{config.host_groups} + 1 GC stream exceeds device "
+                f"max_open_zones {device.config.max_open_zones}"
             )
         self.device = device
         # Plain attribute: shared with the underlying device, read per
@@ -118,7 +126,12 @@ class RegionTranslationLayer:
         self.zone_size = device.zone_size
         self.slots_per_zone = device.zone_size // config.region_size
         self.num_zones = num_zones
-        self.book = ZoneBook(num_zones, self.slots_per_zone, config.host_open_zones)
+        self.book = ZoneBook(
+            num_zones,
+            self.slots_per_zone,
+            config.host_open_zones,
+            num_groups=config.host_groups,
+        )
         self.map = RegionMap()
         self.stats = ZtlStats()
         self.gc = ZoneGarbageCollector(
@@ -152,8 +165,14 @@ class RegionTranslationLayer:
 
     # --- region interface ------------------------------------------------------------
 
-    def write_region(self, region_id: int, data: bytes) -> IoCompletion:
-        """(Re)write one region; returns the device write completion."""
+    def write_region(
+        self, region_id: int, data: bytes, group: int = 0
+    ) -> IoCompletion:
+        """(Re)write one region; returns the device write completion.
+
+        ``group`` selects the lifetime group whose open-zone pool the
+        region lands in (only meaningful with ``host_groups > 1``).
+        """
         if len(data) != self.region_size:
             raise ValueError(
                 f"region write must be exactly {self.region_size}B, got {len(data)}"
@@ -161,14 +180,16 @@ class RegionTranslationLayer:
         tracer = self.tracer
         if tracer.enabled:
             with tracer.span("ztl", "write_region", length=len(data)):
-                return self._write_region_impl(region_id, data)
-        return self._write_region_impl(region_id, data)
+                return self._write_region_impl(region_id, data, group)
+        return self._write_region_impl(region_id, data, group)
 
-    def _write_region_impl(self, region_id: int, data: bytes) -> IoCompletion:
+    def _write_region_impl(
+        self, region_id: int, data: bytes, group: int = 0
+    ) -> IoCompletion:
         self.invalidate_region(region_id)
         last_error: Optional[ZoneDeadError] = None
         for _ in range(4):
-            record = self._allocate_host_record()
+            record = self._allocate_host_record(group)
             try:
                 result = self._write_to_record(region_id, record, data)
                 break
@@ -228,7 +249,7 @@ class RegionTranslationLayer:
 
     # --- internals ----------------------------------------------------------------------
 
-    def _allocate_host_record(self) -> ZoneRecord:
+    def _allocate_host_record(self, group: int = 0) -> ZoneRecord:
         # Emergency foreground GC: the background thread fell behind.
         # Bounded retries: if repeated collections reclaim zones but the
         # pool never rises above the GC reserve, the layer is over-
@@ -236,7 +257,7 @@ class RegionTranslationLayer:
         # concentrate) and we fail loudly rather than livelock.
         for _ in range(4):
             try:
-                return self.book.allocate_host_slot()
+                return self.book.allocate_host_slot(group)
             except TranslationFullError:
                 if self.gc.collect(max_zones=1) == 0:
                     raise
@@ -437,6 +458,7 @@ class RegionTranslationLayer:
                     "use": record.use.value,
                     "next_slot": record.next_slot,
                     "valid_slots": list(record.bitmap.valid_slots()),
+                    "group": record.group,
                 }
             )
         mapping = {}
@@ -462,25 +484,32 @@ class RegionTranslationLayer:
         if state["region_size"] != self.region_size or state["num_zones"] != self.num_zones:
             raise ValueError("state does not match this layer's geometry")
         self.book = ZoneBook(
-            self.num_zones, self.slots_per_zone, self.config.host_open_zones
+            self.num_zones,
+            self.slots_per_zone,
+            self.config.host_open_zones,
+            num_groups=self.config.host_groups,
         )
         self.map = RegionMap()
         # Rebuild per-zone records and pool membership.
         self.book._empty = []
-        self.book._host_open = []
+        self.book._host_open = [[] for _ in range(self.book.num_groups)]
         self.book._finished = []
         self.book._gc_open = None
         for entry in state["records"]:
             record = self.book.records[entry["zone"]]
             record.next_slot = entry["next_slot"]
             record.use = ZoneUse(entry["use"])
+            # Pre-group snapshots restore into group 0 (the only pool).
+            record.group = min(
+                entry.get("group", 0), self.book.num_groups - 1
+            )
             record.bitmap.clear_all()
             for slot in entry["valid_slots"]:
                 record.bitmap.set(slot)
             if record.use is ZoneUse.EMPTY:
                 self.book._empty.append(record.zone_index)
             elif record.use is ZoneUse.HOST_OPEN:
-                self.book._host_open.append(record.zone_index)
+                self.book._host_open[record.group].append(record.zone_index)
             elif record.use is ZoneUse.GC_OPEN:
                 self.book._gc_open = record.zone_index
             elif record.use is ZoneUse.DEAD:

@@ -82,25 +82,40 @@ def test_scheduler_equal_times_dequeue_in_push_order():
 # --- fast loop vs legacy loop vs traced loop ------------------------------------
 
 
-def _smoke_server(fast_path: bool, trace: bool = False) -> Server:
+def _smoke_server(
+    fast_path: bool, trace: bool = False, schemes: tuple = None
+) -> Server:
     """The run_serving_smoke cluster/tenants with a selectable loop."""
     import repro.bench.experiments as experiments
 
     scale = experiments._serving_scale()
     media = 12 * scale.zone_size
-    specs = [
-        ShardSpec(
-            "Region-Cache",
-            media_bytes=media,
-            cache_bytes=9 * scale.zone_size,
-            cache_overrides=(("eviction_policy", "fifo"), ("reclaim_window", 32)),
-        ),
-        ShardSpec(
-            "Zone-Cache",
-            media_bytes=media,
-            cache_overrides=(("eviction_policy", "fifo"),),
-        ),
-    ]
+    if schemes is None:
+        specs = [
+            ShardSpec(
+                "Region-Cache",
+                media_bytes=media,
+                cache_bytes=9 * scale.zone_size,
+                cache_overrides=(
+                    ("eviction_policy", "fifo"), ("reclaim_window", 32)
+                ),
+            ),
+            ShardSpec(
+                "Zone-Cache",
+                media_bytes=media,
+                cache_overrides=(("eviction_policy", "fifo"),),
+            ),
+        ]
+    else:
+        specs = [
+            ShardSpec(
+                scheme,
+                media_bytes=media,
+                cache_bytes=9 * scale.zone_size,
+                cache_overrides=(("eviction_policy", "fifo"),),
+            )
+            for scheme in schemes
+        ]
     cluster = CacheCluster(specs, scale=scale)
     if trace:
         for shard in cluster.shards:
@@ -126,6 +141,15 @@ def _report_rows(server: Server):
 
 def test_fast_loop_rows_equal_legacy_loop_rows():
     assert _report_rows(_smoke_server(True)) == _report_rows(_smoke_server(False))
+
+
+def test_fast_loop_rows_equal_legacy_loop_rows_z_cache():
+    """The TinyLFU-classified Z-Cache flush path runs identically under
+    the fast and legacy serving loops (same sketch state, same groups)."""
+    schemes = ("Z-Cache", "Z-Cache")
+    fast = _report_rows(_smoke_server(True, schemes=schemes))
+    legacy = _report_rows(_smoke_server(False, schemes=schemes))
+    assert fast == legacy
 
 
 def test_traced_run_rows_equal_untraced_rows():
