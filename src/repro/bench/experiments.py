@@ -513,6 +513,7 @@ def _serving_tenants(
     num_keys: int,
     seed: int,
     rate_limit_batch: bool = True,
+    web_arrival: str = "poisson",
 ) -> "List[object]":
     """The sweep's two-tenant mix: a steady interactive tenant and a
     bursty batch tenant, splitting the offered load 70/30.
@@ -520,6 +521,9 @@ def _serving_tenants(
     The batch tenant carries a token bucket at 1.5x its mean rate, so
     its 4x bursts are clipped by rate limiting *before* they reach the
     shard queues — per-tenant QoS isolating the interactive tenant.
+    ``web_arrival`` switches the interactive tenant's arrival process
+    (the failover sweep kills shards mid-*diurnal* load); the default
+    keeps every pre-existing sweep byte-identical.
     """
     from repro.serve import TenantConfig
 
@@ -529,7 +533,7 @@ def _serving_tenants(
         TenantConfig(
             "web",
             rate_ops_per_sec=web_rate,
-            arrival="poisson",
+            arrival=web_arrival,
             workload=CacheBenchConfig(
                 num_ops=requests_per_tenant,
                 num_keys=num_keys,
@@ -1283,5 +1287,153 @@ def run_zone_cost_smoke(seed: int = 7) -> List[Dict[str, object]]:
     streams never reach the knee and the ablation reads as a no-op)."""
     return run_zone_cost_ablation(
         requests_per_tenant=4_000,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------
+# Failover sweep — kill shards mid-diurnal-load, measure survival per scheme
+# --------------------------------------------------------------------------
+
+def run_failover_sweep(
+    scale: Optional[SchemeScale] = None,
+    zones_per_shard: int = 10,
+    cache_zones_per_shard: int = 6,
+    num_shards: int = 8,
+    offered_kops: float = 10.0,
+    requests_per_tenant: int = 6_000,
+    num_keys: Optional[int] = None,
+    max_queue_depth: int = 128,
+    schemes: tuple = ("Region-Cache", "Z-Cache"),
+    replicas: tuple = (1, 2),
+    kill_shard: int = 0,
+    kill_at_frac: float = 0.35,
+    outage_frac: float = 0.25,
+    hint_limit: int = 8192,
+    seed: int = 7,
+) -> List[Dict[str, object]]:
+    """Fleet failover sweep (`repro failover`): kill a shard mid-diurnal
+    load and measure what replication buys, per scheme.
+
+    For every (scheme, replication factor) cell, an ``num_shards``
+    homogeneous cluster serves the two-tenant mix (web switched to
+    diurnal arrivals so the kill lands on a live waveform), and a
+    :class:`~repro.serve.FailoverPlan` power-cuts ``kill_shard`` at
+    ``kill_at_frac`` of the run for ``outage_frac`` of the run.  With
+    R=1 every request owned by the dead shard fails for the whole
+    outage, and its cache restarts cold — availability drops and the
+    hit ratio takes the whole recovery tail to climb back.  With R=2
+    writes fan out to the ring successor, reads fall back (with
+    read-repair), and a bounded hint journal replays the missed writes
+    through the normal write path during RESYNCING — availability holds
+    and the hit ratio recovers within a few percent by run end.
+
+    One row per cell joins the tenants' QoS columns with the fleet
+    telemetry (``fleet_*``: availability, failed counts, storm p99,
+    per-phase hit ratios, recovery time, replication/handoff byte
+    overhead — the bytes reconcile exactly with ``serve.replicate`` /
+    ``serve.handoff`` tracer spans).
+
+    The default queue depth is deeper than the serving/gc-qos sweeps'
+    48: replication roughly doubles each shard's queue traffic, and
+    Region-Cache's multi-millisecond seal+reclaim bursts then overrun a
+    48-deep queue — the availability the replicas bought leaks back out
+    as queue-full sheds.  At depth 128 the bursts queue instead of
+    shedding, which is the point of the ablation: R=2 Region-Cache
+    holds ≥99% availability but pays for it in web p99, while Z-Cache
+    (lazy cold-first reclaim, no copy bursts) holds both.  (GC-aware
+    routing stays off — it is incompatible with replica placement,
+    which must follow the ring.)
+    """
+    from repro.serve import (
+        CacheCluster,
+        FailoverPlan,
+        ReplicationConfig,
+        Server,
+        ServerConfig,
+        ShardKill,
+    )
+
+    scale = scale or _serving_scale()
+    media = zones_per_shard * scale.zone_size
+    cache_bytes = cache_zones_per_shard * scale.zone_size
+    if num_keys is None:
+        num_keys = int(1.05 * num_shards * media / 1568)
+    navy = {"eviction_policy": "fifo", "reclaim_window": 128}
+    # Open-loop duration estimate: the web tenant (70% of load) offers
+    # requests_per_tenant ops at 0.7*rate; the kill and outage are
+    # placed as fractions of that horizon so the storm always lands
+    # mid-run regardless of the load point.
+    duration_ns = int(requests_per_tenant / (0.7 * offered_kops * 1000) * 1e9)
+    kill_at_ns = int(kill_at_frac * duration_ns)
+    outage_ns = int(outage_frac * duration_ns)
+    rows: List[Dict[str, object]] = []
+    for name in schemes:
+        base_overrides: Dict[str, object] = (
+            {"eviction_policy": "fifo"} if name == "Zone-Cache" else dict(navy)
+        )
+        shard_cache = None if name == "Zone-Cache" else cache_bytes
+        for r in replicas:
+            cluster = CacheCluster.homogeneous(
+                name,
+                num_shards,
+                media,
+                shard_cache,
+                scale=scale,
+                cache_overrides=tuple(sorted(base_overrides.items()))
+                + _gc_qos_overrides(name),
+                cache_stacks=True,
+                replication=ReplicationConfig(
+                    replicas=r, hint_limit=hint_limit
+                ),
+            )
+            tenants = _serving_tenants(
+                offered_kops * 1000,
+                requests_per_tenant,
+                num_keys,
+                seed,
+                web_arrival="diurnal",
+            )
+            report = Server(
+                cluster,
+                tenants,
+                ServerConfig(max_queue_depth=max_queue_depth),
+                failover=FailoverPlan(
+                    (ShardKill(kill_at_ns, kill_shard, outage_ns),)
+                ),
+            ).run()
+            web = next(t for t in report.tenant_rows if t["tenant"] == "web")
+            batch = next(
+                t for t in report.tenant_rows if t["tenant"] == "batch"
+            )
+            row: Dict[str, object] = {
+                "scheme": name,
+                "replicas": r,
+                "num_shards": num_shards,
+                "offered_total_kops": offered_kops,
+                "kill_at_ms": kill_at_ns / 1e6,
+                "outage_ms": outage_ns / 1e6,
+                "web_p99_us": web["p99_us"],
+                "web_goodput_kops": web["goodput_kops"],
+                "web_slo_attainment": web["slo_attainment"],
+                "batch_p99_us": batch["p99_us"],
+                "batch_goodput_kops": batch["goodput_kops"],
+                "cluster_shed_rate": report.shed_rate,
+            }
+            fleet = report.fleet_row or {}
+            row.update({f"fleet_{k}": v for k, v in fleet.items()})
+            rows.append(row)
+    return rows
+
+
+def run_failover_smoke(seed: int = 7) -> List[Dict[str, object]]:
+    """`repro failover --smoke`: one scheme, four shards, R∈{1,2}, one
+    mid-run kill — two rows, CI-sized, still driving the whole failover
+    path (fan-out, fallback reads, hinted handoff, crash recovery)."""
+    return run_failover_sweep(
+        num_shards=4,
+        offered_kops=12.0,
+        requests_per_tenant=1_500,
+        schemes=("Region-Cache",),
         seed=seed,
     )

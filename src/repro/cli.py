@@ -106,6 +106,14 @@ def _zone_cost(quick: bool) -> List[dict]:
     return run_zone_cost_ablation()
 
 
+def _failover(quick: bool) -> List[dict]:
+    from repro.bench.experiments import run_failover_sweep
+
+    if quick:
+        return run_failover_sweep(requests_per_tenant=3_000)
+    return run_failover_sweep()
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
     "fig2": _fig2,
     "fig3": _fig3,
@@ -117,6 +125,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
     "gc-sweep": _gc_sweep,
     "gc-qos": _gc_qos,
     "zone-cost": _zone_cost,
+    "failover": _failover,
 }
 
 TITLES = {
@@ -130,6 +139,7 @@ TITLES = {
     "gc-sweep": "GC ablation: victim policy x watermark x pacing per scheme",
     "gc-qos": "GC-QoS co-scheduling: adaptive pacing x GC-aware routing",
     "zone-cost": "Zone-cost ablation: {zero, measured} costs x {Region, Z}-Cache",
+    "failover": "Failover sweep: kill a shard mid-diurnal load, R=1 vs R=2",
 }
 
 
@@ -167,7 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
             "~2k requests) used as the CI smoke test; with 'gc-sweep': "
             "two policies with tracing on, verifying reclaim spans; with "
             "'gc-qos': one scheme, all four pacing x routing combos; with "
-            "'zone-cost': both schemes x both cost presets, short stream"
+            "'zone-cost': both schemes x both cost presets, short stream; "
+            "with 'failover': one scheme, four shards, R in {1,2}, one kill"
         ),
     )
     return parser
@@ -218,6 +229,16 @@ def _plot_for(name: str, rows: List[dict]) -> str:
         return scheme_bars(
             labeled, "web_p99_us", label_key="combo", title="web tenant p99 (us)"
         )
+    if name == "failover":
+        labeled = [
+            {**r, "combo": f"{r['scheme'][:6]}/R{r['replicas']}"} for r in rows
+        ]
+        return scheme_bars(
+            labeled,
+            "fleet_availability",
+            label_key="combo",
+            title="availability under shard loss",
+        )
     if name == "gc-sweep":
         labeled = [
             {**r, "combo": f"{r['scheme']}/{r['gc_policy']}@w{r['watermark_scale']}"}
@@ -247,6 +268,10 @@ def _rows_for(name: str, smoke: bool, quick: bool) -> List[dict]:
         from repro.bench.experiments import run_zone_cost_smoke
 
         return run_zone_cost_smoke()
+    if name == "failover" and smoke:
+        from repro.bench.experiments import run_failover_smoke
+
+        return run_failover_smoke()
     return EXPERIMENTS[name](quick)
 
 

@@ -23,6 +23,7 @@ from repro.errors import (
     OutOfRangeError,
     ZoneDeadError,
     ZoneResourceError,
+    ZoneStateError,
 )
 from repro.flash.device import DeviceStats
 from repro.flash.nand import NandGeometry, NandTiming
@@ -359,9 +360,28 @@ class ZnsSsd:
         return completion
 
     def close_zone(self, zone_index: int) -> IoCompletion:
-        """Close an open zone (frees an open slot, keeps an active slot)."""
+        """Close an open zone (frees an open slot, keeps an active slot).
+
+        Under ``ZoneCostConfig.finish_on_close``, closing a zone that
+        holds data pads it to FULL instead (a FINISH command at finish
+        cost): the zone frees its *active* slot too, at the price of the
+        unwritten tail.  An empty zone still just reverts to EMPTY.
+        """
         self._check_zone_index(zone_index)
-        self.zones[zone_index].close()
+        zone = self.zones[zone_index]
+        if self._zone_costs.finish_on_close and zone.written_bytes > 0:
+            if not zone.is_open:
+                raise ZoneStateError(
+                    f"zone {zone_index} is {zone.state.value}; only open zones close"
+                )
+            zone.finish()
+            completion = self._zone_command(
+                IoOp.FINISH, zone_index, self._zone_costs.finish_ns
+            )
+            self.zone_mgmt.finishes += 1
+            self.zone_mgmt.finish_ns += completion.service_ns
+            return completion
+        zone.close()
         completion = self._zone_command(
             IoOp.CLOSE, zone_index, self._zone_costs.close_ns
         )
@@ -573,18 +593,36 @@ class ZnsSsd:
             )
 
     def _force_close_lru(self) -> None:
-        """Close the least-recently-written open zone to free an open slot."""
+        """Close the least-recently-written open zone to free an open slot.
+
+        With ``finish_on_close`` the eviction pads the victim to FULL
+        (FINISH at finish cost — it frees an active slot as well);
+        otherwise it parks the victim CLOSED at close cost.  Either way
+        the forced transition is charged through the pipeline, so the
+        hidden contention cost lands in foreground latency.
+        """
         touch = self._open_touch
         victim = min(
             (z for z in self.zones if z.is_open),
             key=lambda z: touch.get(z.index, 0),
         )
+        mgmt = self.zone_mgmt
+        costs = self._zone_costs
+        if costs.finish_on_close and victim.written_bytes > 0:
+            victim.finish()
+            completion = self.pipeline.submit(
+                IoRequest(IoOp.FINISH, victim.start, zone=victim.index, layer="zns"),
+                self.config.timing.command_overhead_ns + costs.finish_ns,
+            )
+            mgmt.forced_closes += 1
+            mgmt.finishes += 1
+            mgmt.finish_ns += completion.service_ns
+            return
         victim.close()
         completion = self.pipeline.submit(
             IoRequest(IoOp.CLOSE, victim.start, zone=victim.index, layer="zns"),
-            self.config.timing.command_overhead_ns + self._zone_costs.close_ns,
+            self.config.timing.command_overhead_ns + costs.close_ns,
         )
-        mgmt = self.zone_mgmt
         mgmt.forced_closes += 1
         mgmt.close_ns += completion.service_ns
 

@@ -50,6 +50,16 @@ class ZoneCostConfig:
     pipeline, so the tracer attributes the hidden cost) instead of
     failing the write.  Off by default: the historical behaviour is a
     hard :class:`~repro.errors.ZoneResourceError`.
+
+    ``finish_on_close`` models firmware that pads a partially-written
+    zone to FULL instead of parking it CLOSED: closing (explicitly or
+    via forced-close contention) a zone with data becomes a FINISH —
+    write pointer jumps to the zone end, the zone stops holding *active*
+    resources, and the (expensive, ``finish_ns``) padding is charged
+    through the pipeline.  The trade is real on drives whose closed
+    zones pin XOR/parity context: finishing releases the resource but
+    wastes the unwritten tail until reset.  Off by default; zero
+    behaviour change for every pre-existing golden.
     """
 
     open_ns: int = 0
@@ -57,6 +67,7 @@ class ZoneCostConfig:
     finish_ns: int = 0
     reset_ns: int = 0
     forced_close: bool = False
+    finish_on_close: bool = False
 
     def __post_init__(self) -> None:
         for name in ("open_ns", "close_ns", "finish_ns", "reset_ns"):

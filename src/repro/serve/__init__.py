@@ -33,6 +33,18 @@ from repro.serve.cluster import (
 )
 from repro.serve.hashing import ConsistentHashRing, hash32
 from repro.serve.qos import SloTracker, TokenBucket
+from repro.serve.replication import (
+    HEALTH_DOWN,
+    HEALTH_RESYNCING,
+    HEALTH_STATES,
+    HEALTH_SUSPECT,
+    HEALTH_UP,
+    FailoverPlan,
+    FleetStats,
+    HintJournal,
+    ReplicationConfig,
+    ShardKill,
+)
 from repro.serve.server import Server, ServerConfig, ServingReport
 from repro.serve.tenant import Tenant, TenantConfig
 
@@ -43,14 +55,24 @@ __all__ = [
     "CacheCluster",
     "ConsistentHashRing",
     "DiurnalArrivals",
+    "FailoverPlan",
+    "FleetStats",
+    "HEALTH_DOWN",
+    "HEALTH_RESYNCING",
+    "HEALTH_STATES",
+    "HEALTH_SUSPECT",
+    "HEALTH_UP",
+    "HintJournal",
     "PRESSURE_RANK",
     "PoissonArrivals",
     "ROUTING_POLICIES",
+    "ReplicationConfig",
     "RoutingConfig",
     "Server",
     "ServerConfig",
     "ServingReport",
     "Shard",
+    "ShardKill",
     "ShardSpec",
     "SloTracker",
     "Tenant",

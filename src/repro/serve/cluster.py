@@ -23,9 +23,13 @@ from repro.bench.schemes import (
 )
 from repro.errors import ConfigError
 from repro.serve.hashing import ConsistentHashRing
+from repro.serve.replication import (
+    HEALTH_UP,
+    HintJournal,
+    ReplicationConfig,
+)
 from repro.sim.clock import SimClock
-from repro.units import MIB
-from repro.workloads.cachebench import CacheOp
+from repro.units import MIB, MSEC
 
 
 # Pressure bands in escalation order; the routing policy compares ranks.
@@ -125,7 +129,10 @@ class Shard:
         # that varies per scheme; serving starts *after* that, so fleet
         # time 0 maps to this local clock value, not to local 0.
         self.epoch_ns = stack.clock.now
-        self.queue: Deque[Tuple[int, int, CacheOp]] = deque()
+        # Item shape is loop-private: the legacy/fast loops queue
+        # (arrival_ns, tenant_index, op-or-cursor); the replicated loop
+        # queues its own foreground/replica/hint tuples.
+        self.queue: Deque[tuple] = deque()
         self.busy = False
         self.served = 0
         self.shed_queue_full = 0
@@ -134,6 +141,28 @@ class Shard:
         # while under reclamation pressure / absorbed for a neighbor.
         self.rerouted_out = 0
         self.rerouted_in = 0
+        # --- replication & failover state (repro.serve.replication) ---
+        # `alive` is ground truth (the fault injector's view: power on or
+        # off); `health` is the *declared* state routing acts on.  The
+        # gap between them is detection latency, which the replicated
+        # loop simulates instead of assuming away.
+        self.alive = True
+        self.health = HEALTH_UP
+        self.health_log: List[Tuple[int, str]] = []
+        self.failures = 0
+        self.hint_journal: Optional[HintJournal] = None
+        self.hints_outstanding = 0
+        self.replication_active = False
+        self.repl_served = 0
+        self.repl_bytes = 0
+        self.repl_dropped = 0
+        self.handoff_served = 0
+        self.handoff_bytes = 0
+        self.fallback_served = 0
+        self.resync_ns = 0
+        # Deferred post-completion work (replication fan-out / hint
+        # bookkeeping) the serving loop runs when the _DONE event fires.
+        self._done_action: Optional[tuple] = None
 
     @property
     def clock(self) -> SimClock:
@@ -163,7 +192,7 @@ class Shard:
         cache = self.stack.cache
         waf = cache.waf()
         pressure = self.pressure()
-        return {
+        row: Dict[str, object] = {
             "shard": self.name,
             "scheme": self.stack.name,
             "served": self.served,
@@ -179,6 +208,25 @@ class Shard:
             "gc_level_end": pressure["level"],
             "gc_free_units_end": pressure["free_units"],
         }
+        if self.replication_active:
+            # Extra columns only when the replicated loop ran, so the
+            # PR 3–7 golden row shapes stay bit-identical at R=1.
+            journal = self.hint_journal
+            row.update(
+                {
+                    "health": self.health,
+                    "failures": self.failures,
+                    "repl_served": self.repl_served,
+                    "repl_bytes": self.repl_bytes,
+                    "repl_dropped": self.repl_dropped,
+                    "handoff_served": self.handoff_served,
+                    "handoff_bytes": self.handoff_bytes,
+                    "hints_dropped": journal.dropped if journal else 0,
+                    "fallback_served": self.fallback_served,
+                    "resync_ms": self.resync_ns / MSEC,
+                }
+            )
+        return row
 
 
 class CacheCluster:
@@ -191,11 +239,26 @@ class CacheCluster:
         vnodes: int = 128,
         routing: Optional[RoutingConfig] = None,
         cache_stacks: bool = False,
+        replication: Optional[ReplicationConfig] = None,
     ) -> None:
         if not specs:
             raise ConfigError("cluster needs at least one shard")
         self.scale = scale if scale is not None else SchemeScale()
         self.routing = routing if routing is not None else RoutingConfig()
+        self.replication = (
+            replication if replication is not None else ReplicationConfig()
+        )
+        if self.replication.replicas > len(specs):
+            raise ConfigError(
+                f"replicas ({self.replication.replicas}) cannot exceed the "
+                f"number of shards ({len(specs)})"
+            )
+        if self.replication.replicas > 1 and self.routing.policy == "gc_aware":
+            raise ConfigError(
+                "replication (replicas > 1) cannot be combined with gc_aware "
+                "routing: replica placement must stay ring-faithful so read "
+                "fallback finds the copies"
+            )
         self.shards: List[Shard] = []
         for index, spec in enumerate(specs):
             name = f"shard{index}"
@@ -229,6 +292,11 @@ class CacheCluster:
         # small and every arrival would otherwise re-hash.
         self._home_cache: Dict[bytes, Shard] = {}
         self._successor_cache: Dict[bytes, Tuple[Shard, ...]] = {}
+        self._replica_cache: Dict[bytes, Tuple[Shard, ...]] = {}
+        for shard in self.shards:
+            shard.hint_journal = HintJournal(self.replication.hint_limit)
+            if self.replication.replicas > 1:
+                shard.replication_active = True
 
     @classmethod
     def homogeneous(
@@ -243,6 +311,7 @@ class CacheCluster:
         vnodes: int = 128,
         routing: Optional[RoutingConfig] = None,
         cache_stacks: bool = False,
+        replication: Optional[ReplicationConfig] = None,
     ) -> "CacheCluster":
         """The common case: N identical shards of one scheme."""
         if num_shards < 1:
@@ -260,6 +329,7 @@ class CacheCluster:
             vnodes=vnodes,
             routing=routing,
             cache_stacks=cache_stacks,
+            replication=replication,
         )
 
     def shard_for(self, key: bytes) -> Shard:
@@ -268,6 +338,17 @@ class CacheCluster:
             shard = self._by_name[self.ring.node_for(key)]
             self._home_cache[key] = shard
         return shard
+
+    def replica_set(self, key: bytes) -> Tuple[Shard, ...]:
+        """The R distinct shards owning ``key``: primary first, then the
+        R−1 ring successors replica writes fan out to (memoized; the
+        ring is immutable)."""
+        cached = self._replica_cache.get(key)
+        if cached is None:
+            names = self.ring.nodes_for(key, self.replication.replicas)
+            cached = tuple(self._by_name[name] for name in names)
+            self._replica_cache[key] = cached
+        return cached
 
     def successors_for(self, key: bytes) -> Tuple[Shard, ...]:
         """The (memoized) reroute candidates after ``key``'s home shard."""

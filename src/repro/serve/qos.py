@@ -87,6 +87,12 @@ class SloTracker:
         self.rerouted = 0
         self.gets = 0
         self.get_hits = 0
+        # Requests accepted for service but never completed: routed to a
+        # dead shard, lost in a power cut, or left with no live replica.
+        # Only the replicated serving loop can produce these; the row()
+        # schema is unchanged so pre-replication goldens stay identical
+        # (the failover sweep reads this attribute directly).
+        self.failed_unavailable = 0
 
     # --- recording ----------------------------------------------------------
 
@@ -104,6 +110,10 @@ class SloTracker:
     def record_rerouted(self) -> None:
         """A write steered off its home shard by GC-aware routing."""
         self.rerouted += 1
+
+    def record_failed(self) -> None:
+        """A request lost to shard unavailability (see failed_unavailable)."""
+        self.failed_unavailable += 1
 
     def record_completion(self, latency_ns: int, is_get: bool, hit: bool) -> None:
         self.completed += 1

@@ -33,18 +33,43 @@ from __future__ import annotations
 
 import heapq
 from bisect import insort
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cache.engine import HybridCache
 from repro.errors import ConfigError
 from repro.serve.cluster import CacheCluster, Shard
+from repro.serve.replication import (
+    HEALTH_DOWN,
+    HEALTH_RESYNCING,
+    HEALTH_SUSPECT,
+    HEALTH_UP,
+    PHASE_RECOVERED,
+    PHASE_STEADY,
+    PHASE_STORM,
+    FailoverPlan,
+    FleetStats,
+    ShardKill,
+)
 from repro.serve.tenant import Tenant, TenantConfig
 from repro.sim.sched import EventScheduler
 from repro.units import SEC
-from repro.workloads.cachebench import KIND_GET
+from repro.workloads.cachebench import KIND_DELETE, KIND_GET, KIND_NAMES, KIND_SET
 
 _ARRIVAL = 0
 _DONE = 1
+# Replicated-loop-only event kinds (never pushed by the fast/legacy
+# loops, so their event streams are untouched).
+_KILL = 2
+_RECOVER = 3
+_PROBE = 4
+
+# Queue item tags for the replicated loop (first tuple element).
+_ITEM_FG = 0
+_ITEM_REPL = 1
+_ITEM_HINT = 2
+
+_KIND_INT = {"get": KIND_GET, "set": KIND_SET, "delete": KIND_DELETE}
 
 
 @dataclass(frozen=True)
@@ -77,6 +102,9 @@ class ServingReport:
     offered: int
     completed: int
     shed: int
+    # Fleet-level replication/failover summary; None unless the
+    # replicated loop ran (replicas > 1 or a FailoverPlan was armed).
+    fleet_row: Optional[Dict[str, object]] = field(default=None)
 
     @property
     def shed_rate(self) -> float:
@@ -93,6 +121,7 @@ class Server:
         cluster: CacheCluster,
         tenants: Sequence[TenantConfig],
         config: ServerConfig = ServerConfig(),
+        failover: Optional[FailoverPlan] = None,
     ) -> None:
         if not tenants:
             raise ConfigError("server needs at least one tenant")
@@ -101,11 +130,36 @@ class Server:
             raise ConfigError(f"tenant names must be unique, got {names}")
         self.cluster = cluster
         self.config = config
+        self.failover = failover
+        if failover is not None:
+            for kill in failover.kills:
+                if kill.shard >= cluster.num_shards:
+                    raise ConfigError(
+                        f"kill targets shard {kill.shard}, "
+                        f"cluster has {cluster.num_shards}"
+                    )
+        if self._replication_armed() and cluster.routing.policy == "gc_aware":
+            raise ConfigError(
+                "the replicated serving loop requires ring-faithful "
+                "(static) routing; gc_aware is not supported with a "
+                "failover plan"
+            )
         self.tenants = [Tenant(t) for t in tenants]
         self._heap: List[Tuple[int, int, int, int]] = []
         self._seq = 0
         self._end_ns = 0
         self._last_arrival_ns = 0
+        self._fleet: Optional[FleetStats] = None
+        self._kills_fired = 0
+        self._probe_armed = False
+        # Oracle for the crash-consistency tests: every acknowledged,
+        # replicated write's (time, value) history per key.
+        self.write_ledger: Optional[
+            Dict[bytes, List[Tuple[int, Optional[bytes]]]]
+        ] = ({} if cluster.replication.track_writes else None)
+
+    def _replication_armed(self) -> bool:
+        return self.failover is not None or self.cluster.replication.replicas > 1
 
     # --- event plumbing -----------------------------------------------------
 
@@ -116,6 +170,8 @@ class Server:
     # --- main loop ----------------------------------------------------------
 
     def run(self) -> ServingReport:
+        if self._replication_armed():
+            return self._run_replicated()
         if self.config.fast_path and not any(
             shard.stack.cache.store.tracer.enabled
             for shard in self.cluster.shards
@@ -361,6 +417,421 @@ class Server:
         if shard.queue:
             self._start_service(now_ns, shard)
 
+    # --- replicated loop ----------------------------------------------------
+
+    def _run_replicated(self) -> ServingReport:
+        """Failover-aware loop: R-way writes, fallback reads, hinted handoff.
+
+        Derived from :meth:`_run_legacy` (one heap event per arrival, ops
+        drawn lazily) plus three new event kinds: scripted shard kills,
+        power-restore recoveries, and fixed-interval health probes.  The
+        fast/legacy loops never enter here, so every pre-existing golden
+        stays bit-identical; with R=1 and an empty plan this loop itself
+        reproduces the legacy report (see tests/test_replication.py).
+        """
+        cluster = self.cluster
+        plan = self.failover if self.failover is not None else FailoverPlan()
+        for shard in cluster.shards:
+            shard.replication_active = True
+        first_kill = plan.first_kill_ns()
+        # Steady-phase hit accounting skips the first half of the lead-in
+        # so cold-start misses don't flatter the recovery comparison.
+        self._fleet = FleetStats(warmup_ns=(first_kill // 2) if first_kill else 0)
+        for index, tenant in enumerate(self.tenants):
+            if tenant.budget > 0:
+                self._push(tenant.arrivals.next_arrival_ns(0), _ARRIVAL, index)
+        for kill_index, kill in enumerate(plan.kills):
+            self._push(kill.at_ns, _KILL, kill_index)
+        shards = cluster.shards
+        while self._heap:
+            time_ns, _seq, kind, index = heapq.heappop(self._heap)
+            if kind == _ARRIVAL:
+                self._on_arrival_repl(time_ns, index)
+            elif kind == _DONE:
+                self._on_done_repl(time_ns, shards[index])
+            elif kind == _KILL:
+                self._on_kill(time_ns, plan.kills[index])
+            elif kind == _RECOVER:
+                self._on_recover(time_ns, shards[index])
+            else:
+                self._on_probe(time_ns)
+        return self._report()
+
+    def _phase(self) -> str:
+        fleet = self._fleet
+        if fleet.first_kill_ns is None:
+            return PHASE_STEADY
+        for shard in self.cluster.shards:
+            if not shard.alive or shard.health != HEALTH_UP:
+                return PHASE_STORM
+        return PHASE_RECOVERED
+
+    def _set_health(self, shard: Shard, state: str, now_ns: int) -> None:
+        if shard.health == state:
+            return
+        shard.health = state
+        shard.health_log.append((now_ns, state))
+        shard.stack.cache.store.tracer.emit_event(
+            "serve.health", state, offset=shard.index
+        )
+        if state == HEALTH_UP and self._fleet.first_kill_ns is not None:
+            if all(
+                s.alive and s.health == HEALTH_UP for s in self.cluster.shards
+            ):
+                self._fleet.note_all_up(now_ns)
+
+    def _register_failure(self, shard: Shard, now_ns: int) -> None:
+        repl = self.cluster.replication
+        shard.failures += 1
+        if (
+            shard.health in (HEALTH_UP, HEALTH_RESYNCING)
+            and shard.failures >= repl.suspect_after_failures
+        ):
+            self._set_health(shard, HEALTH_SUSPECT, now_ns)
+        if (
+            shard.health == HEALTH_SUSPECT
+            and shard.failures >= repl.down_after_failures
+        ):
+            self._set_health(shard, HEALTH_DOWN, now_ns)
+
+    def _fail_request(self, tenant: Tenant, shard: Shard, reason: str) -> None:
+        tenant.slo.record_failed()
+        self._fleet.note_failed(self._phase())
+        shard.stack.cache.store.tracer.emit_event(
+            "serve.qos", "failed_" + reason, offset=shard.index
+        )
+
+    def _pick_target(
+        self, replicas: Tuple[Shard, ...], is_get: bool
+    ) -> Optional[Shard]:
+        """Declared-serviceable shard for a request, by *health* not truth.
+
+        Reads stay on the primary while it is not declared DOWN, then
+        fall back along the successor list; a RESYNCING shard is a last
+        resort for reads (its hint replay may not have caught up).
+        Writes prefer the primary (RESYNCING included — replayed hints
+        queue FIFO ahead of new writes, so ordering holds) and fall back
+        to the first successor not declared DOWN.
+        """
+        primary = replicas[0]
+        if not is_get:
+            if primary.health != HEALTH_DOWN:
+                return primary
+            for shard in replicas[1:]:
+                if shard.health in (HEALTH_UP, HEALTH_SUSPECT):
+                    return shard
+            return None
+        for shard in replicas:
+            if shard.health in (HEALTH_UP, HEALTH_SUSPECT):
+                return shard
+        for shard in replicas:
+            if shard.health == HEALTH_RESYNCING:
+                return shard
+        return None
+
+    def _on_arrival_repl(self, now_ns: int, tenant_index: int) -> None:
+        tenant = self.tenants[tenant_index]
+        self._last_arrival_ns = now_ns
+        op = tenant.next_op()
+        if tenant.issued < tenant.budget:
+            self._push(
+                tenant.arrivals.next_arrival_ns(now_ns), _ARRIVAL, tenant_index
+            )
+        slo = tenant.slo
+        slo.record_offered()
+        key = tenant.key_for(op)
+        replicas = self.cluster.replica_set(key)
+        primary = replicas[0]
+        tracer = primary.stack.cache.store.tracer
+        if tenant.bucket is not None and not tenant.bucket.try_take(now_ns):
+            slo.record_shed("rate_limited")
+            tracer.emit_event("serve.qos", "shed_rate_limit", offset=primary.index)
+            return
+        kind_int = _KIND_INT[op.kind]
+        target = self._pick_target(replicas, kind_int == KIND_GET)
+        if target is None:
+            self._fail_request(tenant, primary, "no_replica")
+            return
+        if not target.alive:
+            # Routed to a shard whose death is not yet declared: the
+            # request times out.  This window *is* detection latency.
+            self._register_failure(target, now_ns)
+            self._fail_request(tenant, target, "timeout")
+            return
+        if len(target.queue) >= self.config.max_queue_depth:
+            slo.record_shed("queue_full")
+            target.shed_queue_full += 1
+            target.stack.cache.store.tracer.emit_event(
+                "serve.qos", "shed_queue_full", offset=target.index
+            )
+            return
+        target.queue.append(
+            (_ITEM_FG, now_ns, tenant_index, kind_int, op.key_index, key)
+        )
+        if not target.busy:
+            self._serve_next(now_ns, target)
+
+    def _serve_next(self, now_ns: int, shard: Shard) -> None:
+        """Put the shard's next queued item (foreground request, replica
+        write, or hint replay) into service at full simulated cost."""
+        item = shard.queue.popleft()
+        shard.busy = True
+        clock = shard.clock
+        clock.advance_to(shard.to_local(now_ns))
+        start_ns = clock.now
+        cache = shard.stack.cache
+        tracer = cache.store.tracer
+        item_kind = item[0]
+        if item_kind == _ITEM_FG:
+            _, arrival_ns, tenant_index, kind_int, key_index, key = item
+            tenant = self.tenants[tenant_index]
+            with tracer.span("serve", KIND_NAMES[kind_int], offset=shard.index):
+                hit, value = tenant.driver.apply_kind_value(
+                    cache, kind_int, key_index, key
+                )
+            shard.served += 1
+            done_ns = shard.to_fleet(clock.now)
+            is_get = kind_int == KIND_GET
+            tenant.slo.record_completion(
+                done_ns - arrival_ns, is_get=is_get, hit=hit
+            )
+            self._fleet.note_completion(
+                self._phase(), done_ns - arrival_ns, is_get, hit, done_ns
+            )
+            if is_get and shard is not self.cluster.replica_set(key)[0]:
+                shard.fallback_served += 1
+                self._fleet.fallback_reads += 1
+            # Replication fan-out happens when the completion event
+            # fires (at done_ns), so it cannot jump ahead of arrivals
+            # landing between now and then.
+            shard._done_action = ("fg", kind_int, key, hit, value)
+        else:
+            _, _arrival_ns, kind_int, key, value = item
+            nbytes = len(value) if value is not None else 0
+            op_name = "replicate" if item_kind == _ITEM_REPL else "handoff"
+            with tracer.span("serve", op_name, offset=shard.index, length=nbytes):
+                if kind_int == KIND_DELETE:
+                    cache.delete(key)
+                else:
+                    cache.set(key, value)
+            if item_kind == _ITEM_REPL:
+                shard.repl_served += 1
+                shard.repl_bytes += nbytes
+                shard._done_action = None
+            else:
+                shard.handoff_served += 1
+                shard.handoff_bytes += nbytes
+                shard._done_action = ("hint",)
+            done_ns = shard.to_fleet(clock.now)
+        shard.busy_ns += clock.now - start_ns
+        if done_ns > self._end_ns:
+            self._end_ns = done_ns
+        self._push(done_ns, _DONE, shard.index)
+
+    def _on_done_repl(self, now_ns: int, shard: Shard) -> None:
+        action = shard._done_action
+        shard._done_action = None
+        shard.busy = False
+        if action is not None:
+            if action[0] == "fg":
+                if shard.alive:
+                    self._fan_out(now_ns, shard, action[1], action[2], action[3], action[4])
+            else:  # hint replay completed
+                shard.hints_outstanding -= 1
+                if (
+                    shard.hints_outstanding <= 0
+                    and shard.health == HEALTH_RESYNCING
+                ):
+                    self._set_health(shard, HEALTH_UP, now_ns)
+        if not shard.alive:
+            return
+        if shard.queue and not shard.busy:
+            self._serve_next(now_ns, shard)
+
+    def _fan_out(
+        self,
+        now_ns: int,
+        shard: Shard,
+        kind_int: int,
+        key: bytes,
+        hit: bool,
+        value: Optional[bytes],
+    ) -> None:
+        """Propagate a completed foreground op to the other replicas.
+
+        Writes (sets, deletes, and set-on-miss fills — fills keep
+        replicas warm, since healthy reads never leave the primary) fan
+        out to every other replica-set member: queued as ``replicate``
+        work on live ones, journaled as hints for DOWN ones.  A read
+        served off a fallback replica repairs the DOWN primary via a
+        (weaker) repair hint.
+        """
+        cluster = self.cluster
+        repl = cluster.replication
+        replicas = cluster.replica_set(key)
+        primary = replicas[0]
+        fleet = self._fleet
+        if kind_int == KIND_GET:
+            if hit:
+                if (
+                    shard is not primary
+                    and repl.read_repair
+                    and primary.health == HEALTH_DOWN
+                ):
+                    if primary.hint_journal.append_repair(KIND_SET, key, value):
+                        fleet.read_repairs += 1
+                return
+            if value is None:
+                return  # bare miss: nothing written anywhere
+            write_kind = KIND_SET  # set-on-miss fill
+        elif kind_int == KIND_SET:
+            write_kind = KIND_SET
+        else:
+            write_kind = KIND_DELETE
+            value = None
+        if self.write_ledger is not None:
+            self.write_ledger.setdefault(key, []).append((now_ns, value))
+        max_depth = self.config.max_queue_depth
+        for member in replicas:
+            if member is shard:
+                continue
+            if member.health == HEALTH_DOWN:
+                member.hint_journal.append(write_kind, key, value)
+                continue
+            if not member.alive:
+                member.repl_dropped += 1
+                self._register_failure(member, now_ns)
+                continue
+            if len(member.queue) >= max_depth:
+                member.repl_dropped += 1
+                continue
+            member.queue.append((_ITEM_REPL, now_ns, write_kind, key, value))
+            if not member.busy:
+                self._serve_next(now_ns, member)
+
+    def _on_kill(self, now_ns: int, kill: ShardKill) -> None:
+        shard = self.cluster.shards[kill.shard]
+        if not shard.alive:
+            return  # overlapping kill on an already-dead shard
+        self._kills_fired += 1
+        self._fleet.note_kill(now_ns)
+        shard.stack.cache.store.tracer.emit_event(
+            "serve.fault", "power_cut", offset=shard.index
+        )
+        shard.alive = False
+        # Queued work dies with the DRAM: foreground requests fail,
+        # replica writes are lost (counted), buffered hint replays go
+        # back to the journal for the next recovery.
+        requeue = []
+        for item in shard.queue:
+            if item[0] == _ITEM_FG:
+                self._fail_request(self.tenants[item[2]], shard, "power_cut")
+            elif item[0] == _ITEM_REPL:
+                shard.repl_dropped += 1
+            else:
+                requeue.append(item)
+        shard.queue.clear()
+        shard.hints_outstanding = 0
+        shard._done_action = None  # in-flight op's fan-out dies too
+        for item in requeue:
+            shard.hint_journal.append(item[2], item[3], item[4])
+        self._push(now_ns + kill.outage_ns, _RECOVER, shard.index)
+        repl = self.cluster.replication
+        if not self._probe_armed and repl.probe_interval_ns > 0:
+            self._probe_armed = True
+            self._push(now_ns + repl.probe_interval_ns, _PROBE, 0)
+
+    def _on_recover(self, now_ns: int, shard: Shard) -> None:
+        """Power back: run crash recovery (charged in simulated time),
+        then replay hinted writes through the normal write path."""
+        if shard.alive:
+            return
+        shard.alive = True
+        shard.failures = 0
+        clock = shard.clock
+        clock.advance_to(shard.to_local(now_ns))
+        cache = shard.stack.cache
+        tracer = cache.store.tracer
+        start_ns = clock.now
+        with tracer.span("serve", "recover", offset=shard.index):
+            recovered = HybridCache.crash_recover(
+                clock,
+                cache.store,
+                cache.config,
+                list(cache.seal_journal),
+                admission=cache.admission,
+            )
+        shard.stack.cache = recovered
+        shard.resync_ns += clock.now - start_ns
+        recover_done = shard.to_fleet(clock.now)
+        if recover_done > self._end_ns:
+            self._end_ns = recover_done
+        self._set_health(shard, HEALTH_RESYNCING, now_ns)
+        hints = shard.hint_journal.drain()
+        shard.hints_outstanding = len(hints)
+        for kind_int, key, value in hints:
+            shard.queue.append((_ITEM_HINT, now_ns, kind_int, key, value))
+        if shard.hints_outstanding == 0:
+            self._set_health(shard, HEALTH_UP, now_ns)
+        elif not shard.busy:
+            self._serve_next(now_ns, shard)
+
+    def _on_probe(self, now_ns: int) -> None:
+        """Fixed-interval health probe: notices dead shards that tenant
+        traffic alone would leave undetected."""
+        repl = self.cluster.replication
+        for shard in self.cluster.shards:
+            if not shard.alive and shard.health != HEALTH_DOWN:
+                self._register_failure(shard, now_ns)
+        if self._probes_needed():
+            self._push(now_ns + repl.probe_interval_ns, _PROBE, 0)
+        else:
+            self._probe_armed = False
+
+    def _probes_needed(self) -> bool:
+        for tenant in self.tenants:
+            if tenant.issued < tenant.budget:
+                return True
+        for shard in self.cluster.shards:
+            if not shard.alive or shard.health != HEALTH_UP:
+                return True
+        return False
+
+    def _fleet_row(self) -> Dict[str, object]:
+        """Fleet-level failover summary (the ``fleet_*`` bench columns)."""
+        fleet = self._fleet
+        shards = self.cluster.shards
+        offered = sum(t.slo.offered for t in self.tenants)
+        rate_shed = sum(t.slo.shed_rate_limited for t in self.tenants)
+        completed = sum(t.slo.completed for t in self.tenants)
+        failed = sum(t.slo.failed_unavailable for t in self.tenants)
+        # Availability over requests the fleet owed an answer: everything
+        # offered minus rate-limit sheds (the client exceeded its
+        # contract).  Queue-full sheds and failures count against it.
+        eligible = offered - rate_shed
+        availability = completed / eligible if eligible > 0 else 1.0
+        journals = [s.hint_journal for s in shards if s.hint_journal is not None]
+        return {
+            "replicas": self.cluster.replication.replicas,
+            "availability": availability,
+            "failed": failed,
+            "kills": self._kills_fired,
+            "storm_p99_us": fleet.storm_latency.p99() / 1000,
+            "hit_steady": fleet.hit_ratio(PHASE_STEADY),
+            "hit_storm": fleet.hit_ratio(PHASE_STORM),
+            "hit_recovered": fleet.hit_ratio(PHASE_RECOVERED),
+            "recovery_ms": fleet.recovery_ms(),
+            "repl_writes": sum(s.repl_served for s in shards),
+            "repl_bytes": sum(s.repl_bytes for s in shards),
+            "repl_dropped": sum(s.repl_dropped for s in shards),
+            "handoff_writes": sum(s.handoff_served for s in shards),
+            "handoff_bytes": sum(s.handoff_bytes for s in shards),
+            "hints_buffered": sum(j.appended for j in journals),
+            "hint_drops": sum(j.dropped for j in journals),
+            "fallback_reads": fleet.fallback_reads,
+            "read_repairs": fleet.read_repairs,
+        }
+
     # --- reporting ----------------------------------------------------------
 
     def _report(self) -> ServingReport:
@@ -385,4 +856,5 @@ class Server:
             offered=offered,
             completed=completed,
             shed=shed,
+            fleet_row=self._fleet_row() if self._fleet is not None else None,
         )

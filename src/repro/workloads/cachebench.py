@@ -11,7 +11,7 @@ minute), hit ratio, WAF breakdown, and latency percentiles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, NamedTuple, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.cache.engine import HybridCache
 from repro.errors import ConfigError
@@ -307,6 +307,35 @@ class CacheBenchDriver:
             return False
         cache.delete(key)
         return False
+
+    def apply_kind_value(
+        self, cache: HybridCache, kind: int, key_index: int, key: bytes
+    ) -> Tuple[bool, Optional[bytes]]:
+        """:meth:`apply_kind`, also returning the bytes the op moved.
+
+        Returns ``(hit, value)``: for a get hit, the value read (so the
+        replicated serving loop can read-repair without another lookup);
+        for a set or a set-on-miss fill, the value written (so replica
+        writes reuse the primary's bytes and never re-draw from the size
+        stream — R=1 draw sequences are untouched, R>1 stays
+        deterministic); ``None`` for a bare miss or a delete.
+        Draw-for-draw identical to :meth:`apply_kind`.
+        """
+        if kind == KIND_GET:
+            value = cache.get(key)
+            if value is None:
+                if self.config.set_on_miss:
+                    written = self.value_bytes(key_index, self._sizes.sample())
+                    cache.set(key, written)
+                    return False, written
+                return False, None
+            return True, value
+        if kind == KIND_SET:
+            written = self.value_bytes(key_index, self._sizes.sample())
+            cache.set(key, written)
+            return False, written
+        cache.delete(key)
+        return False, None
 
     def _one_op(self, cache: HybridCache) -> None:
         self.apply_op(cache, self.next_op())

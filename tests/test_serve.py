@@ -9,7 +9,9 @@ closed-loop CacheBench driver.
 import math
 import statistics
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import HealthCheck, given, settings
 
 from repro.bench.experiments import (
     _serving_scale,
@@ -109,6 +111,78 @@ class TestConsistentHashRing:
             ConsistentHashRing([]).node_for(b"k")
         with pytest.raises(ConfigError):
             ConsistentHashRing(vnodes=0)
+
+
+_NODE_NAMES = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+class TestNodesForProperties:
+    """Hypothesis properties of the ring's successor lists — the replica
+    placement contract the failover machinery (PR 8) leans on."""
+
+    @given(names=_NODE_NAMES, key=st.binary(min_size=1, max_size=24),
+           count=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_distinct_nodes_primary_first(self, names, key, count):
+        ring = ConsistentHashRing(names, vnodes=16)
+        owners = ring.nodes_for(key, count)
+        assert len(owners) == min(count, len(names))
+        assert len(set(owners)) == len(owners)
+        assert owners[0] == ring.node_for(key)
+        assert set(owners) <= set(names)
+
+    @given(names=_NODE_NAMES, key=st.binary(min_size=1, max_size=24),
+           data=st.data())
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_successor_order_stable_under_node_removal(self, names, key, data):
+        """Removing a node must not reorder the survivors: the full
+        ring's successor list, filtered to the remaining nodes, is
+        exactly the smaller ring's successor list.  This is what makes
+        read fallback hit the shard hinted writes were journaled for."""
+        removed = data.draw(st.sampled_from(names))
+        full = ConsistentHashRing(names, vnodes=16)
+        keep = [name for name in names if name != removed]
+        if not keep:
+            return
+        subset = ConsistentHashRing(keep, vnodes=16)
+        full_order = [
+            n for n in full.nodes_for(key, len(names)) if n != removed
+        ]
+        assert subset.nodes_for(key, len(keep)) == full_order
+
+    @given(names=_NODE_NAMES, key=st.binary(min_size=1, max_size=24),
+           extra=st.text(alphabet="xyz", min_size=13, max_size=16))
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_add_then_remove_restores_order(self, names, key, extra):
+        ring = ConsistentHashRing(names, vnodes=16)
+        before = ring.nodes_for(key, len(names))
+        ring.add_node(extra)
+        ring.remove_node(extra)
+        assert ring.nodes_for(key, len(names)) == before
+
+    @given(names=_NODE_NAMES, key=st.binary(min_size=1, max_size=24),
+           count=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_fallback_order_deterministic_across_instances(
+        self, names, key, count
+    ):
+        """Two independently-built rings over the same nodes agree on
+        the whole fallback order — any server process computes the same
+        replica set, no coordination needed."""
+        a = ConsistentHashRing(names, vnodes=16)
+        b = ConsistentHashRing(list(names), vnodes=16)
+        assert a.nodes_for(key, count) == b.nodes_for(key, count)
 
 
 class TestArrivals:
