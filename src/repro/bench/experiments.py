@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.bench.schemes import (
+    ALL_SCHEME_NAMES,
     SCHEME_NAMES,
     SchemeScale,
     SchemeStack,
@@ -1435,5 +1436,279 @@ def run_failover_smoke(seed: int = 7) -> List[Dict[str, object]]:
         offered_kops=12.0,
         requests_per_tenant=1_500,
         schemes=("Region-Cache",),
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------
+# Invalidation storms — namespace bumps against the tenant lifecycle layer
+# --------------------------------------------------------------------------
+
+def _invalidation_gc_overrides(name: str) -> tuple:
+    """Reclaim configs for the invalidation sweep.
+
+    The ZTL schemes get dead-first victim selection and keep the
+    paper's deferring 0.20 valid-data threshold: a namespace bump turns
+    whole zones dead at once, dead-first takes them as zero-valid
+    victims instantly, and zones still holding live survivors are left
+    to keep decaying instead of being copied.  The FTL and the F2FS
+    cleaner have no lifecycle integration — that asymmetry is the
+    measurement: Block-/File-Cache copy dead-generation bytes their
+    layers cannot see through.
+    """
+    from repro.ztl.gc import GcConfig
+
+    if name == "Region-Cache":
+        return (
+            (
+                "gc",
+                GcConfig(
+                    min_empty_zones=3,
+                    urgent_empty_zones=2,
+                    emergency_empty_zones=1,
+                    victim_valid_threshold=0.20,
+                    pace_regions=8,
+                    dead_first=True,
+                ),
+            ),
+        )
+    if name == "Z-Cache":
+        return (
+            (
+                "gc",
+                GcConfig(
+                    min_empty_zones=3,
+                    urgent_empty_zones=2,
+                    emergency_empty_zones=1,
+                    victim_valid_threshold=0.20,
+                    pace_regions=8,
+                    policy="cold_defer",
+                    dead_first=True,
+                ),
+            ),
+        )
+    return _gc_qos_overrides(name)
+
+
+def _invalidation_tenants(
+    total_rate: float,
+    requests_per_tenant: int,
+    num_keys: int,
+    seed: int,
+    bump_at_s: float,
+    storm_at_s: float,
+    storm_duration_s: float,
+) -> "List[object]":
+    """The storm mix: a versioned interactive tenant whose bump triggers
+    a flash crowd of refill traffic, and a versioned purge tenant that
+    tears its keyspace down in a delete storm.  70/30 load split as in
+    every other serving sweep."""
+    from repro.serve import TenantConfig
+
+    web_rate = 0.7 * total_rate
+    purge_rate = 0.3 * total_rate
+    return [
+        TenantConfig(
+            "web",
+            rate_ops_per_sec=web_rate,
+            arrival="flash_crowd",
+            flash_crowd_factor=3.0,
+            flash_crowd_at_s=bump_at_s,
+            flash_crowd_decay_s=max(storm_duration_s, 0.001),
+            versioned_keys=True,
+            workload=CacheBenchConfig(
+                num_ops=requests_per_tenant,
+                num_keys=num_keys,
+                zipf_theta=1.0,
+                set_on_miss=True,
+                seed=seed,
+            ),
+            slo_p99_ms=2.0,
+            seed=seed + 100,
+        ),
+        TenantConfig(
+            "purge",
+            rate_ops_per_sec=purge_rate,
+            arrival="storm",
+            storm_factor=4.0,
+            storm_at_s=storm_at_s,
+            storm_duration_s=max(storm_duration_s, 0.001),
+            versioned_keys=True,
+            workload=CacheBenchConfig(
+                num_ops=requests_per_tenant,
+                num_keys=max(1, num_keys // 2),
+                get_ratio=0.20,
+                set_ratio=0.40,
+                delete_ratio=0.40,
+                seed=seed + 1,
+            ),
+            slo_p99_ms=10.0,
+            seed=seed + 200,
+        ),
+    ]
+
+
+def run_invalidation_sweep(
+    scale: Optional[SchemeScale] = None,
+    zones_per_shard: int = 10,
+    cache_zones_per_shard: int = 5,
+    file_zones_per_shard: int = 16,
+    num_shards: int = 4,
+    offered_kops: float = 12.0,
+    requests_per_tenant: int = 12_000,
+    num_keys: Optional[int] = None,
+    max_queue_depth: int = 128,
+    schemes: tuple = ALL_SCHEME_NAMES,
+    bump_at_frac: float = 0.35,
+    purge_bump_frac: float = 0.55,
+    storm_duration_frac: float = 0.10,
+    seed: int = 7,
+) -> List[Dict[str, object]]:
+    """Invalidation-storm sweep (`repro invalidate`): bump two tenants'
+    namespaces mid-run and measure the aftermath per scheme.
+
+    Every cell runs the same script on an ``num_shards`` homogeneous
+    cluster with the tenant lifecycle layer fully armed (versioned
+    keys, the liveness ledger, dead-first eviction, §3.4 GC drop
+    hints): the web tenant's namespace is bumped at ``bump_at_frac`` of
+    the run — its flash-crowd refill wave starts there too — and the
+    purge tenant, mid delete-storm, is bumped at ``purge_bump_frac``.
+    Each bump is O(1): generations advance, and every byte written
+    under the old generation becomes dead liveness the storage layers
+    must discover.
+
+    What separates the schemes is *where* that discovery happens.
+    Region-/Z-Cache see dead regions at the cache layer (dead-first
+    eviction takes them as zero-valid victims) and at the ZTL (GC drops
+    dead-generation regions via the migration hint instead of copying
+    them), so their post-storm copied bytes stay near zero.  Block- and
+    File-Cache have no lifecycle channel into their FTL/cleaner, which
+    migrate dead-generation bytes like any other valid data — the WAF
+    and ``gc_copied_bytes`` columns carry the separation.  Zone-Cache
+    has no device-side reclaim at all; its dead bytes simply age out
+    with zone eviction.
+
+    One row per scheme joins the tenants' QoS columns with the
+    ``inval_*`` family (post-bump hit ratio, post-bump p99, hit-ratio
+    recovery slope, ledger dead bytes — which reconcile exactly with
+    the per-shard liveness ledgers and the ``serve.invalidate`` event
+    counts) and the ``gc_*`` copy counters.
+    """
+    from repro.cache.lifecycle import LifecycleConfig
+    from repro.serve import (
+        CacheCluster,
+        InvalidationPlan,
+        Server,
+        ServerConfig,
+        TenantInvalidate,
+    )
+
+    scale = scale or _serving_scale()
+    media = zones_per_shard * scale.zone_size
+    cache_bytes = cache_zones_per_shard * scale.zone_size
+    file_media = file_zones_per_shard * scale.zone_size
+    if num_keys is None:
+        num_keys = int(1.05 * num_shards * media / 1568)
+    duration_ns = int(requests_per_tenant / (0.7 * offered_kops * 1000) * 1e9)
+    bump_at_ns = int(bump_at_frac * duration_ns)
+    purge_at_ns = int(purge_bump_frac * duration_ns)
+    lifecycle = LifecycleConfig(
+        versioning=True, dead_first_eviction=True, gc_hints=True
+    )
+    navy = {
+        "eviction_policy": "fifo",
+        "reclaim_window": 128,
+        "lifecycle": lifecycle,
+    }
+    plan = InvalidationPlan(
+        (
+            TenantInvalidate(bump_at_ns, "web"),
+            TenantInvalidate(purge_at_ns, "purge"),
+        )
+    )
+    rows: List[Dict[str, object]] = []
+    for name in schemes:
+        base_overrides: Dict[str, object] = (
+            {"eviction_policy": "fifo", "lifecycle": lifecycle}
+            if name == "Zone-Cache"
+            else dict(navy)
+        )
+        # Cache budgets follow each scheme's OP model (§4.1): Zone-Cache
+        # caches the whole device (no OP at all), Block-Cache fills its
+        # exposed LBA space (OP is *internal*, behind the FTL — the only
+        # headroom its GC gets), and the host-side schemes reserve
+        # host-visible spare zones the ZTL/F2FS reclaim into.
+        if name == "Zone-Cache":
+            shard_cache = None
+        elif name == "Block-Cache":
+            shard_cache = media
+        else:
+            shard_cache = cache_bytes
+        cluster = CacheCluster.homogeneous(
+            name,
+            num_shards,
+            media,
+            shard_cache,
+            file_media_bytes=file_media if name == "File-Cache" else None,
+            scale=scale,
+            cache_overrides=tuple(sorted(base_overrides.items()))
+            + _invalidation_gc_overrides(name),
+            cache_stacks=True,
+        )
+        tenants = _invalidation_tenants(
+            offered_kops * 1000,
+            requests_per_tenant,
+            num_keys,
+            seed,
+            bump_at_s=bump_at_ns / 1e9,
+            storm_at_s=purge_at_ns / 1e9,
+            storm_duration_s=storm_duration_frac * duration_ns / 1e9,
+        )
+        report = Server(
+            cluster,
+            tenants,
+            ServerConfig(max_queue_depth=max_queue_depth),
+            invalidations=plan,
+        ).run()
+        web = next(t for t in report.tenant_rows if t["tenant"] == "web")
+        purge = next(t for t in report.tenant_rows if t["tenant"] == "purge")
+        shard_rows = report.shard_rows
+        engines = [
+            shard.stack.reclaim_engine()[1] for shard in cluster.shards
+        ]
+        gc_stats = [engine.stats for engine in engines if engine is not None]
+        row: Dict[str, object] = {
+            "scheme": name,
+            "num_shards": num_shards,
+            "offered_total_kops": offered_kops,
+            "bump_at_ms": bump_at_ns / 1e6,
+            "purge_bump_at_ms": purge_at_ns / 1e6,
+            "web_p99_us": web["p99_us"],
+            "web_goodput_kops": web["goodput_kops"],
+            "web_hit_ratio": web["hit_ratio"],
+            "purge_p99_us": purge["p99_us"],
+            "purge_goodput_kops": purge["goodput_kops"],
+            "cluster_shed_rate": report.shed_rate,
+            "waf_app_max": max(r["waf_app"] for r in shard_rows),
+            "waf_device_max": max(r["waf_device"] for r in shard_rows),
+            "gc_copied_bytes": sum(s.copied_bytes for s in gc_stats),
+            "gc_migrated_units": sum(s.units_migrated for s in gc_stats),
+            "gc_dropped_units": sum(s.units_dropped for s in gc_stats),
+            "gc_victims": sum(s.victims_reclaimed for s in gc_stats),
+        }
+        row.update(report.inval_row or {})
+        rows.append(row)
+    return rows
+
+
+def run_invalidation_smoke(seed: int = 7) -> List[Dict[str, object]]:
+    """`repro invalidate --smoke`: all five schemes, two shards, ~4k
+    requests per tenant — five rows, CI-sized, still driving the whole
+    lifecycle path (versioned keys, both bumps, dead-first eviction,
+    GC drop hints, the ledger reconciliation)."""
+    return run_invalidation_sweep(
+        num_shards=2,
+        offered_kops=12.0,
+        requests_per_tenant=4_000,
         seed=seed,
     )

@@ -283,9 +283,16 @@ def build_region_cache(
     num_regions = min(cache_bytes // scale.region_size, layer.total_slots - 1)
     store = ZtlRegionStore(layer, num_regions)
     config = _cache_config(scale, scale.region_size, num_regions, **cache_overrides)
+    cache = HybridCache(clock, store, config)
+    if config.lifecycle.gc_hints:
+        # §3.4 co-design: the cache answers "is this region worth
+        # migrating?" from its liveness ledger and purges dropped
+        # regions from the index (the examples/gc_hints_codesign idiom).
+        layer.gc.migration_hint = cache.migration_worth
+        layer.gc.on_drop = cache.on_region_dropped
     return SchemeStack(
         name="Region-Cache",
-        cache=HybridCache(clock, store, config),
+        cache=cache,
         clock=clock,
         substrate={"device": device, "layer": layer, "store": store,
                    "faults": faults},
@@ -416,9 +423,13 @@ def build_z_cache(
         layer, num_regions, admission.sketch, hot_threshold=hot_threshold
     )
     config = _cache_config(scale, scale.region_size, num_regions, **cache_overrides)
+    cache = HybridCache(clock, store, config, admission=admission)
+    if config.lifecycle.gc_hints:
+        layer.gc.migration_hint = cache.migration_worth
+        layer.gc.on_drop = cache.on_region_dropped
     return SchemeStack(
         name="Z-Cache",
-        cache=HybridCache(clock, store, config, admission=admission),
+        cache=cache,
         clock=clock,
         substrate={"device": device, "layer": layer, "store": store,
                    "faults": faults},

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cache.admission import AdmissionConfig
+from repro.cache.lifecycle import LifecycleConfig
 from repro.errors import CacheConfigError
 from repro.sim.faults import RetryPolicy
 from repro.units import KIB, MIB
@@ -107,6 +108,11 @@ class CacheConfig:
     # carries a tinylfu admission config even when the threshold admits
     # everything (see ``repro.cache.backends.zone.ZCacheRegionStore``).
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    # Tenant item-lifecycle layer: namespace versioning, dead-first
+    # eviction, and GC hint wiring.  All off by default — the historical
+    # engine behavior (and every golden row) is bit-identical unless a
+    # stack opts in.  See repro.cache.lifecycle.
+    lifecycle: LifecycleConfig = field(default_factory=LifecycleConfig)
 
     def __post_init__(self) -> None:
         if self.region_size <= 0:

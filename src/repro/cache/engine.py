@@ -27,6 +27,7 @@ from repro.cache.backends.base import RegionStore, WafBreakdown
 from repro.cache.config import CacheConfig
 from repro.cache.index import ShardedIndex
 from repro.cache.item import EntryCodec, EntryLocation
+from repro.cache.lifecycle import ItemLifecycle, tenant_token
 from repro.cache.ram_cache import RamCache
 from repro.cache.region import RegionBuffer, RegionMeta
 from repro.cache.region_manager import RegionManager
@@ -46,9 +47,11 @@ from repro.sim.clock import SimClock
 # One seal-journal record: (event, region_id, seq, salt).  The journal is
 # the region lifecycle log crash recovery replays: "flush" marks a region
 # flush starting, "seal" that it completed, "invalidate" that the region
-# was evicted, "quarantine" that its media died.  In a real deployment
-# this is the tiny metadata log navy persists; here it lives in memory
-# and the crash harness hands it to :meth:`HybridCache.crash_recover`.
+# was evicted, "quarantine" that its media died, "nsbump" that a tenant
+# namespace generation advanced (the region-id slot carries the tenant
+# token, the salt slot the new generation).  In a real deployment this
+# is the tiny metadata log navy persists; here it lives in memory and
+# the crash harness hands it to :meth:`HybridCache.crash_recover`.
 JournalEntry = Tuple[str, int, int, int]
 
 
@@ -97,10 +100,18 @@ class HybridCache:
         # garbage never concentrates and backend GC degenerates.
         effective_window = max(1, min(config.reclaim_window, config.num_regions // 8))
         self.regions = RegionManager(
-            config.num_regions, config.eviction_policy, effective_window
+            config.num_regions,
+            config.eviction_policy,
+            effective_window,
+            dead_first=config.lifecycle.dead_first_eviction,
         )
         self.stats = CacheStats(started_at_ns=clock.now)
         self._waf_window_start = store.waf_raw()
+        # Tenant item-lifecycle layer: TTL bookkeeping (the expiry dict
+        # below is the lifecycle's, shared by reference for the hot-path
+        # emptiness check) and per-tenant namespace generations.
+        self.lifecycle = ItemLifecycle(config.lifecycle)
+        self._versioning = config.lifecycle.versioning
         # Region generation counter: each opened buffer gets a fresh
         # generation, used as the checksum salt (see item.py).
         self._generation = 0
@@ -108,9 +119,12 @@ class HybridCache:
         self.seal_journal: List[JournalEntry] = []
         self._buffer: RegionBuffer = self._open_fresh_region()
         self._open_keys: Set[bytes] = set()
+        # Per-key on-flash entry sizes for the open region, carried into
+        # RegionMeta at seal time so removals account in bytes.
+        self._open_sizes: Dict[bytes, int] = {}
         # TTL bookkeeping for items whose set() carried an expiry; the
         # authoritative copy also travels in the on-flash entry header.
-        self._expiry: dict = {}
+        self._expiry: dict = self.lifecycle.expiry
 
     # --- public API -----------------------------------------------------------------
 
@@ -137,6 +151,16 @@ class HybridCache:
                 stats.ram_lookups.record(False)
                 self._finish_lookup(start_ns, hit=False)
                 return None
+        if self._versioning and not self.lifecycle.namespaces.is_current(key):
+            # The key's namespace generation was bumped past: the item
+            # is dead regardless of which tier still holds bytes for it.
+            # Purging here keeps the guarantee that no read — including
+            # replica fallbacks and crash-recovered indexes — ever
+            # serves a pre-bump generation.
+            self._discard_stale(key)
+            stats.ram_lookups.record(False)
+            self._finish_lookup(start_ns, hit=False)
+            return None
         value = self.ram.get(key)
         if value is not None:
             ram_lookups = stats.ram_lookups
@@ -207,9 +231,9 @@ class HybridCache:
             if ttl_seconds <= 0:
                 raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
             expiry_ns = clock.now + int(ttl_seconds * 1e9)
-            self._expiry[key] = expiry_ns
+            self.lifecycle.note_ttl(key, expiry_ns)
         elif self._expiry:
-            self._expiry.pop(key, None)
+            self.lifecycle.clear_ttl(key)
         self.ram.put(key, value)
         if not self.admission.admit(key, value):
             self._drop_flash_copy(key)
@@ -223,8 +247,12 @@ class HybridCache:
         location = buffer.append(key, value, expiry_ns)
         old = self.index.put(key, location)
         if old is not None and old.region_id != buffer.region_id:
-            self.regions.note_key_removed(old.region_id, key)
+            self.regions.note_key_removed(old.region_id, key, "overwritten")
+        elif old is not None:
+            # Superseded within the open buffer: its bytes die in place.
+            self.regions.ledger.note_dead(old.length, "overwritten")
         self._open_keys.add(key)
+        self._open_sizes[key] = location.length
         stats.sets_admitted += 1
         recorder = stats.set_latency
         recorder._samples.append(clock.now - start_ns)
@@ -240,14 +268,11 @@ class HybridCache:
         stats = self.stats
         stats.deletes += 1
         if self._expiry:
-            self._expiry.pop(key, None)
+            self.lifecycle.clear_ttl(key)
         in_ram = self.ram.remove(key)
         location = self.index.remove(key)
         if location is not None:
-            if location.region_id == self._buffer.region_id:
-                self._open_keys.discard(key)
-            else:
-                self.regions.note_key_removed(location.region_id, key)
+            self._note_removed(location, key, "deleted")
         recorder = stats.delete_latency
         recorder._samples.append(clock.now - start_ns)
         recorder._sorted = None
@@ -280,6 +305,75 @@ class HybridCache:
         """Start a fresh measurement window (e.g. after warm-up)."""
         self.stats = CacheStats(started_at_ns=self._clock.now)
         self._waf_window_start = self.store.waf_raw()
+
+    # --- tenant lifecycle -----------------------------------------------------------
+
+    def invalidate_namespace(
+        self, tenant_id: bytes, generation: Optional[int] = None
+    ) -> int:
+        """Bump a tenant's namespace generation in O(1); returns it.
+
+        Nothing is scanned: keys of older generations simply classify as
+        dead from here on — reads refuse them, eviction and GC account
+        their bytes as "invalidated" when the region is reclaimed.  The
+        bump is journaled so it survives :meth:`crash_recover`.
+        """
+        gen = self.lifecycle.namespaces.bump(tenant_id, generation)
+        self._journal("nsbump", tenant_token(tenant_id), gen)
+        return gen
+
+    def migration_worth(self, region_id: int) -> bool:
+        """§3.4 co-design hint for backend GC: copy this region?
+
+        False drops the region instead of migrating it.  A region is not
+        worth copying when the cache no longer tracks it, when every key
+        in it already died (deletes/TTL sweep), when all surviving keys
+        belong to dead namespace generations, or when it sits below the
+        configured eviction-position threshold (about to be reclaimed
+        anyway).  Wired as ``layer.gc.migration_hint`` by the scheme
+        builders when ``lifecycle.gc_hints`` is set.
+        """
+        regions = self.regions
+        meta = regions.meta(region_id)
+        if meta is None:
+            return False  # evicted or purged: the cache is done with it
+        if not meta.keys:
+            return False  # fully dead already
+        if self._versioning:
+            ns = self.lifecycle.namespaces
+            if all(not ns.is_current(key) for key in meta.keys):
+                return False  # whole region belongs to dead generations
+        threshold = self.config.lifecycle.hint_drop_position
+        if threshold > 0.0:
+            position = regions.eviction_position(region_id)
+            if position is not None and position < threshold:
+                return False
+        return True
+
+    def on_region_dropped(self, region_id: int) -> None:
+        """Backend GC dropped a region the hint refused to migrate:
+        purge its index entries and account each key's bytes by cause
+        (dead generations as "invalidated", the rest as "dropped").
+        Wired as ``layer.gc.on_drop`` next to :meth:`migration_worth`."""
+        meta = self.regions.meta(region_id)
+        if meta is None:
+            return
+        ns = self.lifecycle.namespaces
+        ledger = self.regions.ledger
+        dead_generation = bool(meta.keys)
+        for key in list(meta.keys):
+            location = self.index.get(key)
+            if location is not None and location.region_id == region_id:
+                self.index.remove(key)
+                self.stats.dropped_items += 1
+            if self._versioning and not ns.is_current(key):
+                reason = "invalidated"
+            else:
+                reason = "dropped"
+                dead_generation = False
+            self.regions.note_key_removed(region_id, key, reason)
+        if dead_generation and self._versioning:
+            ledger.dead_generation_regions += 1
 
     # --- warm restart -------------------------------------------------------------
 
@@ -320,6 +414,7 @@ class HybridCache:
             "generation": self._generation,
             "index": index,
             "expiry": dict(self._expiry),
+            "namespaces": self.lifecycle.namespaces.snapshot(),
             "open_region_id": self._buffer.region_id,
         }
 
@@ -347,6 +442,7 @@ class HybridCache:
         cache.regions = RegionManager(
             config.num_regions, config.eviction_policy,
             max(1, min(config.reclaim_window, config.num_regions // 8)),
+            dead_first=config.lifecycle.dead_first_eviction,
         )
         cache.regions._free = [
             rid for rid in state["free"] if rid != state["open_region_id"]
@@ -372,9 +468,16 @@ class HybridCache:
             salt=cache._generation,
         )
         cache._open_keys = set()
+        cache._open_sizes = {}
         for key, (region_id, offset, length) in state["index"].items():
             cache.index.put(key, EntryLocation(region_id, offset, length))
-        cache._expiry = dict(state["expiry"])
+            meta = cache.regions.meta(region_id)
+            if meta is not None and key in meta.keys:
+                meta.entry_bytes[key] = length
+                meta.live_bytes += length
+        for key, expiry_ns in state["expiry"].items():
+            cache.lifecycle.note_ttl(key, expiry_ns)
+        cache.lifecycle.namespaces.restore_snapshot(state.get("namespaces", {}))
         return cache
 
     @classmethod
@@ -410,15 +513,24 @@ class HybridCache:
         cache = cls(clock, store, config, admission)
         effective_window = max(1, min(config.reclaim_window, config.num_regions // 8))
         cache.regions = RegionManager(
-            config.num_regions, config.eviction_policy, effective_window
+            config.num_regions,
+            config.eviction_policy,
+            effective_window,
+            dead_first=config.lifecycle.dead_first_eviction,
         )
         cache.index = ShardedIndex(config.index_shards)
         cache.seal_journal = []
         cache._journal_seq = 0
         # Journal entries arrive in seq order; the last event per region
         # decides its fate (later events supersede earlier lifecycle).
+        # Namespace bumps are not region events: every one replays (the
+        # counters only move forward), so no recovered read can serve a
+        # pre-bump generation.
         last: Dict[int, JournalEntry] = {}
         for record in journal:
+            if record[0] == "nsbump":
+                cache.lifecycle.namespaces.restore(record[1], record[3])
+                continue
             last[record[1]] = record
         key_region: Dict[bytes, int] = {}
         replayed: List[Tuple[int, int]] = []  # (region_id, salt) sealed again
@@ -447,33 +559,48 @@ class HybridCache:
             if torn:
                 cache.stats.torn_items_dropped += 1
             keys: Set[bytes] = set()
+            sizes: Dict[bytes, int] = {}
             for offset, length, entry in entries:
                 previous_rid = key_region.get(entry.key)
                 if previous_rid is not None and previous_rid != rid:
-                    cache.regions.note_key_removed(previous_rid, entry.key)
+                    cache.regions.note_key_removed(
+                        previous_rid, entry.key, "overwritten"
+                    )
                 cache.index.put(entry.key, EntryLocation(rid, offset, length))
                 key_region[entry.key] = rid
                 keys.add(entry.key)
+                sizes[entry.key] = length
                 if entry.expiry_ns:
-                    cache._expiry[entry.key] = entry.expiry_ns
+                    cache.lifecycle.note_ttl(entry.key, entry.expiry_ns)
                 cache.stats.recovered_items += 1
-            meta = RegionMeta(rid, keys=keys, salt=salt)
+            meta = RegionMeta(
+                rid,
+                keys=keys,
+                salt=salt,
+                entry_bytes=sizes,
+                live_bytes=sum(sizes.values()),
+            )
             cache.regions.seal(meta)
             replayed.append((rid, salt))
         in_use = {rid for rid, _ in replayed} | set(quarantined)
         cache.regions._free = [
             rid for rid in range(config.num_regions) if rid not in in_use
         ]
-        # Rebuild the journal to describe the recovered layout.
+        # Rebuild the journal to describe the recovered layout,
+        # including the namespace generations (so a second crash still
+        # refuses pre-bump reads).
         for rid, salt in replayed:
             cache._journal("seal", rid, salt)
         for rid in quarantined:
             cache._journal("quarantine", rid)
+        for token, gen in cache.lifecycle.namespaces.tokens():
+            cache._journal("nsbump", token, gen)
         cache._generation = max(
             [salt for _, salt in replayed] + [cache._generation]
         )
         cache._buffer = cache._open_fresh_region()
         cache._open_keys = set()
+        cache._open_sizes = {}
         cache.stats.recovery_ns = clock.now - start_ns
         return cache
 
@@ -508,18 +635,41 @@ class HybridCache:
         )
 
     def _seal_and_rotate(self) -> None:
+        self._purge_due()
         buffer = self._buffer
         fill_ns = self._clock.now - buffer.opened_at_ns
         self.stats.region_fill_durations_ns.append(fill_ns)
         self._journal("flush", buffer.region_id, buffer.salt)
         region_id = self._flush_payload(buffer.region_id, buffer.finalize())
         self.stats.flushes += 1
-        meta = RegionMeta(region_id, keys=set(self._open_keys), salt=buffer.salt)
+        sizes = dict(self._open_sizes)
+        meta = RegionMeta(
+            region_id,
+            keys=set(self._open_keys),
+            salt=buffer.salt,
+            entry_bytes=sizes,
+            live_bytes=sum(sizes.values()),
+        )
         meta.fill_duration_ns = fill_ns
         self.regions.seal(meta)
         self._journal("seal", region_id, buffer.salt)
         self._open_keys = set()
+        self._open_sizes = {}
         self._buffer = self._open_fresh_region()
+
+    def _purge_due(self) -> None:
+        """Lazy TTL sweep at region rotation.
+
+        Without it expiry is access-only: an expired-but-never-reread
+        item's bytes stay in its region's key set forever, so eviction
+        ordering never sees TTL decay.  Rotation is a natural epoch —
+        frequent under write pressure, free when no TTLs are in use.
+        """
+        if not self.lifecycle.config.sweep_expired or not self._expiry:
+            return
+        due = list(self.lifecycle.due(self._clock.now))
+        for key in due:
+            self._purge_expired(key)
 
     def _flush_payload(self, region_id: int, payload: bytes) -> int:
         """Write a sealed region with retries; returns where it landed.
@@ -608,12 +758,18 @@ class HybridCache:
         meta = self.regions.meta(region_id)
         if meta is None:
             return
+        ns = self.lifecycle.namespaces
         for key in list(meta.keys):
             location = self.index.get(key)
             if location is not None and location.region_id == region_id:
                 self.index.remove(key)
                 self.stats.dropped_items += 1
-            meta.note_removed(key)
+            reason = (
+                "invalidated"
+                if self._versioning and not ns.is_current(key)
+                else "dropped"
+            )
+            self.regions.note_key_removed(region_id, key, reason)
 
     def _evict_keys(self, region_id: int, evicted: Set[bytes]) -> None:
         """Tear down index entries of a reclaimed region (lock-convoy model)."""
@@ -621,10 +777,17 @@ class HybridCache:
             "reclaim.cache", "evict", offset=region_id, length=len(evicted)
         )
         self._clock.advance(self.config.cpu.eviction_teardown_ns(len(evicted)))
+        ns = self.lifecycle.namespaces if self._versioning else None
+        ledger = self.regions.ledger
         for key in evicted:
             location = self.index.get(key)
             if location is not None and location.region_id == region_id:
                 self.index.remove(key)
+                if ns is not None and not ns.is_current(key):
+                    # Dead-generation bytes discovered at eviction: the
+                    # bump never scanned, so this is where they are
+                    # finally accounted.
+                    ledger.note_dead(location.length, "invalidated")
         self._journal("invalidate", region_id)
         try:
             self.store.invalidate_region(region_id)
@@ -710,24 +873,36 @@ class HybridCache:
         expiry = self._expiry.get(key)
         return expiry is not None and self._clock.now >= expiry
 
+    def _note_removed(self, location: EntryLocation, key: bytes, reason: str) -> None:
+        """Shared removal accounting: open-buffer keys leave the seal
+        set, sealed keys report to the region's liveness ledger."""
+        if location.region_id == self._buffer.region_id:
+            self._open_keys.discard(key)
+            if self._open_sizes.pop(key, None) is not None:
+                self.regions.ledger.note_dead(location.length, reason)
+        else:
+            self.regions.note_key_removed(location.region_id, key, reason)
+
     def _purge_expired(self, key: bytes) -> None:
-        self._expiry.pop(key, None)
+        self.lifecycle.clear_ttl(key)
         self.ram.remove(key)
         location = self.index.remove(key)
         if location is not None:
-            if location.region_id == self._buffer.region_id:
-                self._open_keys.discard(key)
-            else:
-                self.regions.note_key_removed(location.region_id, key)
+            self._note_removed(location, key, "expired")
+
+    def _discard_stale(self, key: bytes) -> None:
+        """Purge a key whose namespace generation was bumped past."""
+        self.lifecycle.clear_ttl(key)
+        self.ram.remove(key)
+        location = self.index.remove(key)
+        if location is not None:
+            self._note_removed(location, key, "invalidated")
 
     def _drop_flash_copy(self, key: bytes) -> None:
         """An unadmitted overwrite supersedes any flash copy."""
         location = self.index.remove(key)
         if location is not None:
-            if location.region_id == self._buffer.region_id:
-                self._open_keys.discard(key)
-            else:
-                self.regions.note_key_removed(location.region_id, key)
+            self._note_removed(location, key, "overwritten")
 
     def _finish_lookup(self, start_ns: int, hit: bool) -> None:
         self.stats.lookups.record(hit)

@@ -12,7 +12,7 @@ entries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Set
+from typing import Dict, Optional, Set
 
 from repro.cache.item import EntryCodec, EntryLocation
 
@@ -87,13 +87,29 @@ class RegionMeta:
     # Generation salt the region's entries were checksummed with (0 when
     # checksums are off) — needed to verify reads after a warm restart.
     salt: int = 0
+    # Per-key on-flash entry sizes, maintained by the seal/recovery
+    # paths so the liveness ledger can account removals in bytes (keys
+    # without a recorded size account as 0 — older snapshots).
+    entry_bytes: Dict[bytes, int] = field(default_factory=dict)
+    live_bytes: int = 0
+    dead_bytes: int = 0
 
     @property
     def valid_items(self) -> int:
         return len(self.keys)
 
-    def note_inserted(self, key: bytes) -> None:
+    def note_inserted(self, key: bytes, nbytes: int = 0) -> None:
         self.keys.add(key)
+        if nbytes:
+            self.entry_bytes[key] = nbytes
+            self.live_bytes += nbytes
 
-    def note_removed(self, key: bytes) -> None:
+    def note_removed(self, key: bytes) -> Optional[int]:
+        """Forget a key; returns its entry size if it was live, else None."""
+        if key not in self.keys:
+            return None
         self.keys.discard(key)
+        nbytes = self.entry_bytes.pop(key, 0)
+        self.live_bytes -= nbytes
+        self.dead_bytes += nbytes
+        return nbytes

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cache.eviction import make_eviction_policy
+from repro.cache.lifecycle import LivenessLedger
 from repro.cache.region import RegionMeta
 from repro.reclaim import ReclaimStats, ensure_at_least, windowed_draw
 from repro.sim.rng import make_rng
@@ -33,6 +34,7 @@ class RegionManager:
         eviction_policy: str = "lru",
         reclaim_window: int = 1,
         seed: int = 97,
+        dead_first: bool = False,
     ) -> None:
         ensure_at_least("num_regions", num_regions, 2)
         ensure_at_least("reclaim_window", reclaim_window, 1)
@@ -45,6 +47,10 @@ class RegionManager:
         self._rng = make_rng(seed, "reclaim")
         self._seal_seq = 0
         self.reclaim_stats = ReclaimStats()
+        # Lifecycle extensions: a uniform dead-byte account, and (opt-in)
+        # taking fully-dead regions as victims before the policy order.
+        self.ledger = LivenessLedger()
+        self._dead_first = dead_first
 
     # --- queries ---------------------------------------------------------------
 
@@ -86,7 +92,9 @@ class RegionManager:
         """
         if self._free:
             return self._free.pop(0), set()
-        victim = self._pick_windowed_victim()
+        victim = self._pick_dead_victim() if self._dead_first else None
+        if victim is None:
+            victim = self._pick_windowed_victim()
         if victim is None:
             raise RuntimeError("no sealed region to evict — engine bug")
         meta = self._sealed.pop(victim)
@@ -127,6 +135,25 @@ class RegionManager:
             self._policy, self.reclaim_window, len(self._sealed), self._rng
         )
 
+    def _pick_dead_victim(self) -> Optional[int]:
+        """Oldest fully-dead region, if any — a free victim.
+
+        A region whose keys all died (deletes, TTL sweep, generation
+        bumps) costs nothing to reclaim: no index teardown, no hit-ratio
+        loss.  Taking it ahead of the policy order is what makes a
+        post-storm dead region "sort as a zero-valid victim instantly".
+        """
+        victim: Optional[RegionMeta] = None
+        for meta in self._sealed.values():
+            if meta.keys:
+                continue
+            if victim is None or meta.sealed_seq < victim.sealed_seq:
+                victim = meta
+        if victim is None:
+            return None
+        self.ledger.dead_first_evictions += 1
+        return victim.region_id
+
     def eviction_position(self, region_id: int) -> Optional[float]:
         """Where a sealed region sits in the eviction order.
 
@@ -135,8 +162,15 @@ class RegionManager:
         cache-side knowledge the paper's §3.4 co-design feeds to zone GC:
         regions about to be evicted are not worth migrating.
         """
+        meta = self._sealed.get(region_id)
+        if meta is None:
+            return None
+        if self._dead_first and not meta.keys:
+            # Fully dead: it is the next victim regardless of where the
+            # policy order left it.
+            return 0.0
         order = self._policy.order()
-        if region_id not in self._sealed or not order:
+        if not order:
             return None
         try:
             index = order.index(region_id)
@@ -146,11 +180,28 @@ class RegionManager:
             return 0.0
         return index / (len(order) - 1)
 
-    def note_key_removed(self, region_id: int, key: bytes) -> None:
-        """A key was deleted/overwritten; forget it in its region's meta."""
+    def note_key_removed(
+        self, region_id: int, key: bytes, reason: str = "deleted"
+    ) -> None:
+        """A key died (delete/overwrite/expiry/bump); account it.
+
+        ``reason`` must be one of :data:`repro.cache.lifecycle.
+        DEAD_REASONS`; the bytes move from the region's live count to
+        the shared :class:`~repro.cache.lifecycle.LivenessLedger`.
+        """
         meta = self._sealed.get(region_id)
         if meta is not None:
-            meta.note_removed(key)
+            nbytes = meta.note_removed(key)
+            if nbytes is not None:
+                self.ledger.note_dead(nbytes, reason)
+
+    def live_bytes(self) -> int:
+        """Bytes still reachable across all sealed regions."""
+        return sum(meta.live_bytes for meta in self._sealed.values())
+
+    def sealed_dead_bytes(self) -> int:
+        """Dead bytes currently parked in sealed (unreclaimed) regions."""
+        return sum(meta.dead_bytes for meta in self._sealed.values())
 
     def __repr__(self) -> str:
         return (

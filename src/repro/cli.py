@@ -114,6 +114,14 @@ def _failover(quick: bool) -> List[dict]:
     return run_failover_sweep()
 
 
+def _invalidate(quick: bool) -> List[dict]:
+    from repro.bench.experiments import run_invalidation_sweep
+
+    if quick:
+        return run_invalidation_sweep(num_shards=2, requests_per_tenant=6_000)
+    return run_invalidation_sweep()
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
     "fig2": _fig2,
     "fig3": _fig3,
@@ -126,6 +134,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
     "gc-qos": _gc_qos,
     "zone-cost": _zone_cost,
     "failover": _failover,
+    "invalidate": _invalidate,
 }
 
 TITLES = {
@@ -140,6 +149,7 @@ TITLES = {
     "gc-qos": "GC-QoS co-scheduling: adaptive pacing x GC-aware routing",
     "zone-cost": "Zone-cost ablation: {zero, measured} costs x {Region, Z}-Cache",
     "failover": "Failover sweep: kill a shard mid-diurnal load, R=1 vs R=2",
+    "invalidate": "Invalidation storm: bump tenant namespaces mid-run, per scheme",
 }
 
 
@@ -178,7 +188,8 @@ def build_parser() -> argparse.ArgumentParser:
             "two policies with tracing on, verifying reclaim spans; with "
             "'gc-qos': one scheme, all four pacing x routing combos; with "
             "'zone-cost': both schemes x both cost presets, short stream; "
-            "with 'failover': one scheme, four shards, R in {1,2}, one kill"
+            "with 'failover': one scheme, four shards, R in {1,2}, one kill; "
+            "with 'invalidate': all five schemes, two shards, ~4k requests"
         ),
     )
     return parser
@@ -239,6 +250,10 @@ def _plot_for(name: str, rows: List[dict]) -> str:
             label_key="combo",
             title="availability under shard loss",
         )
+    if name == "invalidate":
+        return scheme_bars(
+            rows, "gc_copied_bytes", title="post-storm GC copied bytes"
+        )
     if name == "gc-sweep":
         labeled = [
             {**r, "combo": f"{r['scheme']}/{r['gc_policy']}@w{r['watermark_scale']}"}
@@ -272,6 +287,10 @@ def _rows_for(name: str, smoke: bool, quick: bool) -> List[dict]:
         from repro.bench.experiments import run_failover_smoke
 
         return run_failover_smoke()
+    if name == "invalidate" and smoke:
+        from repro.bench.experiments import run_invalidation_smoke
+
+        return run_invalidation_smoke()
     return EXPERIMENTS[name](quick)
 
 

@@ -42,6 +42,7 @@ from repro.reclaim.policy import (
     RandomPolicy,
     VictimPolicy,
     VictimView,
+    first_dead,
     make_victim_policy,
     windowed_draw,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "ensure_between",
     "ensure_choice",
     "ensure_fraction",
+    "first_dead",
     "make_victim_policy",
     "windowed_draw",
 ]

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.reclaim.pacer import ReclaimPacer
-from repro.reclaim.policy import VictimPolicy, VictimView
+from repro.reclaim.policy import VictimPolicy, VictimView, first_dead
 from repro.sim.io import NULL_TRACER, IoTracer
 from repro.sim.stats import LatencyRecorder
 
@@ -112,12 +112,20 @@ class ReclaimEngine:
         pacer: ReclaimPacer,
         tracer: IoTracer = NULL_TRACER,
         clock=None,
+        dead_first: bool = False,
     ) -> None:
         self.source = source
         self.policy = policy
         self.pacer = pacer
         self.tracer = tracer
         self.clock = clock
+        # Opt-in lifecycle integration: zero-valid candidates (whole
+        # containers killed by deletes/TTL/namespace bumps) are taken
+        # before the policy score or the pacer's valid-threshold gate —
+        # they cost nothing to reclaim.  Off by default: cost-benefit
+        # and cold-defer deliberately order some dead containers late,
+        # and the golden rows lock that behavior.
+        self.dead_first = dead_first
         self.stats = ReclaimStats()
         self._victim: Optional[int] = None
         self._pending: List[int] = []
@@ -151,6 +159,10 @@ class ReclaimEngine:
         views = self.source.candidate_views()
         if not views:
             return None
+        if self.dead_first:
+            dead = first_dead(views)
+            if dead is not None:
+                return dead
         chosen = self.policy.select(views)
         if chosen is None:
             return None

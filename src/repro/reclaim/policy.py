@@ -160,6 +160,23 @@ def make_victim_policy(
     return RandomPolicy(seed)
 
 
+def first_dead(views: Sequence[VictimView]) -> Optional[int]:
+    """Victim id of the first fully-dead candidate, if any.
+
+    A container with zero valid units is free to reclaim — no copies,
+    no survivors — so layers that opt into dead-first selection take it
+    before consulting the policy score at all.  "First" follows the
+    layer's stable candidate order, keeping the choice deterministic.
+    Invalidation storms are what make this matter: a namespace bump
+    turns whole containers dead at once, and dead-first selection is
+    how they sort as zero-valid victims instantly.
+    """
+    for view in views:
+        if view.valid_count == 0:
+            return view.victim_id
+    return None
+
+
 def windowed_draw(order_policy, window: int, population: int, rng) -> Optional[int]:
     """Draw a victim from the first ``window`` entries in policy order.
 

@@ -21,7 +21,9 @@ from repro.serve.arrivals import (
     ArrivalProcess,
     BurstArrivals,
     DiurnalArrivals,
+    FlashCrowdArrivals,
     PoissonArrivals,
+    StormArrivals,
 )
 from repro.serve.cluster import (
     PRESSURE_RANK,
@@ -32,6 +34,11 @@ from repro.serve.cluster import (
     ShardSpec,
 )
 from repro.serve.hashing import ConsistentHashRing, hash32
+from repro.serve.invalidation import (
+    InvalidationPlan,
+    InvalidationStats,
+    TenantInvalidate,
+)
 from repro.serve.qos import SloTracker, TokenBucket
 from repro.serve.replication import (
     HEALTH_DOWN,
@@ -62,7 +69,10 @@ __all__ = [
     "HEALTH_STATES",
     "HEALTH_SUSPECT",
     "HEALTH_UP",
+    "FlashCrowdArrivals",
     "HintJournal",
+    "InvalidationPlan",
+    "InvalidationStats",
     "PRESSURE_RANK",
     "PoissonArrivals",
     "ROUTING_POLICIES",
@@ -75,8 +85,10 @@ __all__ = [
     "ShardKill",
     "ShardSpec",
     "SloTracker",
+    "StormArrivals",
     "Tenant",
     "TenantConfig",
+    "TenantInvalidate",
     "TokenBucket",
     "hash32",
 ]

@@ -163,4 +163,89 @@ class BurstArrivals(ArrivalProcess):
         return now_ns + self._gaps.sample_at(self.rate_at(now_ns))
 
 
-ARRIVAL_KINDS = ("poisson", "diurnal", "burst")
+class FlashCrowdArrivals(ArrivalProcess):
+    """A one-off flash crowd: the rate jumps and decays exponentially.
+
+    Until ``at_s`` the stream is plain Poisson at the base rate; at
+    ``at_s`` the rate jumps to ``base * peak_factor`` and relaxes back
+    toward the base with time constant ``decay_s``.  This is the
+    post-invalidation recovery shape: a namespace bump empties the
+    working set, every reader misses at once, and the refill traffic
+    decays as the cache rewarms.
+    """
+
+    def __init__(
+        self,
+        rate_ops_per_sec: float,
+        peak_factor: float = 4.0,
+        at_s: float = 0.05,
+        decay_s: float = 0.05,
+        seed: int = 1,
+    ) -> None:
+        if rate_ops_per_sec <= 0:
+            raise ConfigError(
+                f"rate_ops_per_sec must be positive, got {rate_ops_per_sec}"
+            )
+        if peak_factor < 1.0:
+            raise ConfigError(f"peak_factor must be >= 1, got {peak_factor}")
+        if at_s < 0 or decay_s <= 0:
+            raise ConfigError("at_s must be non-negative and decay_s positive")
+        self.rate_ops_per_sec = rate_ops_per_sec
+        self.peak_factor = peak_factor
+        self.at_ns = int(at_s * 1e9)
+        self.decay_ns = int(decay_s * 1e9)
+        self._gaps = ExponentialSampler(rate_ops_per_sec, seed)
+
+    def rate_at(self, now_ns: int) -> float:
+        if now_ns < self.at_ns:
+            return self.rate_ops_per_sec
+        boost = (self.peak_factor - 1.0) * math.exp(
+            -(now_ns - self.at_ns) / self.decay_ns
+        )
+        return self.rate_ops_per_sec * (1.0 + boost)
+
+    def next_arrival_ns(self, now_ns: int) -> int:
+        return now_ns + self._gaps.sample_at(self.rate_at(now_ns))
+
+
+class StormArrivals(ArrivalProcess):
+    """A bounded storm window: the rate is multiplied during one interval.
+
+    During ``[at_s, at_s + duration_s)`` the rate is ``base *
+    storm_factor``; outside it the stream is plain Poisson at the base
+    rate.  Pair with a delete-heavy op mix to model a delete storm — a
+    tenant tearing down its keyspace in a burst.
+    """
+
+    def __init__(
+        self,
+        rate_ops_per_sec: float,
+        storm_factor: float = 4.0,
+        at_s: float = 0.05,
+        duration_s: float = 0.02,
+        seed: int = 1,
+    ) -> None:
+        if rate_ops_per_sec <= 0:
+            raise ConfigError(
+                f"rate_ops_per_sec must be positive, got {rate_ops_per_sec}"
+            )
+        if storm_factor < 1.0:
+            raise ConfigError(f"storm_factor must be >= 1, got {storm_factor}")
+        if at_s < 0 or duration_s <= 0:
+            raise ConfigError("at_s must be non-negative and duration_s positive")
+        self.rate_ops_per_sec = rate_ops_per_sec
+        self.storm_factor = storm_factor
+        self.at_ns = int(at_s * 1e9)
+        self.end_ns = self.at_ns + int(duration_s * 1e9)
+        self._gaps = ExponentialSampler(rate_ops_per_sec, seed)
+
+    def rate_at(self, now_ns: int) -> float:
+        if self.at_ns <= now_ns < self.end_ns:
+            return self.rate_ops_per_sec * self.storm_factor
+        return self.rate_ops_per_sec
+
+    def next_arrival_ns(self, now_ns: int) -> int:
+        return now_ns + self._gaps.sample_at(self.rate_at(now_ns))
+
+
+ARRIVAL_KINDS = ("poisson", "diurnal", "burst", "flash_crowd", "storm")

@@ -1,0 +1,145 @@
+"""Invalidation storms: scheduled namespace bumps and their aftermath.
+
+A tenant invalidating its namespace is the cache-fleet event the
+lifecycle layer exists for: one O(1) generation bump makes every key the
+tenant ever wrote unreachable, and the bytes behind them become *dead
+liveness* the storage layers must discover — either lazily at eviction
+or eagerly through dead-first victim selection and §3.4 GC drop hints.
+
+This module holds the serving-side pieces: :class:`TenantInvalidate`
+(one scheduled bump), :class:`InvalidationPlan` (the run's bump
+schedule), and :class:`InvalidationStats` (pre/post hit-ratio windows,
+post-bump tail latency, and the hit-ratio recovery slope the sweep
+reports per scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.stats import LatencyRecorder
+
+
+@dataclass(frozen=True)
+class TenantInvalidate:
+    """One scheduled namespace bump: ``tenant`` invalidates at ``at_ns``."""
+
+    at_ns: int
+    tenant: str
+
+    def __post_init__(self) -> None:
+        if self.at_ns < 0:
+            raise ConfigError(f"at_ns must be non-negative, got {self.at_ns}")
+        if not self.tenant:
+            raise ConfigError("tenant must be non-empty")
+
+
+@dataclass(frozen=True)
+class InvalidationPlan:
+    """The run's bump schedule, sorted by time."""
+
+    bumps: Tuple[TenantInvalidate, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.bumps, key=lambda b: b.at_ns))
+        object.__setattr__(self, "bumps", ordered)
+
+    def __bool__(self) -> bool:
+        return bool(self.bumps)
+
+    def first_at_ns(self) -> int:
+        """Time of the first bump (callers check the plan is non-empty)."""
+        return self.bumps[0].at_ns
+
+
+class InvalidationStats:
+    """Hit-ratio and latency accounting around the first bump.
+
+    ``note_lookup`` feeds every foreground GET; before the first bump
+    fires the samples land in the *pre* window, after it in the *post*
+    window plus a time-bucketed series the recovery slope is fit on.
+    The slope (hit-ratio points per second, via least squares over the
+    bucket midpoints) is the headline recovery metric: how fast the
+    cache rewarms after the storm.
+    """
+
+    def __init__(self, bucket_ns: int = 10_000_000) -> None:
+        if bucket_ns <= 0:
+            raise ConfigError(f"bucket_ns must be positive, got {bucket_ns}")
+        self.bucket_ns = bucket_ns
+        self.bumps_applied = 0
+        self.first_bump_ns: int = -1
+        self.pre_hits = 0
+        self.pre_lookups = 0
+        self.post_hits = 0
+        self.post_lookups = 0
+        self.post_latency = LatencyRecorder("post_invalidate")
+        # bucket index -> (hits, lookups) since the first bump.
+        self._buckets: Dict[int, List[int]] = {}
+
+    def note_bump(self, now_ns: int) -> None:
+        self.bumps_applied += 1
+        if self.first_bump_ns < 0:
+            self.first_bump_ns = now_ns
+
+    def note_lookup(self, now_ns: int, hit: bool, latency_ns: int) -> None:
+        if self.first_bump_ns < 0 or now_ns < self.first_bump_ns:
+            self.pre_lookups += 1
+            if hit:
+                self.pre_hits += 1
+            return
+        self.post_lookups += 1
+        if hit:
+            self.post_hits += 1
+        self.post_latency._samples.append(latency_ns)
+        self.post_latency._sorted = None
+        index = (now_ns - self.first_bump_ns) // self.bucket_ns
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = [0, 0]
+            self._buckets[index] = bucket
+        bucket[1] += 1
+        if hit:
+            bucket[0] += 1
+
+    @property
+    def pre_hit_ratio(self) -> float:
+        return self.pre_hits / self.pre_lookups if self.pre_lookups else 0.0
+
+    @property
+    def post_hit_ratio(self) -> float:
+        return self.post_hits / self.post_lookups if self.post_lookups else 0.0
+
+    def recovery_slope_per_s(self) -> float:
+        """Least-squares slope of post-bump hit ratio, in ratio points/s.
+
+        Buckets with no lookups are skipped (an idle bucket says nothing
+        about warmth).  Fewer than two populated buckets → 0.0.
+        """
+        points = [
+            ((index + 0.5) * self.bucket_ns / 1e9, bucket[0] / bucket[1])
+            for index, bucket in sorted(self._buckets.items())
+            if bucket[1] > 0
+        ]
+        if len(points) < 2:
+            return 0.0
+        n = len(points)
+        mean_x = sum(x for x, _ in points) / n
+        mean_y = sum(y for _, y in points) / n
+        var_x = sum((x - mean_x) ** 2 for x, _ in points)
+        if var_x == 0.0:
+            return 0.0
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in points)
+        return cov / var_x
+
+    def row(self) -> Dict[str, float]:
+        """Bench columns (the ``inval_*`` family the sweep reports)."""
+        return {
+            "inval_bumps": self.bumps_applied,
+            "inval_pre_hit_ratio": round(self.pre_hit_ratio, 6),
+            "inval_post_hit_ratio": round(self.post_hit_ratio, 6),
+            "inval_post_p99_us": round(self.post_latency.p99() / 1000, 3),
+            "inval_recovery_slope_per_s": round(self.recovery_slope_per_s(), 6),
+        }

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigError
+from repro.sim.rng import make_rng
 from repro.sim.stats import LatencyRecorder
 from repro.units import MSEC
 
@@ -151,6 +152,51 @@ class FailoverPlan:
         if not self.kills:
             return None
         return min(kill.at_ns for kill in self.kills)
+
+    @classmethod
+    def random(
+        cls,
+        num_shards: int,
+        duration_ns: int,
+        kills: int = 1,
+        seed: int = 0,
+        window: Tuple[float, float] = (0.2, 0.6),
+        outage_fraction: float = 0.15,
+    ) -> "FailoverPlan":
+        """Draw a kill schedule from the fault injector's RNG family.
+
+        ``kills`` distinct shards are power-cut at times drawn uniformly
+        from ``window`` (as fractions of ``duration_ns``), each staying
+        dark for ``outage_fraction`` of the run.  Deterministic under
+        ``seed``: the RNG stream is decorrelated the same way the fault
+        injector's per-fault streams are, so plans never perturb — and
+        are never perturbed by — workload or device draws.
+        """
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        if duration_ns <= 0:
+            raise ConfigError(f"duration_ns must be positive, got {duration_ns}")
+        if not 0 < kills <= num_shards:
+            raise ConfigError(
+                f"kills must be in [1, {num_shards}], got {kills}"
+            )
+        lo, hi = window
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ConfigError(f"window must satisfy 0 <= lo < hi <= 1, got {window}")
+        if not 0.0 < outage_fraction < 1.0:
+            raise ConfigError(
+                f"outage_fraction must be in (0, 1), got {outage_fraction}"
+            )
+        rng = make_rng(seed, "fault.failover.plan")
+        pool = list(range(num_shards))
+        outage_ns = max(1, int(duration_ns * outage_fraction))
+        drawn = []
+        for _ in range(kills):
+            shard = pool.pop(rng.randrange(len(pool)))
+            at_ns = int(duration_ns * (lo + (hi - lo) * rng.random()))
+            drawn.append(ShardKill(at_ns=at_ns, shard=shard, outage_ns=outage_ns))
+        drawn.sort(key=lambda kill: (kill.at_ns, kill.shard))
+        return cls(kills=tuple(drawn))
 
 
 class HintJournal:

@@ -51,6 +51,7 @@ from repro.serve.replication import (
     FleetStats,
     ShardKill,
 )
+from repro.serve.invalidation import InvalidationPlan, InvalidationStats
 from repro.serve.tenant import Tenant, TenantConfig
 from repro.sim.sched import EventScheduler
 from repro.units import SEC
@@ -63,11 +64,19 @@ _DONE = 1
 _KILL = 2
 _RECOVER = 3
 _PROBE = 4
+# Scheduled namespace bump (legacy + replicated loops; never pushed
+# unless an InvalidationPlan is armed).
+_INVALIDATE = 5
 
 # Queue item tags for the replicated loop (first tuple element).
 _ITEM_FG = 0
 _ITEM_REPL = 1
 _ITEM_HINT = 2
+
+# Hint-journal entry kind for a namespace bump owed to a DOWN shard
+# (key = tenant id bytes, value = ASCII generation).  Outside the
+# cachebench KIND_* range on purpose.
+_KIND_NSBUMP = 3
 
 _KIND_INT = {"get": KIND_GET, "set": KIND_SET, "delete": KIND_DELETE}
 
@@ -105,6 +114,8 @@ class ServingReport:
     # Fleet-level replication/failover summary; None unless the
     # replicated loop ran (replicas > 1 or a FailoverPlan was armed).
     fleet_row: Optional[Dict[str, object]] = field(default=None)
+    # Invalidation-storm summary; None unless an InvalidationPlan ran.
+    inval_row: Optional[Dict[str, object]] = field(default=None)
 
     @property
     def shed_rate(self) -> float:
@@ -122,6 +133,7 @@ class Server:
         tenants: Sequence[TenantConfig],
         config: ServerConfig = ServerConfig(),
         failover: Optional[FailoverPlan] = None,
+        invalidations: Optional[InvalidationPlan] = None,
     ) -> None:
         if not tenants:
             raise ConfigError("server needs at least one tenant")
@@ -131,6 +143,22 @@ class Server:
         self.cluster = cluster
         self.config = config
         self.failover = failover
+        self.invalidations = invalidations
+        self.inval_stats: Optional[InvalidationStats] = None
+        if invalidations is not None and invalidations:
+            by_name = {t.name: t for t in tenants}
+            for bump in invalidations.bumps:
+                target = by_name.get(bump.tenant)
+                if target is None:
+                    raise ConfigError(
+                        f"invalidation targets unknown tenant {bump.tenant!r}"
+                    )
+                if not target.versioned_keys:
+                    raise ConfigError(
+                        f"invalidation targets tenant {bump.tenant!r} "
+                        "without versioned_keys"
+                    )
+            self.inval_stats = InvalidationStats()
         if failover is not None:
             for kill in failover.kills:
                 if kill.shard >= cluster.num_shards:
@@ -172,6 +200,11 @@ class Server:
     def run(self) -> ServingReport:
         if self._replication_armed():
             return self._run_replicated()
+        if self.inval_stats is not None:
+            # Namespace bumps change a tenant's key prefix mid-run; the
+            # fast path pre-generates fully-prefixed key bytes, so an
+            # armed plan takes the legacy loop.
+            return self._run_legacy()
         if self.config.fast_path and not any(
             shard.stack.cache.store.tracer.enabled
             for shard in self.cluster.shards
@@ -184,10 +217,15 @@ class Server:
         for index, tenant in enumerate(self.tenants):
             if tenant.budget > 0:
                 self._push(tenant.arrivals.next_arrival_ns(0), _ARRIVAL, index)
+        if self.inval_stats is not None:
+            for bump_index, bump in enumerate(self.invalidations.bumps):
+                self._push(bump.at_ns, _INVALIDATE, bump_index)
         while self._heap:
             time_ns, _seq, kind, index = heapq.heappop(self._heap)
             if kind == _ARRIVAL:
                 self._on_arrival(time_ns, index)
+            elif kind == _INVALIDATE:
+                self._on_invalidate(time_ns, index)
             else:
                 self._on_done(time_ns, self.cluster.shards[index])
         return self._report()
@@ -409,6 +447,8 @@ class Server:
         tenant.slo.record_completion(
             done_ns - arrival_ns, is_get=(op.kind == "get"), hit=hit
         )
+        if self.inval_stats is not None and op.kind == "get":
+            self.inval_stats.note_lookup(done_ns, hit, done_ns - arrival_ns)
         self._end_ns = max(self._end_ns, done_ns)
         self._push(done_ns, _DONE, shard.index)
 
@@ -416,6 +456,38 @@ class Server:
         shard.busy = False
         if shard.queue:
             self._start_service(now_ns, shard)
+
+    # --- invalidation -------------------------------------------------------
+
+    def _on_invalidate(self, now_ns: int, bump_index: int) -> None:
+        """Fire one scheduled namespace bump across the fleet.
+
+        The tenant's generation advances (subsequent requests carry the
+        new prefix) and every shard's cache learns the new generation so
+        old-generation reads are refused wherever the index still holds
+        them.  A bump is control-plane metadata, not a data write: for
+        shards that cannot take it now (declared DOWN, or dead with the
+        failure not yet declared) it is journaled as a hint and replayed
+        on recovery, so no shard ever resurrects a pre-bump generation.
+        """
+        bump = self.invalidations.bumps[bump_index]
+        tenant = next(
+            t for t in self.tenants if t.config.name == bump.tenant
+        )
+        generation = tenant.invalidate()
+        self.inval_stats.note_bump(now_ns)
+        replicated = self._fleet is not None
+        for shard in self.cluster.shards:
+            if replicated and (shard.health == HEALTH_DOWN or not shard.alive):
+                shard.hint_journal.append(
+                    _KIND_NSBUMP, tenant.namespace_id, b"%d" % generation
+                )
+                continue
+            cache = shard.stack.cache
+            cache.invalidate_namespace(tenant.namespace_id, generation)
+            cache.store.tracer.emit_event(
+                "serve.invalidate", "bump", offset=shard.index, zone=generation
+            )
 
     # --- replicated loop ----------------------------------------------------
 
@@ -442,6 +514,9 @@ class Server:
                 self._push(tenant.arrivals.next_arrival_ns(0), _ARRIVAL, index)
         for kill_index, kill in enumerate(plan.kills):
             self._push(kill.at_ns, _KILL, kill_index)
+        if self.inval_stats is not None:
+            for bump_index, bump in enumerate(self.invalidations.bumps):
+                self._push(bump.at_ns, _INVALIDATE, bump_index)
         shards = cluster.shards
         while self._heap:
             time_ns, _seq, kind, index = heapq.heappop(self._heap)
@@ -453,6 +528,8 @@ class Server:
                 self._on_kill(time_ns, plan.kills[index])
             elif kind == _RECOVER:
                 self._on_recover(time_ns, shards[index])
+            elif kind == _INVALIDATE:
+                self._on_invalidate(time_ns, index)
             else:
                 self._on_probe(time_ns)
         return self._report()
@@ -598,6 +675,8 @@ class Server:
             self._fleet.note_completion(
                 self._phase(), done_ns - arrival_ns, is_get, hit, done_ns
             )
+            if self.inval_stats is not None and is_get:
+                self.inval_stats.note_lookup(done_ns, hit, done_ns - arrival_ns)
             if is_get and shard is not self.cluster.replica_set(key)[0]:
                 shard.fallback_served += 1
                 self._fleet.fallback_reads += 1
@@ -610,7 +689,15 @@ class Server:
             nbytes = len(value) if value is not None else 0
             op_name = "replicate" if item_kind == _ITEM_REPL else "handoff"
             with tracer.span("serve", op_name, offset=shard.index, length=nbytes):
-                if kind_int == KIND_DELETE:
+                if kind_int == _KIND_NSBUMP:
+                    # Replayed namespace bump: key is the tenant id,
+                    # value the ASCII generation journaled at bump time.
+                    cache.invalidate_namespace(key, int(value))
+                    tracer.emit_event(
+                        "serve.invalidate", "bump", offset=shard.index,
+                        zone=int(value),
+                    )
+                elif kind_int == KIND_DELETE:
                     cache.delete(key)
                 else:
                     cache.set(key, value)
@@ -832,6 +919,31 @@ class Server:
             "read_repairs": fleet.read_repairs,
         }
 
+    def _inval_row(self) -> Dict[str, object]:
+        """Invalidation-storm summary (the ``inval_*``/``tenant_*`` bench
+        columns).  The dead-byte counters read straight from each
+        shard's liveness ledger, so they reconcile exactly with the
+        ``serve.invalidate`` events and the reclaim tracer spans."""
+        row: Dict[str, object] = dict(self.inval_stats.row())
+        ledgers = [s.stack.cache.regions.ledger for s in self.cluster.shards]
+        row["inval_dead_bytes"] = sum(
+            ledger.dead_bytes.get("invalidated", 0) for ledger in ledgers
+        )
+        row["inval_dead_items"] = sum(
+            ledger.dead_items.get("invalidated", 0) for ledger in ledgers
+        )
+        row["inval_dropped_regions"] = sum(
+            ledger.dead_generation_regions for ledger in ledgers
+        )
+        row["inval_dead_first_evictions"] = sum(
+            ledger.dead_first_evictions for ledger in ledgers
+        )
+        row["tenant_generations"] = sum(t.generation for t in self.tenants)
+        row["tenant_versioned"] = sum(
+            1 for t in self.tenants if t.config.versioned_keys
+        )
+        return row
+
     # --- reporting ----------------------------------------------------------
 
     def _report(self) -> ServingReport:
@@ -857,4 +969,5 @@ class Server:
             completed=completed,
             shed=shed,
             fleet_row=self._fleet_row() if self._fleet is not None else None,
+            inval_row=self._inval_row() if self.inval_stats is not None else None,
         )

@@ -12,13 +12,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.cache.lifecycle import versioned_prefix
 from repro.errors import ConfigError
 from repro.serve.arrivals import (
     ARRIVAL_KINDS,
     ArrivalProcess,
     BurstArrivals,
     DiurnalArrivals,
+    FlashCrowdArrivals,
     PoissonArrivals,
+    StormArrivals,
 )
 from repro.serve.qos import SloTracker, TokenBucket
 from repro.workloads.cachebench import CacheBenchConfig, CacheBenchDriver, CacheOp
@@ -42,10 +45,21 @@ class TenantConfig:
     burst_factor: float = 4.0
     burst_on_s: float = 0.02
     burst_off_s: float = 0.08
+    flash_crowd_factor: float = 4.0
+    flash_crowd_at_s: float = 0.05
+    flash_crowd_decay_s: float = 0.05
+    storm_factor: float = 4.0
+    storm_at_s: float = 0.05
+    storm_duration_s: float = 0.02
     workload: CacheBenchConfig = field(default_factory=CacheBenchConfig)
     # None → derived from the name; pass b"" explicitly to share the
     # closed-loop driver's exact key bytes (single-tenant parity runs).
     key_prefix: Optional[bytes] = None
+    # Generation-prefixed keys (``name:gen:key``): lets the server
+    # invalidate the whole namespace in O(1) by bumping the generation.
+    # Off by default — prefixes change every key byte, so parity runs
+    # and existing goldens keep the plain prefix.
+    versioned_keys: bool = False
     slo_p99_ms: float = 5.0
     rate_limit_ops_per_sec: float = 0.0
     rate_limit_burst: float = 64.0
@@ -67,6 +81,11 @@ class TenantConfig:
             raise ConfigError(f"slo_p99_ms must be positive, got {self.slo_p99_ms}")
         if self.rate_limit_ops_per_sec < 0:
             raise ConfigError("rate_limit_ops_per_sec must be non-negative")
+        if self.versioned_keys and self.key_prefix is not None:
+            raise ConfigError(
+                "versioned_keys derives the prefix from the tenant name; "
+                "drop the explicit key_prefix"
+            )
 
     @property
     def effective_key_prefix(self) -> bytes:
@@ -80,7 +99,11 @@ class Tenant:
 
     def __init__(self, config: TenantConfig) -> None:
         self.config = config
-        self.key_prefix = config.effective_key_prefix
+        self.generation = 0
+        if config.versioned_keys:
+            self.key_prefix = versioned_prefix(config.name.encode(), 0)
+        else:
+            self.key_prefix = config.effective_key_prefix
         self.driver = CacheBenchDriver(config.workload)
         self.arrivals = self._make_arrivals(config)
         self.bucket: Optional[TokenBucket] = None
@@ -102,6 +125,22 @@ class Tenant:
                 period_s=config.diurnal_period_s,
                 seed=config.seed,
             )
+        if config.arrival == "flash_crowd":
+            return FlashCrowdArrivals(
+                config.rate_ops_per_sec,
+                peak_factor=config.flash_crowd_factor,
+                at_s=config.flash_crowd_at_s,
+                decay_s=config.flash_crowd_decay_s,
+                seed=config.seed,
+            )
+        if config.arrival == "storm":
+            return StormArrivals(
+                config.rate_ops_per_sec,
+                storm_factor=config.storm_factor,
+                at_s=config.storm_at_s,
+                duration_s=config.storm_duration_s,
+                seed=config.seed,
+            )
         return BurstArrivals(
             config.rate_ops_per_sec,
             burst_factor=config.burst_factor,
@@ -121,6 +160,29 @@ class Tenant:
 
     def key_for(self, op: CacheOp) -> bytes:
         return self.key_prefix + self.driver.key_bytes(op.key_index)
+
+    @property
+    def namespace_id(self) -> bytes:
+        """Tenant id the cache's namespace-version table keys on."""
+        return self.config.name.encode()
+
+    def invalidate(self) -> int:
+        """Bump this tenant's generation and return the new value.
+
+        Requires ``versioned_keys``; subsequent requests carry the new
+        generation prefix, so every key written under the old one
+        becomes unreachable — dead bytes for the storage layers to
+        discover.  The server mirrors the bump into each shard's cache
+        so old-generation reads are refused even where the index still
+        holds them.
+        """
+        if not self.config.versioned_keys:
+            raise ConfigError(
+                f"tenant {self.config.name!r} does not use versioned keys"
+            )
+        self.generation += 1
+        self.key_prefix = versioned_prefix(self.namespace_id, self.generation)
+        return self.generation
 
     def __repr__(self) -> str:
         return (

@@ -82,6 +82,10 @@ class GcConfig:
     # Optional AIMD controller on pace/copy-tokens (None = static pacing);
     # see repro.reclaim.AdaptivePacingConfig.
     adaptive: Optional["AdaptivePacingConfig"] = None
+    # Lifecycle integration: take zero-valid zones before the policy
+    # order (see repro.reclaim.ReclaimEngine).  Off by default — the
+    # golden rows lock the policy-ordered behavior.
+    dead_first: bool = False
 
     def __post_init__(self) -> None:
         ensure_at_least("min_empty_zones", self.min_empty_zones, 1)
@@ -221,6 +225,7 @@ class ZoneGarbageCollector:
             ReclaimPacer(config.pacer_config()),
             tracer=tracer,
             clock=clock,
+            dead_first=config.dead_first,
         )
 
     # --- counters (legacy names, engine-backed) -------------------------------------

@@ -69,3 +69,15 @@ class TestTtl:
         stack.clock.advance(int(1e9))
         cache.get(b"k")
         assert cache.stats.lookups.misses == 1
+
+    def test_expiry_routes_through_liveness_ledger(self, stack):
+        # Expired flash bytes report to the region ledger under the
+        # "expired" reason — same account the eviction order and the
+        # invalidation sweep read (no more ad-hoc expiry counters).
+        cache = stack.cache
+        cache.set(b"k", b"v" * 64, ttl_seconds=0.1)
+        cache.flush()
+        stack.clock.advance(int(1e9))
+        cache.get(b"k")
+        assert cache.regions.ledger.dead_bytes["expired"] > 0
+        assert cache.regions.ledger.dead_items["expired"] == 1
