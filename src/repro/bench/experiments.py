@@ -154,6 +154,9 @@ def _gc_columns(stack: SchemeStack) -> Dict[str, object]:
         "gc_victims": stats.victims_reclaimed if stats is not None else 0,
         "gc_migrated_units": stats.units_migrated if stats is not None else 0,
         "gc_dropped_units": stats.units_dropped if stats is not None else 0,
+        "gc_hint_dropped_units": (
+            stats.hint_dropped_units if stats is not None else 0
+        ),
         "gc_copied_bytes": stats.copied_bytes if stats is not None else 0,
         "gc_triggers": stats.triggers if stats is not None else 0,
         "gc_stall_us_p99": stats.stall_us_p99 if stats is not None else 0.0,
@@ -1710,5 +1713,210 @@ def run_invalidation_smoke(seed: int = 7) -> List[Dict[str, object]]:
         num_shards=2,
         offered_kops=12.0,
         requests_per_tenant=4_000,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------
+# §3.4 hint-coverage ablation — hints {off, ztl-only, full} per scheme
+# --------------------------------------------------------------------------
+
+# The ablation grid: "off" disables the cache→GC hint channel entirely,
+# "ztl" is the historical wiring (hints reach the zone translation layer
+# only), "full" extends the same GcHints protocol to the F2FS cleaner
+# and the FTL.  Zone-Cache is excluded: it has no reclamation layer, so
+# hints have nothing to steer.
+HINT_MODES = ("off", "ztl", "full")
+HINT_SCHEMES = ("Block-Cache", "File-Cache", "Region-Cache", "Z-Cache")
+
+
+def _hint_lifecycle(mode: str):
+    """Lifecycle config for one hint-ablation mode (storm layer armed)."""
+    from repro.cache.lifecycle import LifecycleConfig
+
+    if mode not in HINT_MODES:
+        raise ValueError(f"unknown hint mode {mode!r}; expected {HINT_MODES}")
+    return LifecycleConfig(
+        versioning=True,
+        dead_first_eviction=True,
+        gc_hints=(mode != "off"),
+        hint_layers="all" if mode == "full" else "ztl",
+    )
+
+
+def run_hint_sweep(
+    scale: Optional[SchemeScale] = None,
+    zones_per_shard: int = 10,
+    cache_zones_per_shard: int = 5,
+    # Tighter than the invalidation sweep's 16: at 8 zones the F2FS
+    # cleaner actually runs under the storm (free sections cross the
+    # watermark), so the File-Cache ablation has cleaning to steer.
+    file_zones_per_shard: int = 8,
+    num_shards: int = 4,
+    offered_kops: float = 12.0,
+    requests_per_tenant: int = 12_000,
+    num_keys: Optional[int] = None,
+    max_queue_depth: int = 128,
+    schemes: tuple = HINT_SCHEMES,
+    modes: tuple = HINT_MODES,
+    bump_at_frac: float = 0.35,
+    purge_bump_frac: float = 0.55,
+    storm_duration_frac: float = 0.10,
+    seed: int = 7,
+) -> List[Dict[str, object]]:
+    """Hint-coverage ablation (`repro hint-sweep`): hints {off, ztl,
+    full} × the four schemes with a reclamation layer, under the
+    invalidation-storm load (`repro invalidate`'s script unchanged).
+
+    Every cell runs the same two-tenant storm: the web tenant's
+    namespace bump at ``bump_at_frac`` and the purge tenant's bump mid
+    delete-storm turn whole regions dead at once, so each scheme's GC
+    faces the same condemned bytes — what varies is whether its
+    reclamation layer can *see* the condemnation.  With hints off, every
+    layer migrates dead-generation bytes like live data.  With the
+    historical ztl-only wiring, Region-/Z-Cache drop condemned regions
+    at the ZTL while Block-/File-Cache keep copying blind.  With full
+    coverage, the F2FS cleaner resolves victim blocks back to cache
+    regions and drops condemned ones (NAT unmap + SIT invalidate, no
+    data I/O), and the FTL discards a condemned region's pages ahead of
+    copying them.
+
+    Reconciliation: every hint drop emits one ``reclaim.<layer>``
+    ``drop`` span, counted here via a tracer subscription (records are
+    streamed, not captured).  ``gc_hint_dropped_units`` ==
+    ``gc_hint_drop_spans`` cell by cell — asserted in
+    ``tests/test_gc_hints.py``.
+    """
+    from repro.serve import (
+        CacheCluster,
+        InvalidationPlan,
+        Server,
+        ServerConfig,
+        TenantInvalidate,
+    )
+
+    scale = scale or _serving_scale()
+    media = zones_per_shard * scale.zone_size
+    cache_bytes = cache_zones_per_shard * scale.zone_size
+    file_media = file_zones_per_shard * scale.zone_size
+    if num_keys is None:
+        num_keys = int(1.05 * num_shards * media / 1568)
+    duration_ns = int(requests_per_tenant / (0.7 * offered_kops * 1000) * 1e9)
+    bump_at_ns = int(bump_at_frac * duration_ns)
+    purge_at_ns = int(purge_bump_frac * duration_ns)
+    plan = InvalidationPlan(
+        (
+            TenantInvalidate(bump_at_ns, "web"),
+            TenantInvalidate(purge_at_ns, "purge"),
+        )
+    )
+    rows: List[Dict[str, object]] = []
+    for name in schemes:
+        for mode in modes:
+            lifecycle = _hint_lifecycle(mode)
+            base_overrides: Dict[str, object] = {
+                "eviction_policy": "fifo",
+                "reclaim_window": 128,
+                "lifecycle": lifecycle,
+            }
+            if name == "Block-Cache":
+                shard_cache = media
+            else:
+                shard_cache = cache_bytes
+            cluster = CacheCluster.homogeneous(
+                name,
+                num_shards,
+                media,
+                shard_cache,
+                file_media_bytes=file_media if name == "File-Cache" else None,
+                scale=scale,
+                cache_overrides=tuple(sorted(base_overrides.items()))
+                + _invalidation_gc_overrides(name),
+                cache_stacks=True,
+            )
+            # Per-layer drop-span counter: subscribing streams records
+            # through the callback without capturing them, so the
+            # reconciliation costs no memory.  The FTL's engine is born
+            # on the shared NULL_TRACER; point it at the device tracer
+            # so its drop spans join the same stream.
+            drop_spans = {"count": 0}
+
+            def _count_drop(record, _drops=drop_spans):
+                if record.op == "drop" and record.layer.startswith("reclaim."):
+                    _drops["count"] += 1
+
+            gc_layer = "none"
+            for shard in cluster.shards:
+                shard_layer, engine = shard.stack.reclaim_engine()
+                if engine is None:
+                    continue
+                gc_layer = shard_layer
+                if mode != "off":
+                    # Unconditional: the FTL's engine is born on the
+                    # shared NULL_TRACER (and deep-copied stacks carry a
+                    # private copy of it), the ZTL/F2FS engines already
+                    # point here — either way the drop spans must join
+                    # the device stream the counter subscribes to.
+                    device = shard.stack.substrate["device"]
+                    engine.tracer = device.tracer
+                    device.tracer.subscribe(_count_drop)
+            tenants = _invalidation_tenants(
+                offered_kops * 1000,
+                requests_per_tenant,
+                num_keys,
+                seed,
+                bump_at_s=bump_at_ns / 1e9,
+                storm_at_s=purge_at_ns / 1e9,
+                storm_duration_s=storm_duration_frac * duration_ns / 1e9,
+            )
+            report = Server(
+                cluster,
+                tenants,
+                ServerConfig(max_queue_depth=max_queue_depth),
+                invalidations=plan,
+            ).run()
+            web = next(t for t in report.tenant_rows if t["tenant"] == "web")
+            purge = next(t for t in report.tenant_rows if t["tenant"] == "purge")
+            shard_rows = report.shard_rows
+            gc_stats = [
+                shard.stack.reclaim_engine()[1].stats
+                for shard in cluster.shards
+                if shard.stack.reclaim_engine()[1] is not None
+            ]
+            rows.append(
+                {
+                    "scheme": name,
+                    "hints": mode,
+                    "gc_layer": gc_layer,
+                    "num_shards": num_shards,
+                    "web_hit_ratio": web["hit_ratio"],
+                    "web_p99_us": web["p99_us"],
+                    "web_goodput_kops": web["goodput_kops"],
+                    "purge_p99_us": purge["p99_us"],
+                    "cluster_shed_rate": report.shed_rate,
+                    "waf_app_max": max(r["waf_app"] for r in shard_rows),
+                    "waf_device_max": max(r["waf_device"] for r in shard_rows),
+                    "gc_copied_bytes": sum(s.copied_bytes for s in gc_stats),
+                    "gc_migrated_units": sum(s.units_migrated for s in gc_stats),
+                    "gc_dropped_units": sum(s.units_dropped for s in gc_stats),
+                    "gc_hint_dropped_units": sum(
+                        s.hint_dropped_units for s in gc_stats
+                    ),
+                    "gc_hint_drop_spans": drop_spans["count"],
+                    "gc_victims": sum(s.victims_reclaimed for s in gc_stats),
+                }
+            )
+    return rows
+
+
+def run_hint_smoke(seed: int = 7) -> List[Dict[str, object]]:
+    """`repro hint-sweep --smoke`: the full {off, ztl, full} × four-
+    scheme grid on two shards with ~3k requests per tenant — twelve
+    rows, CI-sized, still exercising every hint path (ZTL drop, F2FS
+    block-run drop, FTL discard-ahead) and the span reconciliation."""
+    return run_hint_sweep(
+        num_shards=2,
+        offered_kops=12.0,
+        requests_per_tenant=3_000,
         seed=seed,
     )

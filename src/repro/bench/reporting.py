@@ -44,14 +44,22 @@ GC_COLUMN_ALIASES: Dict[str, str] = {
 }
 
 
+# Tie-break order for conflicting aliases: the alias table's
+# declaration order, independent of row dict insertion order.
+_ALIAS_RANK: Dict[str, int] = {alias: i for i, alias in enumerate(GC_COLUMN_ALIASES)}
+
+
 def canonicalize_gc_columns(
     rows: List[Dict[str, object]],
 ) -> List[Dict[str, object]]:
     """Fold per-layer GC counter spellings into the ``gc_*`` family.
 
     A canonical key already present in a row wins over an alias (row
-    producers that emit both keep their explicit value); rows without
-    any aliased key pass through unchanged.
+    producers that emit both keep their explicit value); when two
+    *aliases* in one row map to the same canonical key, the one earlier
+    in :data:`GC_COLUMN_ALIASES` wins — deterministic regardless of the
+    row's insertion order.  Rows without any aliased key pass through
+    unchanged.
     """
     out: List[Dict[str, object]] = []
     for row in rows:
@@ -59,11 +67,22 @@ def canonicalize_gc_columns(
             out.append(row)
             continue
         new: Dict[str, object] = {}
+        # canonical target -> alias that currently supplies its value
+        supplied_by: Dict[str, str] = {}
         for key, value in row.items():
             target = GC_COLUMN_ALIASES.get(key, key)
-            if target != key and (target in row or target in new):
+            if target == key:
+                new[target] = value
                 continue
-            new[target] = value
+            if target in row:
+                continue  # explicit canonical value wins over any alias
+            prev = supplied_by.get(target)
+            if prev is None:
+                new[target] = value
+                supplied_by[target] = key
+            elif _ALIAS_RANK[key] < _ALIAS_RANK[prev]:
+                new[target] = value
+                supplied_by[target] = key
         out.append(new)
     return out
 

@@ -35,6 +35,7 @@ from repro.flash.nand import NandGeometry, NandTiming
 from repro.flash.nullblk import NullBlkDevice
 from repro.flash.zone import ZoneCostConfig
 from repro.flash.znsssd import ZnsConfig, ZnsSsd
+from repro.reclaim import GcHints
 from repro.sim.clock import SimClock
 from repro.sim.faults import FaultInjector
 from repro.sim.io import IoTracer, PoolConfig
@@ -195,9 +196,18 @@ def build_block_cache(
     num_regions = min(cache_bytes, device.capacity_bytes) // scale.region_size
     store = BlockRegionStore(device, scale.region_size, num_regions)
     config = _cache_config(scale, scale.region_size, num_regions, **cache_overrides)
+    cache = HybridCache(clock, store, config)
+    if config.lifecycle.gc_hints and config.lifecycle.hint_layers == "all":
+        # §3.4 full coverage: the FTL asks the cache before copying the
+        # pages of a condemned region and discards them ahead instead.
+        device.ftl.bind_hints(
+            GcHints(cache.migration_worth, cache.on_region_dropped),
+            scale.region_size,
+            num_regions,
+        )
     return SchemeStack(
         name="Block-Cache",
-        cache=HybridCache(clock, store, config),
+        cache=cache,
         clock=clock,
         substrate={"device": device, "store": store, "faults": faults},
     )
@@ -353,9 +363,14 @@ def build_file_cache(
     num_regions = min(cache_bytes, fs.usable_bytes) // scale.region_size
     store = FileRegionStore(fs, scale.region_size, num_regions)
     config = _cache_config(scale, scale.region_size, num_regions, **cache_overrides)
+    cache = HybridCache(clock, store, config)
+    if config.lifecycle.gc_hints and config.lifecycle.hint_layers == "all":
+        # §3.4 full coverage: the cleaner resolves a victim block back
+        # to its cache region and drops condemned regions' blocks.
+        store.bind_gc_hints(GcHints(cache.migration_worth, cache.on_region_dropped))
     return SchemeStack(
         name="File-Cache",
-        cache=HybridCache(clock, store, config),
+        cache=cache,
         clock=clock,
         substrate={"device": device, "meta": meta, "fs": fs, "store": store,
                    "faults": faults},

@@ -86,8 +86,38 @@ class FileRegionStore(RegionStore):
         This transparency loss is one of the File-Cache costs the paper
         calls out — the filesystem will dutifully migrate dead cache
         bytes during cleaning because it cannot know they are dead.
+        The §3.4 repair is :meth:`bind_gc_hints`: let the *cleaner* ask
+        the cache about region worth at migration time instead.
         """
         self.check_region_id(region_id)
+
+    def bind_gc_hints(self, hints) -> None:
+        """Wire the cache's §3.4 :class:`~repro.reclaim.GcHints` into
+        the filesystem cleaner.
+
+        The cleaner works in main-area blocks; this binds the block →
+        cache-region ownership lookup (via SIT ownership of this store's
+        file) so condemned regions' blocks are unmapped instead of
+        migrated to the cold log.  The callbacks are bound methods on
+        purpose: ``copy.deepcopy`` rebinds a method's ``__self__`` into
+        the cloned object graph (closures it would share), so cached
+        stack templates clone with their hints intact.
+        """
+        self.fs.cleaner.bind_hints(
+            hints, self._region_of_block, self.fs._drop_block
+        )
+
+    def _region_of_block(self, block_addr: int):
+        """Cache region owning a main-area block, or None for node
+        blocks (negative file ids), other files, and tail slack."""
+        owner = self.fs.sit.owner_of(block_addr)
+        if owner is None:
+            return None
+        owner_id, file_block = owner
+        if owner_id != self.file.file_id:
+            return None
+        region_id = file_block * self.fs.layout.block_size // self._region_size
+        return region_id if region_id < self._num_regions else None
 
     def waf(self) -> WafBreakdown:
         return WafBreakdown(

@@ -346,7 +346,10 @@ class HybridCache:
         threshold = self.config.lifecycle.hint_drop_position
         if threshold > 0.0:
             position = regions.eviction_position(region_id)
-            if position is not None and position < threshold:
+            # <= so threshold=1.0 covers the whole documented [0, 1]
+            # range: eviction_position is a fraction in [0, 1] and the
+            # most-recently-sealed region sits exactly at 1.0.
+            if position is not None and position <= threshold:
                 return False
         return True
 

@@ -48,26 +48,37 @@ class LifecycleConfig:
     generations).  ``dead_first_eviction`` makes the region manager take
     fully-dead regions as victims before consulting the policy order.
     ``gc_hints`` wires the engine's :meth:`~repro.cache.engine.
-    HybridCache.migration_worth` into the backend's zone GC (schemes
-    with a translation layer only).  ``hint_drop_position`` additionally
-    drops regions whose eviction position is below the threshold (0.0 =
-    only dead regions are dropped).  ``sweep_expired`` purges due-TTL
-    items at region rotation so expiry is visible to eviction ordering
-    without waiting for a re-read; it is on by default because it only
-    acts when TTLs are in use.
+    HybridCache.migration_worth` into the backend's GC.
+    ``hint_layers`` scopes that wiring: ``"ztl"`` (the historical
+    coverage — only schemes with a zone translation layer) or ``"all"``
+    (also the F2FS cleaner and the FTL, the full §3.4 surface).
+    ``hint_drop_position`` additionally drops regions whose eviction
+    position is at or below the threshold (0.0 = only dead regions are
+    dropped; 1.0 = every region the hint is asked about).
+    ``sweep_expired`` purges due-TTL items at region rotation so expiry
+    is visible to eviction ordering without waiting for a re-read; it is
+    on by default because it only acts when TTLs are in use.
     """
 
     versioning: bool = False
     dead_first_eviction: bool = False
     gc_hints: bool = False
     hint_drop_position: float = 0.0
+    hint_layers: str = "ztl"
     sweep_expired: bool = True
+
+    HINT_LAYER_CHOICES = ("ztl", "all")
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.hint_drop_position <= 1.0:
             raise CacheConfigError(
                 f"hint_drop_position must be in [0, 1], got "
                 f"{self.hint_drop_position}"
+            )
+        if self.hint_layers not in self.HINT_LAYER_CHOICES:
+            raise CacheConfigError(
+                f"hint_layers must be one of {self.HINT_LAYER_CHOICES}, got "
+                f"{self.hint_layers!r}"
             )
 
 

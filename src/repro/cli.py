@@ -122,6 +122,14 @@ def _invalidate(quick: bool) -> List[dict]:
     return run_invalidation_sweep()
 
 
+def _hint_sweep(quick: bool) -> List[dict]:
+    from repro.bench.experiments import run_hint_sweep
+
+    if quick:
+        return run_hint_sweep(num_shards=2, requests_per_tenant=6_000)
+    return run_hint_sweep()
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
     "fig2": _fig2,
     "fig3": _fig3,
@@ -135,6 +143,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], List[dict]]] = {
     "zone-cost": _zone_cost,
     "failover": _failover,
     "invalidate": _invalidate,
+    "hint-sweep": _hint_sweep,
 }
 
 TITLES = {
@@ -150,6 +159,7 @@ TITLES = {
     "zone-cost": "Zone-cost ablation: {zero, measured} costs x {Region, Z}-Cache",
     "failover": "Failover sweep: kill a shard mid-diurnal load, R=1 vs R=2",
     "invalidate": "Invalidation storm: bump tenant namespaces mid-run, per scheme",
+    "hint-sweep": "Hint ablation: cache->GC hints {off, ztl, full} per scheme",
 }
 
 
@@ -189,7 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
             "'gc-qos': one scheme, all four pacing x routing combos; with "
             "'zone-cost': both schemes x both cost presets, short stream; "
             "with 'failover': one scheme, four shards, R in {1,2}, one kill; "
-            "with 'invalidate': all five schemes, two shards, ~4k requests"
+            "with 'invalidate': all five schemes, two shards, ~4k requests; "
+            "with 'hint-sweep': the full hint ablation grid on two shards"
         ),
     )
     return parser
@@ -254,6 +265,14 @@ def _plot_for(name: str, rows: List[dict]) -> str:
         return scheme_bars(
             rows, "gc_copied_bytes", title="post-storm GC copied bytes"
         )
+    if name == "hint-sweep":
+        labeled = [{**r, "combo": f"{r['scheme']}/{r['hints']}"} for r in rows]
+        return scheme_bars(
+            labeled,
+            "gc_copied_bytes",
+            label_key="combo",
+            title="GC copied bytes by hint coverage",
+        )
     if name == "gc-sweep":
         labeled = [
             {**r, "combo": f"{r['scheme']}/{r['gc_policy']}@w{r['watermark_scale']}"}
@@ -291,6 +310,10 @@ def _rows_for(name: str, smoke: bool, quick: bool) -> List[dict]:
         from repro.bench.experiments import run_invalidation_smoke
 
         return run_invalidation_smoke()
+    if name == "hint-sweep" and smoke:
+        from repro.bench.experiments import run_hint_smoke
+
+        return run_hint_smoke()
     return EXPERIMENTS[name](quick)
 
 

@@ -458,6 +458,18 @@ class F2fs:
         self.sit.mark_valid(new_addr, owner)
         self._note_meta_updates(1)
 
+    def _drop_block(self, block_addr: int) -> None:
+        """Cleaner callback for §3.4 hint drops: unmap one condemned
+        data block without copying it — SIT invalidate plus NAT unmap,
+        one metadata update, zero data-device I/O."""
+        owner = self.sit.owner_of(block_addr)
+        self.sit.mark_invalid(block_addr)
+        if owner is not None:
+            file_id, file_block = owner
+            if file_id > 0:
+                self.nat.clear_block(file_id, file_block)
+        self._note_meta_updates(1)
+
     def _write_migration_block(self, stream: LogStream, payload: bytes) -> int:
         """Land one cleaning-migration block, retiring dead target zones.
 

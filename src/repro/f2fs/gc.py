@@ -139,6 +139,17 @@ class _SectionReclaimSource(ReclaimSource):
         owner = self.owner
         if not owner.sit.is_valid(block_addr):
             return UnitOutcome.SKIPPED  # invalidated since the list was built
+        hints = self.hints
+        if hints is not None and owner._region_of_block is not None:
+            region_id = owner._region_of_block(block_addr)
+            if region_id is not None and not hints.migration_worth(region_id):
+                # §3.4 drop path: the cache condemned the region this
+                # block backs, so unmap it instead of copying it to the
+                # cold log.  No device I/O happens — just SIT/NAT
+                # bookkeeping the filesystem wires via ``bind_hints``.
+                owner._drop_block(block_addr)
+                hints.on_drop(region_id)
+                return UnitOutcome.DROPPED
         try:
             owner._migrate_block(block_addr)
         except PowerCutError:
@@ -184,6 +195,10 @@ class Cleaner:
         self.config = config
         self._migrate_block = migrate_block
         self._release_section = release_section
+        # §3.4 hint wiring (bind_hints): block → cache region ownership
+        # and the no-copy drop callback.  None = hints disabled.
+        self._region_of_block: Optional[Callable[[int], Optional[int]]] = None
+        self._drop_block: Optional[Callable[[int], None]] = None
         # Age proxy: bump per section every time it is opened by a log head.
         self._mtime = [0] * layout.num_sections
         self._tick = 0
@@ -220,6 +235,23 @@ class Cleaner:
     def bind_clock(self, clock) -> None:
         """Attach the simulation clock for foreground-stall accounting."""
         self.engine.clock = clock
+
+    def bind_hints(
+        self,
+        hints,
+        region_of_block: Callable[[int], Optional[int]],
+        drop_block: Callable[[int], None],
+    ) -> None:
+        """Wire the cache's §3.4 :class:`~repro.reclaim.GcHints`.
+
+        ``region_of_block(block_addr)`` maps a main-area block to the
+        cache region it backs (None for node blocks, other files, or
+        out-of-range offsets — those always migrate).  ``drop_block``
+        unmaps one condemned block without copying it.
+        """
+        self.engine.source.hints = hints
+        self._region_of_block = region_of_block
+        self._drop_block = drop_block
 
     # --- hooks from the filesystem ----------------------------------------------------
 

@@ -76,6 +76,10 @@ class NodeAddressTable:
         self._maps[file_id][file_block] = block_addr
         return old
 
+    def clear_block(self, file_id: int, file_block: int) -> Optional[int]:
+        """Unmap one file block (§3.4 GC drop); returns the old address."""
+        return self._maps[file_id].pop(file_block, None)
+
     def mapped_blocks(self, file_id: int) -> int:
         return len(self._maps[file_id])
 

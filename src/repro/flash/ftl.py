@@ -153,6 +153,21 @@ class _FtlReclaimSource(ReclaimSource):
         lpn = block.lpns[page_idx]
         if lpn is None:
             return UnitOutcome.SKIPPED
+        hints = self.hints
+        if hints is not None and ftl._hint_region_pages:
+            region_id = lpn // ftl._hint_region_pages
+            if region_id < ftl._hint_num_regions and not hints.migration_worth(
+                region_id
+            ):
+                # §3.4 discard-ahead: the cache condemned this page's
+                # region, so TRIM the whole region's logical range
+                # instead of relocating it page by page.  The region's
+                # other pages in this (or any) victim become SKIPPED
+                # once their mappings clear — no media programs happen.
+                start = region_id * ftl._hint_region_pages
+                ftl.discard_pages(range(start, start + ftl._hint_region_pages))
+                hints.on_drop(region_id)
+                return UnitOutcome.DROPPED
         block.lpns[page_idx] = None
         block.valid_count -= 1
         ftl._program(lpn)
@@ -198,6 +213,10 @@ class PageMappedFtl:
         self.total_erased_blocks = 0
         # Report for the host write whose GC drain is in progress, if any.
         self._gc_report: Optional[FtlWriteReport] = None
+        # §3.4 hint geometry (bind_hints): lpn // pages-per-region maps a
+        # logical page to the cache region it backs.  0 = hints disabled.
+        self._hint_region_pages = 0
+        self._hint_num_regions = 0
         self.reclaim = ReclaimEngine(
             _FtlReclaimSource(self),
             make_victim_policy(config.gc_policy),
@@ -247,6 +266,24 @@ class PageMappedFtl:
         for lpn in lpns:
             self._invalidate(lpn)
             self._l2p.pop(lpn, None)
+
+    def bind_hints(self, hints, region_size: int, num_regions: int) -> None:
+        """Wire the cache's §3.4 :class:`~repro.reclaim.GcHints`.
+
+        ``region_size``/``num_regions`` describe the cache's region grid
+        over the logical byte space (region ``i`` at byte offset
+        ``i * region_size``), so GC can map a victim page back to the
+        region it backs and discard-ahead condemned regions wholesale.
+        """
+        page_size = self.geometry.page_size
+        if region_size <= 0 or region_size % page_size != 0:
+            raise ConfigError(
+                f"region_size {region_size} must be a positive multiple of the "
+                f"page size {page_size}"
+            )
+        self.reclaim.source.hints = hints
+        self._hint_region_pages = region_size // page_size
+        self._hint_num_regions = num_regions
 
     # --- internals -----------------------------------------------------------
 

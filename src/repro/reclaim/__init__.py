@@ -27,6 +27,7 @@ from repro.reclaim.config import (
     ensure_fraction,
 )
 from repro.reclaim.engine import (
+    GcHints,
     ReclaimEngine,
     ReclaimSource,
     ReclaimStats,
@@ -52,6 +53,7 @@ __all__ = [
     "AgeThresholdPolicy",
     "ColdDeferPolicy",
     "CostBenefitPolicy",
+    "GcHints",
     "GreedyPolicy",
     "POLICY_NAMES",
     "PacerConfig",

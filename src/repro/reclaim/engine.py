@@ -19,7 +19,7 @@ import abc
 import contextlib
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.reclaim.pacer import ReclaimPacer
 from repro.reclaim.policy import VictimPolicy, VictimView, first_dead
@@ -39,16 +39,36 @@ class UnitOutcome(enum.Enum):
     RETRY = "retry"
 
 
+@dataclass
+class GcHints:
+    """The §3.4 cache→GC hint hooks, as one first-class protocol.
+
+    ``migration_worth(region_id)`` asks the cache whether a region's
+    survivors are worth copying; ``on_drop(region_id)`` tells it the
+    device dropped the region's units instead (so the index can purge
+    the condemned keys).  Sources that hold hints may answer
+    ``UnitOutcome.DROPPED`` from ``migrate_unit`` without touching the
+    device — the engine accounts those as ``hint_dropped_units``.
+    """
+
+    migration_worth: Callable[[int], bool]
+    on_drop: Callable[[int], None]
+
+
 class ReclaimSource(abc.ABC):
     """Layer adapter the engine drives.
 
     ``name`` labels the layer's ``reclaim.<name>`` spans and bench
     columns; ``unit_bytes`` is the payload size of one migrated unit
     (page/block/region) for copied-byte accounting and token pacing.
+    ``hints``, when bound, carries the cache's §3.4 drop hints — every
+    ``DROPPED`` outcome from a hint-bearing source counts as a hint
+    drop in :class:`ReclaimStats`.
     """
 
     name: str = "source"
     unit_bytes: int = 0
+    hints: Optional[GcHints] = None
 
     @abc.abstractmethod
     def free_units(self) -> int:
@@ -90,6 +110,9 @@ class ReclaimStats:
     victims_reclaimed: int = 0
     units_migrated: int = 0
     units_dropped: int = 0
+    # Subset of ``units_dropped`` caused by §3.4 cache hints (a
+    # hint-bearing source answered DROPPED from ``migrate_unit``).
+    hint_dropped_units: int = 0
     copied_bytes: int = 0
     retries: int = 0
     # Distinct victims started (trigger events that found work).
@@ -285,6 +308,15 @@ class ReclaimEngine:
                         self.pacer.spend(source.unit_bytes)
                     else:
                         self.stats.units_dropped += 1
+                        if source.hints is not None:
+                            self.stats.hint_dropped_units += 1
+                            # One span per hint drop so the sweep can
+                            # reconcile hint_dropped_units against the
+                            # trace stream per layer.
+                            with self.tracer.span(
+                                "reclaim." + source.name, "drop", zone=victim
+                            ):
+                                pass
                     processed += 1
                 source.flush_step()
         if not self._pending:

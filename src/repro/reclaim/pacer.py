@@ -53,6 +53,16 @@ class AdaptivePacingConfig:
     The runtime values stay inside [static/``max_scale``, static ×
     ``max_scale``] so a misbehaving signal can never wedge or unleash
     reclamation entirely.
+
+    ``signal`` picks what the controller compares against the budget:
+    ``"stall"`` (default) is the device-side foreground stall the
+    reclamation layer inflicted; ``"e2e_p99"`` is the tenant-observed
+    end-to-end service latency fed in through
+    :meth:`ReclaimPacer.note_external_latency` — closing the loop on
+    what the SLO actually covers instead of a device-side proxy.  With
+    the external signal selected but no samples fed in a window, the
+    controller treats the interval as under budget (no news is good
+    news, matching the stall signal's empty-window behaviour).
     """
 
     stall_slo_ns: int
@@ -61,9 +71,16 @@ class AdaptivePacingConfig:
     decrease_factor: float = 0.5
     max_scale: int = 4
     min_pace_units: int = 1
+    signal: str = "stall"
+
+    SIGNAL_CHOICES = ("stall", "e2e_p99")
 
     def __post_init__(self) -> None:
         ensure_at_least("stall_slo_ns", self.stall_slo_ns, 1)
+        if self.signal not in self.SIGNAL_CHOICES:
+            raise ValueError(
+                f"signal must be one of {self.SIGNAL_CHOICES}, got {self.signal!r}"
+            )
         ensure_at_least("interval_steps", self.interval_steps, 1)
         ensure_at_least("increase_units", self.increase_units, 1)
         ensure_between("decrease_factor", self.decrease_factor, 0.01, 0.99)
@@ -145,6 +162,9 @@ class ReclaimPacer:
         # Foreground-stall accounting: wall time (ns) host operations
         # spent blocked on reclamation, windowed per adjustment interval.
         self.stall = LatencyRecorder("reclaim_stall")
+        # Tenant-observed end-to-end latency window for the "e2e_p99"
+        # adaptive signal; fed by the serving layer, never by the engine.
+        self.external = LatencyRecorder("e2e_latency")
 
     # --- watermark decisions -----------------------------------------------------
 
@@ -229,13 +249,24 @@ class ReclaimPacer:
         self.adaptive = adaptive
         self._steps_since_adjust = 0
 
+    def note_external_latency(self, latency_ns: int) -> None:
+        """Feed one tenant-observed e2e latency sample (``"e2e_p99"``).
+
+        Cheap no-op unless an adaptive controller consuming the external
+        signal is attached, so serving loops can call it unconditionally
+        per completion without perturbing static configurations.
+        """
+        if self.adaptive is not None and self.adaptive.signal == "e2e_p99":
+            self.external.record(latency_ns)
+
     def observe_step(self) -> None:
         """Controller hook the engine calls once per background step.
 
-        Every ``interval_steps`` calls, the windowed foreground-stall
-        p99 is compared against the SLO budget and the runtime pace is
-        adjusted; the window then resets so the controller tracks the
-        *current* interference regime, not the whole run.
+        Every ``interval_steps`` calls, the windowed p99 of the selected
+        signal (device-side stall or tenant-fed e2e latency) is compared
+        against the SLO budget and the runtime pace is adjusted; the
+        window then resets so the controller tracks the *current*
+        interference regime, not the whole run.
         """
         if self.adaptive is None:
             return
@@ -243,9 +274,12 @@ class ReclaimPacer:
         if self._steps_since_adjust < self.adaptive.interval_steps:
             return
         self._steps_since_adjust = 0
-        over = self.stall.count > 0 and self.stall.p99() > self.adaptive.stall_slo_ns
+        window = (
+            self.external if self.adaptive.signal == "e2e_p99" else self.stall
+        )
+        over = window.count > 0 and window.p99() > self.adaptive.stall_slo_ns
         self._adjust(over)
-        self.stall.reset()
+        window.reset()
 
     def _adjust(self, over_budget: bool) -> None:
         adaptive = self.adaptive

@@ -16,7 +16,7 @@ reports per scheme).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.sim.stats import LatencyRecorder
@@ -112,17 +112,33 @@ class InvalidationStats:
     def post_hit_ratio(self) -> float:
         return self.post_hits / self.post_lookups if self.post_lookups else 0.0
 
-    def recovery_slope_per_s(self) -> float:
+    def recovery_slope_per_s(self, end_ns: Optional[int] = None) -> float:
         """Least-squares slope of post-bump hit ratio, in ratio points/s.
 
         Buckets with no lookups are skipped (an idle bucket says nothing
         about warmth).  Fewer than two populated buckets → 0.0.
+
+        ``end_ns`` is the run's last observation time: a trailing bucket
+        the run ended inside only covers ``[start, end_ns)``, so placing
+        its point at the full-bucket midpoint would attribute its hit
+        ratio to a later time than the samples span, dragging the fit.
+        When given, the trailing bucket's x is the midpoint of the span
+        actually covered; omitted, the full-bucket midpoints are used.
         """
         points = [
             ((index + 0.5) * self.bucket_ns / 1e9, bucket[0] / bucket[1])
             for index, bucket in sorted(self._buckets.items())
             if bucket[1] > 0
         ]
+        if points and end_ns is not None and self.first_bump_ns >= 0:
+            last_index = max(i for i, b in self._buckets.items() if b[1] > 0)
+            start_ns = last_index * self.bucket_ns
+            covered_ns = end_ns - self.first_bump_ns - start_ns
+            if 0 < covered_ns < self.bucket_ns:
+                points[-1] = (
+                    (start_ns + covered_ns / 2) / 1e9,
+                    points[-1][1],
+                )
         if len(points) < 2:
             return 0.0
         n = len(points)

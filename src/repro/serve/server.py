@@ -173,6 +173,16 @@ class Server:
                 "failover plan"
             )
         self.tenants = [Tenant(t) for t in tenants]
+        # Diversion-journal reads (RoutingConfig.diversion_journal):
+        # active only under gc_aware routing, where writes can divert.
+        self._diversion_active = (
+            cluster.routing.diversion_journal
+            and cluster.routing.policy == "gc_aware"
+        )
+        # Per-shard pacer to feed tenant-observed e2e latency into
+        # (AdaptivePacingConfig signal="e2e_p99"); resolved at run()
+        # time so enable_adaptive_pacing() after construction counts.
+        self._e2e_feed: List[Optional[object]] = []
         self._heap: List[Tuple[int, int, int, int]] = []
         self._seq = 0
         self._end_ns = 0
@@ -197,7 +207,27 @@ class Server:
 
     # --- main loop ----------------------------------------------------------
 
+    def _resolve_e2e_feed(self) -> None:
+        """Pick out, per shard, the reclaim pacer that wants the
+        tenant-observed e2e latency signal (``signal="e2e_p99"``).
+        Shards with no reclamation layer, no adaptive controller, or the
+        device-side stall signal get ``None`` — zero per-completion cost
+        for every pre-existing configuration."""
+        self._e2e_feed = []
+        for shard in self.cluster.shards:
+            _, engine = shard.stack.reclaim_engine()
+            pacer = engine.pacer if engine is not None else None
+            if (
+                pacer is not None
+                and pacer.adaptive is not None
+                and pacer.adaptive.signal == "e2e_p99"
+            ):
+                self._e2e_feed.append(pacer)
+            else:
+                self._e2e_feed.append(None)
+
     def run(self) -> ServingReport:
+        self._resolve_e2e_feed()
         if self._replication_armed():
             return self._run_replicated()
         if self.inval_stats is not None:
@@ -247,6 +277,8 @@ class Server:
         shards = cluster.shards
         max_depth = self.config.max_queue_depth
         gc_aware = cluster.routing.policy == "gc_aware"
+        diversion_active = self._diversion_active
+        e2e_feed = self._e2e_feed
         route_from_home = cluster.route_from_home
         shard_for = cluster.shard_for
 
@@ -358,12 +390,20 @@ class Server:
                     clock.now = local_ns
                 start_ns = clock.now
                 kind = op_kinds[tenant_index][cursor]
-                hit = tenant.driver.apply_kind(
-                    shard.stack.cache,
-                    kind,
-                    op_key_indices[tenant_index][cursor],
-                    op_keys[tenant_index][cursor],
-                )
+                if diversion_active and kind == KIND_GET:
+                    hit = self._apply_get_with_diversion(
+                        shard,
+                        tenant,
+                        op_key_indices[tenant_index][cursor],
+                        op_keys[tenant_index][cursor],
+                    )
+                else:
+                    hit = tenant.driver.apply_kind(
+                        shard.stack.cache,
+                        kind,
+                        op_key_indices[tenant_index][cursor],
+                        op_keys[tenant_index][cursor],
+                    )
                 shard.served += 1
                 shard.busy_ns += clock.now - start_ns
                 done_ns = clock.now - shard.epoch_ns
@@ -373,6 +413,9 @@ class Server:
                 recorder = slo.latency
                 recorder._samples.append(latency)
                 recorder._sorted = None
+                pacer = e2e_feed[shard.index]
+                if pacer is not None:
+                    pacer.external.record(latency)
                 if latency <= slo.slo_latency_ns:
                     slo.within_slo += 1
                 if kind == KIND_GET:
@@ -438,15 +481,26 @@ class Server:
         start_ns = shard.clock.now
         tracer = shard.stack.cache.store.tracer
         with tracer.span("serve", op.kind, offset=shard.index):
-            hit = tenant.driver.apply_op(
-                shard.stack.cache, op, key_prefix=tenant.key_prefix
-            )
+            if self._diversion_active and op.kind == "get":
+                hit = self._apply_get_with_diversion(
+                    shard,
+                    tenant,
+                    op.key_index,
+                    tenant.key_prefix + tenant.driver.key_bytes(op.key_index),
+                )
+            else:
+                hit = tenant.driver.apply_op(
+                    shard.stack.cache, op, key_prefix=tenant.key_prefix
+                )
         shard.served += 1
         shard.busy_ns += shard.clock.now - start_ns
         done_ns = shard.to_fleet(shard.clock.now)
         tenant.slo.record_completion(
             done_ns - arrival_ns, is_get=(op.kind == "get"), hit=hit
         )
+        pacer = self._e2e_feed[shard.index]
+        if pacer is not None:
+            pacer.external.record(done_ns - arrival_ns)
         if self.inval_stats is not None and op.kind == "get":
             self.inval_stats.note_lookup(done_ns, hit, done_ns - arrival_ns)
         self._end_ns = max(self._end_ns, done_ns)
@@ -456,6 +510,48 @@ class Server:
         shard.busy = False
         if shard.queue:
             self._start_service(now_ns, shard)
+
+    # --- diversion journal ---------------------------------------------------
+
+    def _apply_get_with_diversion(
+        self, home: Shard, tenant: Tenant, key_index: int, key: bytes
+    ) -> bool:
+        """A get that consults the diversion journal before declaring a
+        miss: a home miss falls through to the journaled diverted shard,
+        and a recovered value is read-repaired into the home shard (the
+        entry expires either way).  Draw-for-draw identical to
+        ``apply_kind`` when the journal has no entry for the key."""
+        cache = home.stack.cache
+        value = cache.get(key)
+        if value is not None:
+            return True
+        repaired = self._consult_diversion(home, key)
+        if repaired is not None:
+            cache.set(key, repaired)  # read-repair into the home shard
+            cache.store.tracer.emit_event(
+                "serve.divert", "recover", offset=home.index
+            )
+            return True
+        tenant.driver.fill_on_miss(cache, key_index, key)
+        return False
+
+    def _consult_diversion(self, home: Shard, key: bytes) -> Optional[bytes]:
+        """Fetch a home-missed key from its journaled diverted shard.
+
+        The entry is consumed: on a hit the caller read-repairs the
+        value home (so the journal is no longer needed), on a miss the
+        diverted copy was evicted and the entry is stale.
+        """
+        cluster = self.cluster
+        diverted = cluster.diversions.pop(key, None)
+        if diverted is None or diverted is home:
+            return None
+        value = diverted.stack.cache.get(key)
+        if value is None:
+            cluster.diversions_stale += 1
+            return None
+        cluster.diversions_recovered += 1
+        return value
 
     # --- invalidation -------------------------------------------------------
 
@@ -672,6 +768,9 @@ class Server:
             tenant.slo.record_completion(
                 done_ns - arrival_ns, is_get=is_get, hit=hit
             )
+            pacer = self._e2e_feed[shard.index]
+            if pacer is not None:
+                pacer.external.record(done_ns - arrival_ns)
             self._fleet.note_completion(
                 self._phase(), done_ns - arrival_ns, is_get, hit, done_ns
             )

@@ -308,6 +308,14 @@ class CacheBenchDriver:
         cache.delete(key)
         return False
 
+    def fill_on_miss(self, cache: HybridCache, key_index: int, key: bytes) -> None:
+        """The set-on-miss fill exactly as :meth:`apply_op` performs it
+        (same size-stream draw).  For serving loops that must interpose
+        between the lookup and the fill — e.g. to consult a diversion
+        journal before declaring a miss."""
+        if self.config.set_on_miss:
+            cache.set(key, self.value_bytes(key_index, self._sizes.sample()))
+
     def apply_kind_value(
         self, cache: HybridCache, kind: int, key_index: int, key: bytes
     ) -> Tuple[bool, Optional[bytes]]:

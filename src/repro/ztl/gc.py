@@ -26,6 +26,7 @@ from typing import Callable, List, Optional
 from repro.errors import TranslationFullError
 from repro.reclaim import (
     AdaptivePacingConfig,
+    GcHints,
     PacerConfig,
     ReclaimEngine,
     ReclaimPacer,
@@ -159,8 +160,8 @@ class _ZoneReclaimSource(ReclaimSource):
             record.bitmap.clear(slot)
             return UnitOutcome.SKIPPED
         keep = True
-        if owner.migration_hint is not None:
-            keep = owner.migration_hint(region_id)
+        if self.hints is not None:
+            keep = self.hints.migration_worth(region_id)
         if keep:
             if owner._migrate_many is not None:
                 # Batched path: the layer allocates targets itself so
@@ -216,9 +217,11 @@ class ZoneGarbageCollector:
         self._migrate = migrate
         self._migrate_many = migrate_many
         self._reset = reset
+        self._source = _ZoneReclaimSource(self, unit_bytes)
+        self._migration_hint: Optional[MigrationHint] = None
+        self._on_drop: Optional[DropCallback] = None
         self.migration_hint = migration_hint
         self.on_drop = on_drop
-        self._source = _ZoneReclaimSource(self, unit_bytes)
         self.engine = ReclaimEngine(
             self._source,
             make_victim_policy(config.policy),
@@ -227,6 +230,38 @@ class ZoneGarbageCollector:
             clock=clock,
             dead_first=config.dead_first,
         )
+
+    # --- §3.4 hints (legacy attribute surface, GcHints-backed) ----------------------
+    #
+    # Builders and tests assign ``gc.migration_hint`` / ``gc.on_drop``
+    # directly; the setters keep the source's first-class
+    # :class:`~repro.reclaim.GcHints` in sync so drop accounting is
+    # uniform across every layer on the shared engine.
+
+    @property
+    def migration_hint(self) -> Optional[MigrationHint]:
+        return self._migration_hint
+
+    @migration_hint.setter
+    def migration_hint(self, hint: Optional[MigrationHint]) -> None:
+        self._migration_hint = hint
+        self._sync_hints()
+
+    @property
+    def on_drop(self) -> Optional[DropCallback]:
+        return self._on_drop
+
+    @on_drop.setter
+    def on_drop(self, callback: Optional[DropCallback]) -> None:
+        self._on_drop = callback
+        self._sync_hints()
+
+    def _sync_hints(self) -> None:
+        if self._migration_hint is None:
+            self._source.hints = None
+            return
+        on_drop = self._on_drop if self._on_drop is not None else lambda region: None
+        self._source.hints = GcHints(self._migration_hint, on_drop)
 
     # --- counters (legacy names, engine-backed) -------------------------------------
 

@@ -153,6 +153,49 @@ class TestStatsWindows:
         stats.note_lookup(1, True, 10)
         assert stats.recovery_slope_per_s() == 0.0
 
+    def test_slope_zero_when_post_window_is_idle(self):
+        # A bump with no post-bump lookups at all: no buckets, no fit.
+        stats = InvalidationStats()
+        stats.note_lookup(1, True, 10)  # pre-bump only
+        stats.note_bump(5)
+        assert stats.recovery_slope_per_s() == 0.0
+        assert stats.row()["inval_recovery_slope_per_s"] == 0.0
+
+    def test_slope_zero_for_single_populated_bucket(self):
+        # Many samples, one bucket: a single point anchors no slope.
+        stats = InvalidationStats(bucket_ns=1_000_000_000)
+        stats.note_bump(0)
+        for t, hit in ((100, True), (200, False), (300, True)):
+            stats.note_lookup(t, hit, 10)
+        assert stats.recovery_slope_per_s() == 0.0
+
+    def test_partial_trailing_bucket_midpoint_clamped(self):
+        # Bucket 0 at 0% hits; bucket 1 rises to 100% but the run ends
+        # at 1.5 s, halfway through it.
+        stats = InvalidationStats(bucket_ns=1_000_000_000)
+        stats.note_bump(0)
+        stats.note_lookup(100, False, 10)
+        stats.note_lookup(200, False, 10)
+        stats.note_lookup(1_200_000_000, True, 10)
+        stats.note_lookup(1_400_000_000, True, 10)
+        # Default fit places the tail at the full-bucket midpoint
+        # (1.5 s), attributing its ratio later than any sample: 1.0/s.
+        assert stats.recovery_slope_per_s() == pytest.approx(1.0)
+        # With the run end known, the tail point moves to the midpoint
+        # of the covered span (1.25 s), removing the bias.
+        assert stats.recovery_slope_per_s(
+            end_ns=1_500_000_000
+        ) == pytest.approx(1.0 / 0.75)
+
+    def test_end_on_bucket_boundary_changes_nothing(self):
+        stats = InvalidationStats(bucket_ns=1_000_000_000)
+        stats.note_bump(0)
+        stats.note_lookup(100, False, 10)
+        stats.note_lookup(1_500_000_000, True, 10)
+        unclamped = stats.recovery_slope_per_s()
+        # The trailing bucket is fully covered: end_ns is a no-op.
+        assert stats.recovery_slope_per_s(end_ns=2_000_000_000) == unclamped
+
 
 class TestVersionedTenant:
     def test_versioned_prefix_and_bump(self):

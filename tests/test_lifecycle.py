@@ -16,6 +16,7 @@ from repro.bench.schemes import SchemeScale, build_region_cache
 from repro.cache import HybridCache
 from repro.cache.lifecycle import (
     DEAD_REASONS,
+    ItemLifecycle,
     LifecycleConfig,
     LivenessLedger,
     NamespaceVersions,
@@ -190,6 +191,41 @@ class TestEngineVersioning:
         assert not cache.migration_worth(region_id)
         assert not cache.migration_worth(10_000)  # unknown region
 
+    def test_hint_drop_position_boundary_covers_full_range(self):
+        # Regression: a strict `<` left the most-recently-sealed region
+        # (eviction position exactly 1.0) outside a threshold of 1.0,
+        # though the config documents [0, 1] as "drop everything".
+        stack = make_stack(versioning=True, gc_hints=True,
+                           hint_drop_position=1.0)
+        cache = stack.cache
+        old = versioned_prefix(b"web", 0) + b"old"
+        new = versioned_prefix(b"web", 0) + b"new"
+        cache.set(old, b"v" * 64)
+        cache.flush()
+        cache.set(new, b"w" * 64)
+        cache.flush()
+        region_id = cache.index.get(new).region_id
+        assert cache.regions.eviction_position(region_id) == 1.0
+        assert not cache.migration_worth(region_id)
+
+    def test_hint_drop_position_spares_regions_above_threshold(self):
+        stack = make_stack(versioning=True, gc_hints=True,
+                           hint_drop_position=0.5)
+        cache = stack.cache
+        keys = [versioned_prefix(b"web", 0) + b"k%d" % i for i in range(3)]
+        for key in keys:
+            cache.set(key, b"v" * 64)
+            cache.flush()
+        positions = [
+            cache.regions.eviction_position(cache.index.get(key).region_id)
+            for key in keys
+        ]
+        assert positions == [0.0, 0.5, 1.0]
+        # At or below the threshold drops; strictly above still copies.
+        assert not cache.migration_worth(cache.index.get(keys[0]).region_id)
+        assert not cache.migration_worth(cache.index.get(keys[1]).region_id)
+        assert cache.migration_worth(cache.index.get(keys[2]).region_id)
+
     def test_on_region_dropped_purges_and_accounts(self):
         stack = make_stack(versioning=True, gc_hints=True)
         cache = stack.cache
@@ -275,6 +311,51 @@ class TestTtlSweep:
         assert b"short" in cache.index
         assert cache.get(b"short") is None  # access-time purge still works
         assert not cache.contains(b"short")
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        events=st.lists(
+            st.one_of(
+                st.tuples(st.just("set"),
+                          st.sampled_from([b"a", b"b", b"c"]),
+                          st.integers(min_value=1, max_value=50)),
+                st.tuples(st.just("clear"),
+                          st.sampled_from([b"a", b"b", b"c"]),
+                          st.just(0)),
+                st.tuples(st.just("sweep"), st.just(b""),
+                          st.integers(min_value=0, max_value=25)),
+            ),
+            max_size=40,
+        ),
+    )
+    def test_heap_never_serves_stale_deadlines(self, events):
+        """Property for the lazy TTL min-heap: under any interleaving of
+        overwrites (longer *or* shorter TTL), clears, and sweeps, ``due``
+        yields exactly the keys whose *current* deadline elapsed — a
+        stale heap entry left by an overwrite must neither resurrect a
+        key early nor hide it at its real deadline."""
+        lifecycle = ItemLifecycle(LifecycleConfig())
+        model = {}  # key -> authoritative deadline
+        now = 0
+        for kind, key, arg in events:
+            if kind == "set":
+                lifecycle.note_ttl(key, now + arg)
+                model[key] = now + arg
+            elif kind == "clear":
+                lifecycle.clear_ttl(key)
+                model.pop(key, None)
+            else:
+                now += arg
+                due = list(lifecycle.due(now))
+                expected = {k for k, e in model.items() if e <= now}
+                assert set(due) == expected
+                for k in expected:  # the consumer purges what surfaced
+                    lifecycle.clear_ttl(k)
+                    del model[k]
+        # Whatever remains surfaces exactly at the horizon, never before.
+        horizon = max(model.values(), default=now)
+        assert set(lifecycle.due(horizon)) == set(model)
+        assert lifecycle.expiry.keys() == model.keys()
 
 
 class TestInvalidationOracle:

@@ -585,6 +585,18 @@ class TestGcColumnFamily:
         row = {"scheme": "c", "hit_ratio": 0.5}
         assert canonicalize_gc_columns([row])[0] is row
 
+    def test_conflicting_aliases_resolve_deterministically(self):
+        # Regression: two aliases folding to the same canonical key used
+        # to be last-writer-wins on row insertion order, so the same
+        # logical row could render differently depending on which layer
+        # emitted its counters first.  The alias table's declaration
+        # order now breaks the tie.
+        out = canonicalize_gc_columns([
+            {"scheme": "a", "zones_collected": 3, "sections_cleaned": 9},
+            {"scheme": "b", "sections_cleaned": 9, "zones_collected": 3},
+        ])
+        assert out[0]["gc_victims"] == out[1]["gc_victims"] == 3
+
 
 # --------------------------------------------------------------------------
 # The gc-sweep experiment end to end
